@@ -1,0 +1,74 @@
+// Shared helpers for the per-figure/table bench harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper: same
+// rows/series, our measured values. Absolute numbers differ from System X;
+// the *shapes* (orderings, crossovers, rough factors) are the reproduction
+// target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "experiment/scenario.hpp"
+
+namespace moon::bench {
+
+/// Repetitions per configuration; override with MOON_BENCH_REPS.
+inline int repetitions() {
+  if (const char* env = std::getenv("MOON_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) return reps;
+  }
+  return 3;
+}
+
+/// The unavailability rates every figure sweeps.
+inline const std::vector<double>& rates() {
+  static const std::vector<double> kRates{0.1, 0.3, 0.5};
+  return kRates;
+}
+
+/// Formats "mean" or "DNF" when not all repetitions completed.
+inline std::string time_cell(const experiment::Summary& summary) {
+  std::string cell = Table::num(summary.execution_time_s.mean(), 0);
+  if (summary.completed_runs < summary.total_runs) {
+    cell += " (" + std::to_string(summary.total_runs - summary.completed_runs) +
+            " DNF)";
+  }
+  return cell;
+}
+
+/// Scenario skeleton for the paper's testbed: 60 volatile + 6 dedicated
+/// nodes, MOON data management, {1,3} input/output replication.
+inline experiment::ScenarioConfig paper_testbed() {
+  experiment::ScenarioConfig cfg;
+  cfg.volatile_nodes = 60;
+  cfg.dedicated_nodes = 6;
+  cfg.dedicated_known = true;
+  cfg.dfs = experiment::moon_dfs_config();
+  cfg.input_factor = {1, 3};
+  cfg.output_factor = {1, 3};
+  cfg.seed = 20100621;  // HPDC 2010 :-)
+  return cfg;
+}
+
+struct PolicyVariant {
+  std::string name;
+  mapred::SchedulerConfig sched;
+};
+
+/// The five §VI-A scheduling policy variants.
+inline std::vector<PolicyVariant> scheduling_policies() {
+  return {
+      {"Hadoop10Min", experiment::hadoop_scheduler(10 * sim::kMinute)},
+      {"Hadoop5Min", experiment::hadoop_scheduler(5 * sim::kMinute)},
+      {"Hadoop1Min", experiment::hadoop_scheduler(1 * sim::kMinute)},
+      {"MOON", experiment::moon_scheduler(false)},
+      {"MOON-Hybrid", experiment::moon_scheduler(true)},
+  };
+}
+
+}  // namespace moon::bench

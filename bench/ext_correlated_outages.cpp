@@ -1,0 +1,71 @@
+// Extension experiment (paper §III motivation): correlated outages.
+//
+// "Large-scale, correlated resource inaccessibility can be normal. For
+// instance, many machines in a computer lab will be occupied simultaneously
+// during a lab session." Independence is the assumption behind volatile-only
+// replication arithmetic ("assuming that machine unavailability is
+// independent", §I) — this bench breaks it. Full-data sort at 0.4
+// unavailability; the outage mix shifts from fully independent to mostly
+// lab-session events over 20-node labs; intermediate data is replicated
+// either volatile-only (VO-V3) or hybrid (HA-V1).
+//
+// Measured shape (a genuine, non-obvious negative result): at a *fixed
+// average rate*, raising the correlated share makes BOTH variants faster —
+// correlation concentrates the same downtime into fewer, longer episodes,
+// so there are fewer suspension/fetch-failure events per job, and random
+// replica placement across 3 labs rarely co-locates a full replica set.
+// The §III hazard is therefore about *event synchronisation* (a lab session
+// wiping many tasks at once mid-job, peak unavailability spikes), not about
+// time-averaged availability arithmetic; the dedicated copy's value shows
+// in the VO-vs-HA gap remaining bounded across the sweep rather than in a
+// widening one.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+int main() {
+  std::cout << "=== Extension: independent vs correlated outages (sort) ===\n"
+            << "(rate 0.4; labs of 20 nodes; " << bench::repetitions()
+            << " repetitions per cell)\n\n";
+
+  struct Variant {
+    std::string name;
+    dfs::ReplicationFactor intermediate;
+  };
+  const std::vector<Variant> variants = {
+      {"VO-V3 (volatile only)", {0, 3}},
+      {"HA-V1 (hybrid)", {1, 1}},
+  };
+  const std::vector<double> fractions{0.0, 0.5, 0.9};
+
+  Table table("sort execution time (s) at 0.4 unavailability");
+  std::vector<std::string> cols{"intermediate replication"};
+  for (double f : fractions) {
+    cols.push_back("correlated " + Table::num(100.0 * f, 0) + "%");
+  }
+  table.columns(cols);
+
+  for (const auto& variant : variants) {
+    std::vector<std::string> row{variant.name};
+    for (double fraction : fractions) {
+      auto cfg = bench::paper_testbed();
+      cfg.app = workload::sort_workload();
+      cfg.sched = experiment::moon_scheduler(true);
+      cfg.unavailability_rate = 0.4;
+      cfg.correlated_outages = fraction > 0.0;
+      cfg.correlated_fraction = fraction;
+      cfg.correlation_group_size = 20;
+      cfg.correlated_event_mean_s = 1200.0;  // sessions ~ job length
+      cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
+      cfg.intermediate_factor = variant.intermediate;
+      row.push_back(bench::time_cell(
+          experiment::run_repetitions(cfg, bench::repetitions())));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  return 0;
+}

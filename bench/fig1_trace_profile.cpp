@@ -1,0 +1,65 @@
+// Figure 1: "Percentage of unavailable resources measured in a 7-day trace
+// from a production volunteer computing system" — reproduced with the §VI
+// synthetic generator: seven independent day-traces at the trace's average
+// unavailability (~0.4), sampled in 10-minute intervals over a 9AM-5PM
+// 8-hour window.
+//
+// Expected shape: per-day averages cluster around 40 % with wide
+// within-day swings (the paper observes peaks up to ~90 %).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "trace/trace_generator.hpp"
+#include "trace/trace_stats.hpp"
+
+using namespace moon;
+
+int main() {
+  std::cout << "=== Figure 1: fleet unavailability profile ===\n"
+            << "(60 nodes per day; 10-minute samples over 8 hours)\n\n";
+
+  trace::GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.4;  // the trace's measured average
+  trace::TraceGenerator gen(cfg);
+
+  Table table("Per-day unavailability (%)");
+  table.columns({"day", "mean", "min sample", "max sample", "outages",
+                 "mean outage (s)"});
+
+  Rng master{20100621};
+  for (int day = 1; day <= 7; ++day) {
+    Rng day_rng = master.fork(static_cast<std::uint64_t>(day));
+    const auto fleet = gen.generate_fleet(day_rng, 60);
+    const auto profile =
+        trace::UnavailabilityProfile::compute(fleet, 10 * sim::kMinute);
+    double lo = 100.0, hi = 0.0, sum = 0.0;
+    for (const auto& p : profile) {
+      lo = std::min(lo, p.percent_unavailable);
+      hi = std::max(hi, p.percent_unavailable);
+      sum += p.percent_unavailable;
+    }
+    const auto outages = trace::summarize_outages(fleet);
+    table.add_row({"DAY" + std::to_string(day),
+                   Table::num(sum / static_cast<double>(profile.size()), 1),
+                   Table::num(lo, 1), Table::num(hi, 1),
+                   Table::num(static_cast<std::int64_t>(outages.count)),
+                   Table::num(outages.mean_seconds, 0)});
+  }
+  table.print(std::cout);
+
+  // One day rendered as the figure's time series.
+  std::cout << "\nDAY1 time series (10-minute samples, 9AM..5PM):\n";
+  Rng day_rng = master.fork(1u);
+  const auto fleet = gen.generate_fleet(day_rng, 60);
+  for (const auto& p :
+       trace::UnavailabilityProfile::compute(fleet, 10 * sim::kMinute)) {
+    const double hour = 9.0 + sim::to_seconds(p.at) / 3600.0;
+    const int bars = static_cast<int>(p.percent_unavailable / 2.5);
+    std::printf("  %5.2fh | %-40s %4.1f%%\n", hour,
+                std::string(static_cast<std::size_t>(bars), '#').c_str(),
+                p.percent_unavailable);
+  }
+  return 0;
+}

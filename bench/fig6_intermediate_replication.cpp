@@ -1,0 +1,70 @@
+// Figure 6: "Compare impacts of different replication policies for
+// intermediate data on execution time."
+//
+// Full-data sort and word count on 60 volatile + 6 dedicated nodes,
+// MOON-Hybrid scheduling (the best variant from §VI-A), input/output fixed
+// at {1,3}; the intermediate-data policy sweeps volatile-only VO-V1..V5
+// ({0,v}) against hybrid-aware HA-V1..V3 ({1,v}).
+//
+// Expected shape: VO improves with degree up to ~V3 then flattens or
+// degrades (replication cost outweighs availability); HA-V1 wins clearly at
+// 0.5 on sort, modestly on word count.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+namespace {
+
+struct ReplicationVariant {
+  std::string name;
+  dfs::ReplicationFactor factor;
+};
+
+std::vector<ReplicationVariant> variants() {
+  return {
+      {"VO-V1", {0, 1}}, {"VO-V2", {0, 2}}, {"VO-V3", {0, 3}},
+      {"VO-V4", {0, 4}}, {"VO-V5", {0, 5}}, {"HA-V1", {1, 1}},
+      {"HA-V2", {1, 2}}, {"HA-V3", {1, 3}},
+  };
+}
+
+void run_app(const workload::WorkloadModel& app, const std::string& title) {
+  Table table(title);
+  std::vector<std::string> cols{"policy"};
+  for (double rate : bench::rates()) {
+    cols.push_back("rate " + Table::num(rate, 1));
+  }
+  table.columns(cols);
+  for (const auto& variant : variants()) {
+    std::vector<std::string> row{variant.name};
+    for (double rate : bench::rates()) {
+      auto cfg = bench::paper_testbed();
+      cfg.app = app;
+      cfg.sched = experiment::moon_scheduler(/*hybrid=*/true);
+      cfg.unavailability_rate = rate;
+      cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
+      cfg.intermediate_factor = variant.factor;
+      const auto summary = experiment::run_repetitions(cfg, bench::repetitions());
+      row.push_back(bench::time_cell(summary));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: intermediate-data replication policies ===\n"
+            << "(" << bench::repetitions()
+            << " repetitions per cell; mean seconds)\n\n";
+  run_app(workload::sort_workload(), "Fig 6(a) sort: execution time (s)");
+  std::cout << '\n';
+  run_app(workload::wordcount_workload(),
+          "Fig 6(b) word count: execution time (s)");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks for the DFS control plane: Algorithm 1 updates, write-
+// target selection, factor checks, and a full simulated job as an
+// end-to-end throughput number.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+#include "dfs/throttle.hpp"
+#include "experiment/scenario.hpp"
+
+namespace {
+
+using namespace moon;
+
+void BM_ThrottleUpdate(benchmark::State& state) {
+  dfs::ThrottleState throttle(10, 0.1);
+  Rng rng{1};
+  double bw = 50.0;
+  for (auto _ : state) {
+    bw = std::max(1.0, bw + rng.normal(0.0, 5.0));
+    benchmark::DoNotOptimize(throttle.update(bw));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThrottleUpdate);
+
+struct DfsBed {
+  sim::Simulation sim{1};
+  cluster::Cluster cluster{sim};
+  std::unique_ptr<dfs::Dfs> dfs;
+  std::vector<NodeId> volatiles;
+
+  DfsBed() {
+    cluster::NodeConfig vcfg;
+    volatiles = cluster.add_nodes(60, vcfg);
+    cluster::NodeConfig dcfg;
+    dcfg.type = cluster::NodeType::kDedicated;
+    cluster.add_nodes(6, dcfg);
+    dfs = std::make_unique<dfs::Dfs>(sim, cluster, dfs::DfsConfig{}, 1);
+    dfs->start();
+  }
+};
+
+void BM_PickWriteTargets(benchmark::State& state) {
+  DfsBed bed;
+  auto& nn = bed.dfs->namenode();
+  const FileId f = nn.create_file("x", dfs::FileKind::kOpportunistic, {1, 3});
+  nn.add_block(f, mib(64.0));
+  Rng rng{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn.pick_write_targets(f, bed.volatiles[0], rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PickWriteTargets);
+
+void BM_BlockFactorCheck(benchmark::State& state) {
+  DfsBed bed;
+  const FileId f = bed.dfs->stage_file("x", dfs::FileKind::kReliable, {1, 3},
+                                       64 * mib(64.0));
+  auto& nn = bed.dfs->namenode();
+  const auto& blocks = nn.file(f).blocks;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn.block_meets_factor(blocks[i % blocks.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockFactorCheck);
+
+void BM_StageLargeFile(benchmark::State& state) {
+  for (auto _ : state) {
+    DfsBed bed;
+    const FileId f = bed.dfs->stage_file("input", dfs::FileKind::kReliable,
+                                         {1, 3}, gib(24.0));
+    benchmark::DoNotOptimize(bed.dfs->namenode().file(f).blocks.size());
+  }
+}
+BENCHMARK(BM_StageLargeFile);
+
+/// End-to-end: one simulated sleep(sort)-style job on 22 nodes. This is the
+/// unit of work every figure bench repeats dozens of times.
+void BM_SimulatedJob(benchmark::State& state) {
+  for (auto _ : state) {
+    experiment::ScenarioConfig cfg;
+    cfg.volatile_nodes = 20;
+    cfg.dedicated_nodes = 2;
+    cfg.app = workload::sleep_of(workload::sort_workload());
+    cfg.app.num_maps = 64;
+    cfg.app.input_size = 64 * kKiB;
+    cfg.sched = experiment::moon_scheduler(true);
+    cfg.dfs = experiment::moon_dfs_config();
+    cfg.intermediate_kind = dfs::FileKind::kReliable;
+    cfg.intermediate_factor = {1, 1};
+    cfg.unavailability_rate = 0.3;
+    cfg.seed = static_cast<std::uint64_t>(state.iterations()) + 1;
+    const auto result = experiment::run_scenario(cfg);
+    benchmark::DoNotOptimize(result.execution_time_s);
+  }
+}
+BENCHMARK(BM_SimulatedJob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

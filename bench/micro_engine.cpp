@@ -1,0 +1,83 @@
+// Microbenchmarks for the real local MapReduce engine.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "engine/mapreduce.hpp"
+
+namespace {
+
+using namespace moon;
+using namespace moon::engine;
+
+Records corpus(int lines) {
+  Rng rng{11};
+  Records input;
+  input.reserve(static_cast<std::size_t>(lines));
+  for (int i = 0; i < lines; ++i) {
+    std::string line;
+    for (int w = 0; w < 8; ++w) {
+      line += "word" + std::to_string(rng.uniform_int(0, 99));
+      line += ' ';
+    }
+    input.push_back({std::to_string(i), std::move(line)});
+  }
+  return input;
+}
+
+MapFn wc_map() {
+  return [](const Record& r, const Emit& emit) {
+    for (const auto& w : tokenize(r.value)) emit({w, "1"});
+  };
+}
+
+ReduceFn wc_reduce() {
+  return [](const std::string& k, const std::vector<std::string>& vs,
+            const Emit& emit) {
+    long total = 0;
+    for (const auto& v : vs) total += std::stol(v);
+    emit({k, std::to_string(total)});
+  };
+}
+
+void BM_WordCount(benchmark::State& state) {
+  const auto input = corpus(static_cast<int>(state.range(0)));
+  const bool with_combiner = state.range(1) != 0;
+  MapReduceJob job(wc_map(), wc_reduce(),
+                   EngineConfig{.num_map_tasks = 8, .num_reduce_tasks = 4});
+  if (with_combiner) job.set_combiner(wc_reduce());
+  for (auto _ : state) {
+    const auto result = job.run(input);
+    benchmark::DoNotOptimize(result.output.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WordCount)
+    ->ArgsProduct({{2000, 20000}, {0, 1}})
+    ->ArgNames({"lines", "combiner"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortJob(benchmark::State& state) {
+  Rng rng{12};
+  Records input;
+  const auto n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    input.push_back({std::to_string(rng.next_u64()), "payload"});
+  }
+  MapReduceJob job(
+      [](const Record& r, const Emit& emit) { emit(r); },
+      [](const std::string& k, const std::vector<std::string>& vs,
+         const Emit& emit) {
+        for (const auto& v : vs) emit({k, v});
+      },
+      EngineConfig{.num_map_tasks = 8, .num_reduce_tasks = 4});
+  for (auto _ : state) {
+    const auto result = job.run(input);
+    benchmark::DoNotOptimize(result.output.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SortJob)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// The §VI-A speculative-scheduling experiment shared by Figures 4 and 5:
+// sleep(sort) and sleep(word count) on 60 volatile + 6 dedicated nodes,
+// intermediate data pinned reliable {1,1} so data management is out of the
+// picture, five scheduler variants, unavailability 0.1/0.3/0.5.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace moon::bench {
+
+struct SchedulingCell {
+  experiment::Summary summary;
+};
+
+using SweepResults =
+    std::map<std::string, std::map<double, experiment::Summary>>;
+
+inline SweepResults run_scheduling_sweep(const workload::WorkloadModel& base) {
+  SweepResults results;
+  const auto sleep_app = workload::sleep_of(base);
+  for (const auto& policy : scheduling_policies()) {
+    for (double rate : rates()) {
+      auto cfg = paper_testbed();
+      cfg.app = sleep_app;
+      cfg.sched = policy.sched;
+      cfg.unavailability_rate = rate;
+      // "We also configure MOON to replicate the intermediate data as
+      // reliable files with one dedicated and one volatile copy, so that
+      // intermediate data are always available to Reduce tasks."
+      cfg.intermediate_kind = dfs::FileKind::kReliable;
+      cfg.intermediate_factor = {1, 1};
+      results[policy.name][rate] =
+          experiment::run_repetitions(cfg, repetitions());
+    }
+  }
+  return results;
+}
+
+inline void print_sweep(const std::string& title, const SweepResults& results,
+                        const std::function<std::string(const experiment::Summary&)>&
+                            cell) {
+  Table table(title);
+  std::vector<std::string> cols{"policy"};
+  for (double rate : rates()) cols.push_back("rate " + Table::num(rate, 1));
+  table.columns(cols);
+  for (const auto& policy : scheduling_policies()) {
+    std::vector<std::string> row{policy.name};
+    for (double rate : rates()) {
+      row.push_back(cell(results.at(policy.name).at(rate)));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace moon::bench

@@ -1,0 +1,40 @@
+// Table I: "Application configurations." Prints the workload models the
+// other benches consume, resolved against the paper's 66-node testbed
+// (2 reduce slots per node, like Hadoop's default).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+int main() {
+  std::cout << "=== Table I: application configurations ===\n\n";
+
+  const int testbed_reduce_slots = 66 * 2;
+
+  Table table("Application configurations (66-node testbed)");
+  table.columns({"Application", "Input Size", "# Maps", "# Reduces",
+                 "map compute (s)", "reduce compute (s)",
+                 "intermediate/map"});
+  for (const auto& model :
+       {workload::sort_workload(), workload::wordcount_workload(),
+        workload::sleep_of(workload::sort_workload()),
+        workload::sleep_of(workload::wordcount_workload())}) {
+    const int reduces = model.reduces_for(testbed_reduce_slots);
+    std::string reduce_cell = Table::num(static_cast<std::int64_t>(reduces));
+    if (model.fixed_reduces == 0) {
+      reduce_cell += " (0.9 x slots)";
+    }
+    table.add_row({model.name,
+                   Table::num(to_gib(model.input_size), 2) + " GB",
+                   Table::num(static_cast<std::int64_t>(model.num_maps)),
+                   reduce_cell,
+                   Table::num(sim::to_seconds(model.map_compute), 0),
+                   Table::num(sim::to_seconds(model.reduce_compute), 0),
+                   Table::num(to_mib(model.intermediate_per_map), 2) + " MB"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper Table I: sort 24 GB / 384 maps / 0.9 x AvailSlots "
+               "reduces; word count 20 GB / 320 maps / 20 reduces.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table II: "Execution profile of different replication policies at 0.5
+// unavailability rate."
+//
+// Rows: avg map time, avg shuffle time, avg reduce time, avg #killed maps,
+// avg #killed reduces — for VO-V1, VO-V3, VO-V5 and HA-V1, on sort and
+// word count, at 0.5 unavailability (MOON-Hybrid scheduling, {1,3}
+// input/output, like Figure 6).
+//
+// Expected shape: sort map time grows steeply with the VO degree (extra
+// volatile copies stream through the writer); VO-V1's shuffle time dwarfs
+// HA-V1's (low intermediate availability forces re-fetches/re-executions);
+// killed maps drop sharply from VO-V1 to higher degrees, HA lowest.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+namespace {
+
+struct ReplicationVariant {
+  std::string name;
+  dfs::ReplicationFactor factor;
+};
+
+std::vector<ReplicationVariant> variants() {
+  return {{"VO-V1", {0, 1}}, {"VO-V3", {0, 3}}, {"VO-V5", {0, 5}},
+          {"HA-V1", {1, 1}}};
+}
+
+void run_app(const workload::WorkloadModel& app, const std::string& title) {
+  std::map<std::string, experiment::Summary> results;
+  for (const auto& variant : variants()) {
+    auto cfg = bench::paper_testbed();
+    cfg.app = app;
+    cfg.sched = experiment::moon_scheduler(/*hybrid=*/true);
+    cfg.unavailability_rate = 0.5;
+    cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
+    cfg.intermediate_factor = variant.factor;
+    results[variant.name] = experiment::run_repetitions(cfg, bench::repetitions());
+  }
+
+  Table table(title);
+  std::vector<std::string> cols{"metric"};
+  for (const auto& variant : variants()) cols.push_back(variant.name);
+  table.columns(cols);
+
+  auto row = [&](const std::string& metric,
+                 const std::function<double(const experiment::Summary&)>& get,
+                 int precision) {
+    std::vector<std::string> cells{metric};
+    for (const auto& variant : variants()) {
+      cells.push_back(Table::num(get(results.at(variant.name)), precision));
+    }
+    table.add_row(cells);
+  };
+
+  row("Avg Map Time (s)",
+      [](const experiment::Summary& s) { return s.avg_map_time_s.mean(); }, 2);
+  row("Avg Shuffle Time (s)",
+      [](const experiment::Summary& s) { return s.avg_shuffle_time_s.mean(); }, 2);
+  row("Avg Reduce Time (s)",
+      [](const experiment::Summary& s) { return s.avg_reduce_time_s.mean(); }, 2);
+  row("Avg #Killed Maps",
+      [](const experiment::Summary& s) { return s.killed_maps.mean(); }, 1);
+  row("Avg #Killed Reduces",
+      [](const experiment::Summary& s) { return s.killed_reduces.mean(); }, 1);
+  row("Avg Execution Time (s)",
+      [](const experiment::Summary& s) { return s.execution_time_s.mean(); }, 0);
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table II: execution profile at 0.5 unavailability ===\n"
+            << "(" << bench::repetitions() << " repetitions per policy)\n\n";
+  run_app(workload::sort_workload(), "Table II (sort)");
+  std::cout << '\n';
+  run_app(workload::wordcount_workload(), "Table II (word count)");
+  return 0;
+}

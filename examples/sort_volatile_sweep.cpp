@@ -1,0 +1,67 @@
+// Sweep a sort-like job across unavailability rates, comparing the three
+// task-scheduling philosophies the paper evaluates: patient Hadoop (10-min
+// expiry), aggressive Hadoop (1-min expiry), and MOON-Hybrid.
+//
+//   ./sort_volatile_sweep [maps] [volatile-nodes]   (default 48 maps, 16 nodes)
+//
+// A compact version of Figure 4(a) that runs in a few seconds.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "experiment/scenario.hpp"
+
+using namespace moon;
+
+int main(int argc, char** argv) {
+  const int maps = argc > 1 ? std::atoi(argv[1]) : 48;
+  const std::size_t nodes = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+
+  std::cout << "sleep(sort)-like job: " << maps << " maps on " << nodes
+            << " volatile + 2 dedicated nodes\n\n";
+
+  auto base = [&] {
+    experiment::ScenarioConfig cfg;
+    cfg.volatile_nodes = nodes;
+    cfg.dedicated_nodes = 2;
+    cfg.app = workload::sleep_of(workload::sort_workload());
+    cfg.app.num_maps = maps;
+    cfg.app.input_size = static_cast<Bytes>(maps) * kKiB;
+    cfg.dfs = experiment::moon_dfs_config();
+    cfg.intermediate_kind = dfs::FileKind::kReliable;
+    cfg.intermediate_factor = {1, 1};
+    cfg.seed = 99;
+    return cfg;
+  };
+
+  struct Policy {
+    const char* name;
+    mapred::SchedulerConfig sched;
+  };
+  const std::vector<Policy> policies = {
+      {"Hadoop (10 min expiry)", experiment::hadoop_scheduler(10 * sim::kMinute)},
+      {"Hadoop (1 min expiry)", experiment::hadoop_scheduler(1 * sim::kMinute)},
+      {"MOON-Hybrid", experiment::moon_scheduler(true)},
+  };
+
+  Table table("Job execution time (s) vs machine unavailability");
+  table.columns({"policy", "rate 0.1", "rate 0.3", "rate 0.5"});
+  for (const auto& policy : policies) {
+    std::vector<std::string> row{policy.name};
+    for (double rate : {0.1, 0.3, 0.5}) {
+      auto cfg = base();
+      cfg.sched = policy.sched;
+      cfg.unavailability_rate = rate;
+      const auto result = experiment::run_scenario(cfg);
+      row.push_back(result.finished
+                        ? Table::num(result.execution_time_s, 0)
+                        : std::string("DNF"));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: MOON-Hybrid degrades most gracefully as the\n"
+               "unavailability rate rises (cf. paper Figure 4).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "cluster/node.hpp"
+
+#include <utility>
+
+namespace moon::cluster {
+
+Node::Node(sim::Simulation& sim, sim::FlowNetwork& net, NodeId id, NodeConfig config)
+    : sim_(sim), net_(net), id_(id), config_(config) {
+  const std::string label = "node" + std::to_string(id.value());
+  nic_in_ = net_.add_resource(config_.nic_in_bw, label + ".nic_in");
+  nic_out_ = net_.add_resource(config_.nic_out_bw, label + ".nic_out");
+  disk_ = net_.add_resource(config_.disk_bw, label + ".disk");
+}
+
+void Node::set_available(bool up) {
+  if (up == available_) return;
+  available_ = up;
+  if (up) {
+    down_total_ += sim_.now() - last_down_at_;
+    net_.set_capacity(nic_in_, config_.nic_in_bw);
+    net_.set_capacity(nic_out_, config_.nic_out_bw);
+    net_.set_capacity(disk_, config_.disk_bw);
+  } else {
+    last_down_at_ = sim_.now();
+    net_.set_capacity(nic_in_, 0.0);
+    net_.set_capacity(nic_out_, 0.0);
+    net_.set_capacity(disk_, 0.0);
+  }
+  for (const auto& listener : listeners_) listener(up);
+}
+
+void Node::subscribe(AvailabilityListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+sim::Duration Node::total_down_time() const {
+  sim::Duration total = down_total_;
+  if (!available_) total += sim_.now() - last_down_at_;
+  return total;
+}
+
+}  // namespace moon::cluster

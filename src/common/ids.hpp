@@ -1,0 +1,85 @@
+// Strongly-typed integer identifiers.
+//
+// Every entity in the simulator (nodes, blocks, files, jobs, tasks, ...) is
+// referred to by an id. Using a distinct C++ type per entity prevents the
+// classic bug of passing a TaskId where a NodeId is expected; ids are
+// trivially copyable, hashable, and ordered so they work as map keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace moon {
+
+/// CRTP-free strong id: `Tag` makes each instantiation a unique type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  /// Sentinel for "no entity".
+  static constexpr Id invalid() { return Id{kInvalid}; }
+
+  constexpr Id() : value_(kInvalid) {}
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+  underlying_type value_;
+};
+
+/// Monotonic id factory; each instance hands out 0, 1, 2, ...
+template <typename IdType>
+class IdAllocator {
+ public:
+  IdType next() { return IdType{next_++}; }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+struct NodeTag {};
+struct FileTag {};
+struct BlockTag {};
+struct JobTag {};
+struct TaskTag {};
+struct AttemptTag {};
+struct FlowTag {};
+struct EventTag {};
+
+using NodeId = Id<NodeTag>;
+using FileId = Id<FileTag>;
+using BlockId = Id<BlockTag>;
+using JobId = Id<JobTag>;
+using TaskId = Id<TaskTag>;
+using AttemptId = Id<AttemptTag>;
+using FlowId = Id<FlowTag>;
+using EventId = Id<EventTag>;
+
+}  // namespace moon
+
+namespace std {
+template <typename Tag>
+struct hash<moon::Id<Tag>> {
+  size_t operator()(moon::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace moon::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kOff};
+std::mutex g_mutex;
+std::function<double()> g_clock;  // guarded by g_mutex
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_clock(std::function<double()> clock) {
+  std::lock_guard lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
+void clear_clock() {
+  std::lock_guard lock(g_mutex);
+  g_clock = nullptr;
+}
+
+void write(Level lvl, const std::string& message) {
+  std::lock_guard lock(g_mutex);
+  if (g_clock) {
+    std::fprintf(stderr, "[%10.3f] %s %s\n", g_clock(), level_name(lvl),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "%s %s\n", level_name(lvl), message.c_str());
+  }
+}
+
+}  // namespace moon::log

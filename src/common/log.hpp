@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is silent by default (benches print tables, not traces);
+// set the level to kDebug to watch the control plane make decisions. The
+// sink is process-global but the clock is injected so log lines can carry
+// simulated time instead of wall time.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace moon::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_level(Level level);
+Level level();
+
+/// Clock hook: returns the current simulated time in seconds for log stamps.
+void set_clock(std::function<double()> clock);
+void clear_clock();
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError) write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace moon::log

@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// Reproducibility is a first-class requirement: a whole experiment must be
+// replayable from a single master seed. `Rng` wraps a SplitMix64-seeded
+// xoshiro256** generator and offers the distributions the simulator needs.
+// Independent subsystems should derive child streams via `fork(tag)` so that
+// adding draws in one subsystem never perturbs another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace moon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent stream; same (parent seed, tag) -> same stream.
+  [[nodiscard]] Rng fork(std::string_view tag) const;
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform real on [0, 1).
+  double uniform();
+
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer on [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Gaussian via Box–Muller (stateless variant: two draws per sample).
+  double normal(double mean, double stddev);
+
+  /// Truncated Gaussian: re-draws (up to a bound) until >= floor, then clamps.
+  double normal_at_least(double mean, double stddev, double floor);
+
+  /// Exponential with the given mean (= 1/lambda). mean must be > 0.
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i)));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t state_[4];
+};
+
+}  // namespace moon

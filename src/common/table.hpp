@@ -1,0 +1,37 @@
+// ASCII table emitter.
+//
+// The bench harnesses print the same rows/series the paper's figures and
+// tables report; this class renders them with aligned columns so the output
+// is directly diff-able between runs.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace moon {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& columns(std::vector<std::string> names);
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moon

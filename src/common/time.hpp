@@ -1,0 +1,35 @@
+// Simulation time.
+//
+// Simulated time is an integer count of microseconds since the start of the
+// run. Integer time keeps event ordering exact and runs reproducible across
+// platforms (no floating-point drift in the event queue).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace moon::sim {
+
+using Time = std::int64_t;      ///< microseconds since simulation start
+using Duration = std::int64_t;  ///< microseconds
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1'000;
+inline constexpr Duration kSecond = 1'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Converts seconds (possibly fractional) to a Duration, truncating to µs.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+constexpr Duration hours(double h) { return minutes(h * 60.0); }
+
+/// Converts a Duration back to fractional seconds (for reporting only).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace moon::sim

@@ -1,0 +1,28 @@
+// Data-size units.
+//
+// All data volumes in the simulator are byte counts; bandwidths are
+// bytes-per-second doubles (rates are continuous quantities in the fluid
+// flow model, so double is the right representation there).
+#pragma once
+
+#include <cstdint>
+
+namespace moon {
+
+using Bytes = std::int64_t;
+using BytesPerSecond = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes mib(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+constexpr double to_mib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr double to_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+/// Bandwidth helper: `mbps(100)` is 100 MiB/s expressed in bytes/second.
+constexpr BytesPerSecond mibps(double n) { return n * static_cast<double>(kMiB); }
+
+}  // namespace moon

@@ -1,0 +1,48 @@
+#include "dfs/datanode.hpp"
+
+namespace moon::dfs {
+
+DataNode::DataNode(sim::Simulation& sim, sim::FlowNetwork& net, cluster::Node& host,
+                   NameNode& namenode)
+    : sim_(sim),
+      net_(net),
+      host_(host),
+      namenode_(namenode),
+      heartbeat_(sim, namenode.config().heartbeat_interval, [this] { beat(); }) {
+  namenode_.register_datanode(host_.id());
+}
+
+void DataNode::start() {
+  heartbeat_.start();
+  last_beat_at_ = sim_.now();
+}
+
+void DataNode::store_block(BlockId block, Bytes size) {
+  if (blocks_.insert(block).second) stored_bytes_ += size;
+  namenode_.commit_replica(block, host_.id());
+}
+
+void DataNode::drop_block(BlockId block, Bytes size) {
+  if (blocks_.erase(block) > 0) stored_bytes_ -= size;
+  namenode_.drop_replica(block, host_.id());
+}
+
+void DataNode::beat() {
+  // A suspended host makes no progress of any kind — including heartbeats.
+  if (!host_.available()) return;
+  // Report bandwidth consumed since the previous (delivered) heartbeat:
+  // bytes through NIC-in + NIC-out + disk over the elapsed interval.
+  const double transferred = net_.transferred_through(host_.nic_in()) +
+                             net_.transferred_through(host_.nic_out()) +
+                             net_.transferred_through(host_.disk());
+  const double elapsed_s = sim::to_seconds(sim_.now() - last_beat_at_);
+  double bandwidth = 0.0;
+  if (elapsed_s > 0.0) {
+    bandwidth = (transferred - last_reported_transferred_) / elapsed_s;
+  }
+  last_reported_transferred_ = transferred;
+  last_beat_at_ = sim_.now();
+  namenode_.heartbeat(host_.id(), bandwidth);
+}
+
+}  // namespace moon::dfs

@@ -1,0 +1,59 @@
+// DataNode: per-node storage daemon.
+//
+// Holds the set of blocks physically on the node and heartbeats the
+// NameNode while its host is available, piggybacking the recently consumed
+// I/O bandwidth (feeding Algorithm 1 on the NameNode side). When the host
+// goes down, heartbeats simply stop — the NameNode notices via its liveness
+// scan, exactly like Hadoop.
+#pragma once
+
+#include <unordered_set>
+
+#include "cluster/node.hpp"
+#include "common/ids.hpp"
+#include "dfs/namenode.hpp"
+#include "simkit/flow_network.hpp"
+#include "simkit/periodic.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::dfs {
+
+class DataNode {
+ public:
+  DataNode(sim::Simulation& sim, sim::FlowNetwork& net, cluster::Node& host,
+           NameNode& namenode);
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  [[nodiscard]] NodeId node_id() const { return host_.id(); }
+  [[nodiscard]] cluster::Node& host() { return host_; }
+
+  [[nodiscard]] bool stores(BlockId block) const { return blocks_.contains(block); }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] Bytes stored_bytes() const { return stored_bytes_; }
+
+  /// Physically lands a replica here (called by write/replication paths on
+  /// transfer completion); informs the NameNode.
+  void store_block(BlockId block, Bytes size);
+
+  void drop_block(BlockId block, Bytes size);
+
+  /// Begins heartbeating (first beat after one interval).
+  void start();
+
+ private:
+  void beat();
+
+  sim::Simulation& sim_;
+  sim::FlowNetwork& net_;
+  cluster::Node& host_;
+  NameNode& namenode_;
+  std::unordered_set<BlockId> blocks_;
+  Bytes stored_bytes_ = 0;
+  double last_reported_transferred_ = 0.0;
+  sim::Time last_beat_at_ = 0;
+  sim::PeriodicTask heartbeat_;
+};
+
+}  // namespace moon::dfs

@@ -1,0 +1,514 @@
+#include "dfs/dfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace moon::dfs {
+
+// ---- operation types -----------------------------------------------------
+
+struct Dfs::Op {
+  explicit Op(Done done) : done_(std::move(done)) {}
+  virtual ~Op() = default;
+  /// Kicks the operation off. Always invoked from a 0-delay event so that an
+  /// operation can never complete (and run its callback) before the OpId has
+  /// been returned to the caller — synchronous completion is a re-entrancy
+  /// trap for callers tracking ops by id.
+  virtual void begin() = 0;
+  /// Called periodically; abandon stalled transfers and retry.
+  virtual void probe() = 0;
+  /// Abort all in-flight flows (operation is being cancelled).
+  virtual void abort() = 0;
+
+  Done done_;
+};
+
+struct Dfs::WriteOp final : Dfs::Op {
+  WriteOp(Dfs& dfs, OpId id, FileId file, NodeId writer, Done done)
+      : Op(std::move(done)), dfs_(dfs), id_(id), file_(file), writer_(writer) {}
+
+  Dfs& dfs_;
+  OpId id_;
+  FileId file_;
+  NodeId writer_;
+  std::vector<BlockId> blocks_;  // pre-allocated; written sequentially
+  std::size_t current_ = 0;
+  struct InFlight {
+    NodeId target;
+    FlowId flow;
+  };
+  std::vector<InFlight> inflight_;
+  int committed_ = 0;  // replicas landed for the current block
+  int retries_ = 0;
+
+  void begin() override { start_block(); }
+
+  void start_block() {
+    if (current_ >= blocks_.size()) {
+      finish(true);
+      return;
+    }
+    committed_ = 0;
+    pick_and_launch();
+  }
+
+  void pick_and_launch() {
+    const BlockId block = blocks_[current_];
+    auto targets = dfs_.namenode_.pick_write_targets(file_, writer_, dfs_.rng_);
+    if (targets.nodes.empty()) {
+      // Nothing live to write to; the stall probe retries us later.
+      return;
+    }
+    const Bytes size = dfs_.namenode_.block(block).size;
+    for (NodeId target : targets.nodes) {
+      launch_replica(block, target, size);
+    }
+  }
+
+  void launch_replica(BlockId block, NodeId target, Bytes size) {
+    auto& net = dfs_.cluster_.network();
+    const auto& writer_node = dfs_.cluster_.node(writer_);
+    std::vector<sim::FlowNetwork::ResourceId> path;
+    if (target == writer_) {
+      path = {writer_node.disk()};
+    } else {
+      // Remote replicas stream from the writer's local spill: the writer's
+      // disk is part of the path (this is what makes map time grow with the
+      // volatile replication degree, cf. Table II).
+      const auto& target_node = dfs_.cluster_.node(target);
+      path = {writer_node.disk(), writer_node.nic_out(), target_node.nic_in(),
+              target_node.disk()};
+    }
+    const FlowId flow = net.start_flow(path, size, [this, block, target](FlowId f) {
+      on_replica_done(f, block, target);
+    });
+    inflight_.push_back(InFlight{target, flow});
+  }
+
+  void on_replica_done(FlowId flow, BlockId block, NodeId target) {
+    std::erase_if(inflight_, [flow](const InFlight& i) { return i.flow == flow; });
+    if (dfs_.namenode_.block_exists(block)) {
+      dfs_.datanode(target).store_block(block, dfs_.namenode_.block(block).size);
+      dfs_.namenode_.stats_mutable().bytes_written +=
+          dfs_.namenode_.block(block).size;
+    }
+    ++committed_;
+    if (inflight_.empty()) {
+      // Block closed. Below-factor blocks go to the replication queue (the
+      // HDFS "pipeline finished short" path).
+      if (dfs_.namenode_.block_exists(block) &&
+          !dfs_.namenode_.block_meets_factor(block)) {
+        dfs_.namenode_.enqueue_replication(block);
+      }
+      ++current_;
+      start_block();
+    }
+  }
+
+  void probe() override {
+    if (!dfs_.cluster_.node(writer_).available()) return;  // writer suspended
+    if (current_ >= blocks_.size()) return;
+    auto& net = dfs_.cluster_.network();
+    // Drop transfers that are stalled on an unavailable target.
+    std::vector<InFlight> stalled;
+    for (const auto& i : inflight_) {
+      if (net.rate(i.flow) == 0.0 && !dfs_.cluster_.node(i.target).available()) {
+        stalled.push_back(i);
+      }
+    }
+    for (const auto& i : stalled) {
+      net.abort_flow(i.flow);
+      std::erase_if(inflight_,
+                    [&i](const InFlight& x) { return x.flow == i.flow; });
+    }
+    if (!inflight_.empty()) return;  // others still moving
+    if (committed_ > 0) {
+      // At least one replica landed; close the block under-replicated.
+      const BlockId block = blocks_[current_];
+      if (!dfs_.namenode_.block_meets_factor(block)) {
+        dfs_.namenode_.enqueue_replication(block);
+      }
+      ++current_;
+      start_block();
+      return;
+    }
+    // Nothing landed yet: re-pick targets entirely.
+    if (++retries_ > dfs_.config().max_write_target_retries) {
+      finish(false);
+      return;
+    }
+    pick_and_launch();
+  }
+
+  void abort() override {
+    auto& net = dfs_.cluster_.network();
+    for (const auto& i : inflight_) net.abort_flow(i.flow);
+    inflight_.clear();
+  }
+
+  void finish(bool ok) { dfs_.finish_op(id_, ok); }
+};
+
+struct Dfs::ReadOp final : Dfs::Op {
+  ReadOp(Dfs& dfs, OpId id, BlockId block, NodeId reader, Bytes bytes, int rounds,
+         Done done)
+      : Op(std::move(done)),
+        dfs_(dfs),
+        id_(id),
+        block_(block),
+        reader_(reader),
+        bytes_(bytes),
+        rounds_left_(rounds) {}
+
+  Dfs& dfs_;
+  OpId id_;
+  BlockId block_;
+  NodeId reader_;
+  Bytes bytes_;  ///< transfer size (<= block size for partition fetches)
+  int rounds_left_;
+  FlowId flow_ = FlowId::invalid();
+  NodeId source_ = NodeId::invalid();
+  std::vector<NodeId> tried_;
+  EventId round_wait_ = EventId::invalid();
+
+  void begin() override { attempt(); }
+
+  void attempt() {
+    if (!dfs_.namenode_.block_exists(block_)) {
+      // The file was deleted while we were reading (e.g. a map's output was
+      // discarded because the map is being re-executed).
+      ++dfs_.namenode_.stats_mutable().read_failures;
+      dfs_.finish_op(id_, false);
+      return;
+    }
+    const auto order = dfs_.namenode_.read_order(block_, reader_);
+    source_ = NodeId::invalid();
+    for (NodeId n : order) {
+      if (std::find(tried_.begin(), tried_.end(), n) == tried_.end()) {
+        source_ = n;
+        break;
+      }
+    }
+    if (!source_.valid()) {
+      // No untried live replica. HDFS-style block reads sweep the replica
+      // set again after a pause (replicas reappear as nodes return); once
+      // the rounds are spent, the read fails (callers decide whether that is
+      // a fetch failure, a task failure, or a retry-later).
+      if (--rounds_left_ > 0) {
+        tried_.clear();
+        round_wait_ = dfs_.sim_.schedule_after(
+            dfs_.config().read_round_wait, [this] {
+              round_wait_ = EventId::invalid();
+              attempt();
+            });
+        return;
+      }
+      ++dfs_.namenode_.stats_mutable().read_failures;
+      dfs_.finish_op(id_, false);
+      return;
+    }
+    auto& net = dfs_.cluster_.network();
+    const auto& reader_node = dfs_.cluster_.node(reader_);
+    std::vector<sim::FlowNetwork::ResourceId> path;
+    if (source_ == reader_) {
+      path = {reader_node.disk()};
+    } else {
+      const auto& src_node = dfs_.cluster_.node(source_);
+      path = {src_node.disk(), src_node.nic_out(), reader_node.nic_in()};
+    }
+    flow_ = net.start_flow(path, bytes_, [this](FlowId) {
+      dfs_.namenode_.stats_mutable().bytes_read += bytes_;
+      flow_ = FlowId::invalid();
+      dfs_.finish_op(id_, true);
+    });
+  }
+
+  void probe() override {
+    if (!flow_.valid()) return;
+    if (!dfs_.cluster_.node(reader_).available()) return;  // reader suspended
+    auto& net = dfs_.cluster_.network();
+    if (net.rate(flow_) > 0.0) return;
+    // Stalled: abandon this replica and try the next one.
+    net.abort_flow(flow_);
+    flow_ = FlowId::invalid();
+    tried_.push_back(source_);
+    attempt();
+  }
+
+  void abort() override {
+    if (flow_.valid()) {
+      dfs_.cluster_.network().abort_flow(flow_);
+      flow_ = FlowId::invalid();
+    }
+    if (round_wait_.valid()) {
+      dfs_.sim_.cancel(round_wait_);
+      round_wait_ = EventId::invalid();
+    }
+  }
+};
+
+/// Background re-replication stream.
+struct Dfs::Repair {
+  BlockId block;
+  NodeId source;
+  NodeId target;
+  Bytes size;
+};
+
+// ---- Dfs ------------------------------------------------------------------
+
+Dfs::Dfs(sim::Simulation& sim, cluster::Cluster& cluster, DfsConfig config,
+         std::uint64_t seed)
+    : sim_(sim),
+      cluster_(cluster),
+      rng_(Rng{seed}.fork("dfs")),
+      namenode_(sim, cluster, config),
+      probe_task_(sim, config.client_probe_interval, [this] { probe_ops(); }),
+      replication_task_(sim, config.replication_scan_interval,
+                        [this] { replication_scan(); }) {
+  for (NodeId id : cluster_.all_nodes()) {
+    datanodes_.push_back(
+        std::make_unique<DataNode>(sim, cluster_.network(), cluster_.node(id),
+                                   namenode_));
+  }
+}
+
+Dfs::~Dfs() {
+  for (auto& [id, op] : ops_) op->abort();
+}
+
+void Dfs::start() {
+  if (started_) return;
+  started_ = true;
+  namenode_.start();
+  for (auto& dn : datanodes_) dn->start();
+  probe_task_.start();
+  replication_task_.start();
+}
+
+DataNode& Dfs::datanode(NodeId node) {
+  if (!node.valid() || node.value() >= datanodes_.size()) {
+    throw std::out_of_range("Dfs: unknown datanode");
+  }
+  return *datanodes_[node.value()];
+}
+
+FileId Dfs::stage_file(const std::string& name, FileKind kind,
+                       ReplicationFactor factor, Bytes size) {
+  const Bytes block_size = config().block_size;
+  const int full = static_cast<int>(size / block_size);
+  const Bytes tail = size % block_size;
+  const FileId file = stage_blocks(name, kind, factor, full, block_size);
+  if (tail > 0) {
+    // Append the partial trailing block with the same placement rules.
+    const BlockId block = namenode_.add_block(file, tail);
+    const auto dedicated = cluster_.dedicated_nodes();
+    const auto volatiles = cluster_.volatile_nodes();
+    const auto& meta = namenode_.file(file);
+    const int want_d =
+        std::min<int>(meta.factor.dedicated, static_cast<int>(dedicated.size()));
+    for (int i = 0; i < want_d; ++i) {
+      datanode(dedicated[static_cast<std::size_t>(i)]).store_block(block, tail);
+    }
+    const int want_v = std::min<int>(meta.factor.volatile_count,
+                                     static_cast<int>(volatiles.size()));
+    if (want_v > 0) {
+      auto picks = rng_.sample_without_replacement(volatiles.size(),
+                                                   static_cast<std::size_t>(want_v));
+      for (std::size_t idx : picks) {
+        datanode(volatiles[idx]).store_block(block, tail);
+      }
+    }
+    namenode_.try_complete_file(file);
+  }
+  return file;
+}
+
+FileId Dfs::stage_blocks(const std::string& name, FileKind kind,
+                         ReplicationFactor factor, int count, Bytes block_bytes) {
+  const FileId file = namenode_.create_file(name, kind, factor);
+  const auto dedicated = cluster_.dedicated_nodes();
+  const auto volatiles = cluster_.volatile_nodes();
+
+  std::size_t dedicated_rr = 0;
+  for (int b = 0; b < count; ++b) {
+    const BlockId block = namenode_.add_block(file, block_bytes);
+    const int want_d = std::min<int>(namenode_.file(file).factor.dedicated,
+                                     static_cast<int>(dedicated.size()));
+    for (int i = 0; i < want_d; ++i) {
+      const NodeId target = dedicated[dedicated_rr++ % dedicated.size()];
+      datanode(target).store_block(block, block_bytes);
+    }
+    const int want_v = std::min<int>(namenode_.file(file).factor.volatile_count,
+                                     static_cast<int>(volatiles.size()));
+    if (want_v > 0) {
+      auto picks = rng_.sample_without_replacement(volatiles.size(),
+                                                   static_cast<std::size_t>(want_v));
+      for (std::size_t idx : picks) {
+        datanode(volatiles[idx]).store_block(block, block_bytes);
+      }
+    }
+  }
+  namenode_.try_complete_file(file);
+  return file;
+}
+
+OpId Dfs::write_file(FileId file, NodeId writer, Bytes size, Done done) {
+  const OpId id = next_op_++;
+  auto op = std::make_unique<WriteOp>(*this, id, file, writer, std::move(done));
+  // Allocate all blocks up-front so metadata (sizes) exists even while data
+  // is in flight.
+  Bytes remaining = std::max<Bytes>(size, 1);
+  const Bytes block_size = config().block_size;
+  while (remaining > 0) {
+    const Bytes this_block = std::min(remaining, block_size);
+    remaining -= this_block;
+    op->blocks_.push_back(namenode_.add_block(file, this_block));
+  }
+  ops_.emplace(id, std::move(op));
+  begin_op(id);
+  return id;
+}
+
+OpId Dfs::read_block(BlockId block, NodeId reader, Done done) {
+  const OpId id = next_op_++;
+  auto op = std::make_unique<ReadOp>(*this, id, block, reader,
+                                     namenode_.block(block).size,
+                                     config().max_read_rounds, std::move(done));
+  ops_.emplace(id, std::move(op));
+  begin_op(id);
+  return id;
+}
+
+OpId Dfs::read_partial(BlockId block, NodeId reader, Bytes bytes, Done done) {
+  const OpId id = next_op_++;
+  auto op = std::make_unique<ReadOp>(*this, id, block, reader, bytes,
+                                     /*rounds=*/1, std::move(done));
+  ops_.emplace(id, std::move(op));
+  begin_op(id);
+  return id;
+}
+
+void Dfs::begin_op(OpId id) {
+  sim_.schedule_after(0, [this, id] {
+    auto it = ops_.find(id);
+    if (it != ops_.end()) it->second->begin();
+  });
+}
+
+void Dfs::cancel_op(OpId op) {
+  auto it = ops_.find(op);
+  if (it == ops_.end()) return;
+  it->second->abort();
+  ops_.erase(it);
+}
+
+void Dfs::finish_op(OpId id, bool ok) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return;
+  // Extract before invoking: the callback may start new ops or cancel
+  // others, and must not observe this op as active.
+  std::unique_ptr<Op> op = std::move(it->second);
+  ops_.erase(it);
+  if (op->done_) op->done_(ok);
+}
+
+void Dfs::debug_dump(std::ostream& os) const {
+  auto& net = cluster_.network();
+  os << "dfs: " << ops_.size() << " ops, " << repairs_.size() << " repairs, "
+     << namenode_.replication_queue_depth() << " queued\n";
+  for (const auto& [id, op] : ops_) {
+    if (const auto* r = dynamic_cast<const ReadOp*>(op.get())) {
+      os << "  read op" << id << " block=" << r->block_ << " reader=" << r->reader_
+         << (cluster_.node(r->reader_).available() ? "(up)" : "(down)")
+         << " src=" << r->source_;
+      if (r->source_.valid()) {
+        os << (cluster_.node(r->source_).available() ? "(up)" : "(down)");
+      }
+      os << " tried=" << r->tried_.size();
+      if (r->flow_.valid()) {
+        os << " rate=" << net.rate(r->flow_) << " left=" << net.remaining(r->flow_);
+      } else {
+        os << " NOFLOW";
+      }
+      os << '\n';
+    } else if (const auto* w = dynamic_cast<const WriteOp*>(op.get())) {
+      os << "  write op" << id << " file=" << w->file_ << " writer=" << w->writer_
+         << (cluster_.node(w->writer_).available() ? "(up)" : "(down)")
+         << " block " << w->current_ << "/" << w->blocks_.size() << " inflight="
+         << w->inflight_.size() << " committed=" << w->committed_
+         << " retries=" << w->retries_ << '\n';
+    }
+  }
+}
+
+void Dfs::probe_ops() {
+  // Ops may complete (and erase themselves) during probing; walk a snapshot.
+  std::vector<OpId> ids;
+  ids.reserve(ops_.size());
+  for (const auto& [id, op] : ops_) ids.push_back(id);
+  for (OpId id : ids) {
+    auto it = ops_.find(id);
+    if (it != ops_.end()) it->second->probe();
+  }
+}
+
+void Dfs::replication_scan() {
+  auto& net = cluster_.network();
+  // 1. Recycle stalled repair streams.
+  std::vector<FlowId> stalled;
+  for (const auto& [flow, repair] : repairs_) {
+    if (net.rate(flow) == 0.0) stalled.push_back(flow);
+  }
+  for (FlowId flow : stalled) {
+    const Repair repair = repairs_.at(flow);
+    net.abort_flow(flow);
+    repairs_.erase(flow);
+    namenode_.enqueue_replication(repair.block);
+  }
+  // 2. Launch new streams up to the cap.
+  start_repair_streams();
+}
+
+void Dfs::start_repair_streams() {
+  auto& net = cluster_.network();
+  std::vector<BlockId> deferred;
+  while (repairs_.size() <
+         static_cast<std::size_t>(config().max_replication_streams)) {
+    auto req = namenode_.next_replication_request();
+    if (!req) break;
+    auto plan = namenode_.plan_repair(req->block, rng_);
+    if (!plan) {
+      deferred.push_back(req->block);
+      continue;
+    }
+    const Bytes size = namenode_.block(req->block).size;
+    const auto& src = cluster_.node(plan->source);
+    const auto& dst = cluster_.node(plan->target);
+    const BlockId block = req->block;
+    const NodeId target = plan->target;
+    const FlowId flow = net.start_flow(
+        {src.disk(), src.nic_out(), dst.nic_in(), dst.disk()}, size,
+        [this, block, target, size](FlowId f) {
+          repairs_.erase(f);
+          // The file may have been deleted while the copy was in flight
+          // (e.g. a map output discarded for re-execution): drop the bytes.
+          if (namenode_.block_exists(block)) {
+            datanode(target).store_block(block, size);
+            namenode_.stats_mutable().replication_bytes += size;
+            if (!namenode_.block_meets_factor(block)) {
+              namenode_.enqueue_replication(block);
+            }
+          }
+          // A slot freed up; try to keep the pipeline full.
+          start_repair_streams();
+        });
+    repairs_.emplace(flow, Repair{block, plan->source, plan->target, size});
+  }
+  for (BlockId b : deferred) namenode_.enqueue_replication(b);
+}
+
+}  // namespace moon::dfs

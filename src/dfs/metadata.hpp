@@ -1,0 +1,48 @@
+// File and block metadata held by the NameNode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "dfs/types.hpp"
+
+namespace moon::dfs {
+
+struct BlockMeta {
+  BlockId id;
+  FileId file;
+  Bytes size = 0;
+  /// Nodes that hold a replica (regardless of their current liveness; the
+  /// NameNode filters by DataNode state when serving reads or counting
+  /// effective replication).
+  std::vector<NodeId> replicas;
+
+  [[nodiscard]] bool has_replica_on(NodeId node) const;
+};
+
+struct FileMeta {
+  FileId id;
+  std::string name;
+  FileKind kind = FileKind::kOpportunistic;
+  ReplicationFactor factor;
+  std::vector<BlockId> blocks;
+  Bytes size = 0;
+
+  /// For opportunistic files whose dedicated replica was declined: the
+  /// adaptively raised volatile requirement v' (>= factor.volatile_count).
+  /// 0 means "not raised".
+  int adaptive_volatile = 0;
+
+  /// Set once every block has reached its replication factor and the file
+  /// has been closed (output files flip to reliable at this point).
+  bool complete = false;
+
+  [[nodiscard]] int required_volatile() const {
+    return adaptive_volatile > factor.volatile_count ? adaptive_volatile
+                                                     : factor.volatile_count;
+  }
+};
+
+}  // namespace moon::dfs

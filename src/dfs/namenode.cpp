@@ -1,0 +1,609 @@
+#include "dfs/namenode.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace moon::dfs {
+
+bool BlockMeta::has_replica_on(NodeId node) const {
+  return std::find(replicas.begin(), replicas.end(), node) != replicas.end();
+}
+
+NameNode::NameNode(sim::Simulation& sim, cluster::Cluster& cluster, DfsConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      liveness_task_(sim, config.liveness_scan_interval, [this] { liveness_scan(); }),
+      estimate_task_(sim, config.estimate_interval, [this] { estimate_scan(); }) {}
+
+void NameNode::start() {
+  if (started_) return;
+  started_ = true;
+  liveness_task_.start();
+  estimate_task_.start();
+}
+
+void NameNode::register_datanode(NodeId node) {
+  DataNodeInfo info{DataNodeState::kLive, sim_.now(),
+                    ThrottleState{config_.throttle_window, config_.throttle_threshold},
+                    cluster_.node(node).dedicated()};
+  datanodes_.insert_or_assign(node, std::move(info));
+  node_blocks_.try_emplace(node);
+}
+
+void NameNode::heartbeat(NodeId node, double reported_bandwidth) {
+  auto it = datanodes_.find(node);
+  if (it == datanodes_.end()) throw std::logic_error("NameNode: unregistered datanode");
+  it->second.last_heartbeat = sim_.now();
+  if (it->second.dedicated && config_.throttling_enabled) {
+    it->second.throttle.update(reported_bandwidth);
+  }
+  if (it->second.state != DataNodeState::kLive) {
+    set_state(node, DataNodeState::kLive);
+  }
+}
+
+DataNodeState NameNode::state_of(NodeId node) const {
+  auto it = datanodes_.find(node);
+  if (it == datanodes_.end()) throw std::logic_error("NameNode: unregistered datanode");
+  return it->second.state;
+}
+
+bool NameNode::is_saturated(NodeId dedicated_node) const {
+  auto it = datanodes_.find(dedicated_node);
+  if (it == datanodes_.end() || !it->second.dedicated) return false;
+  if (!config_.throttling_enabled) return false;
+  return it->second.throttle.throttled();
+}
+
+bool NameNode::all_dedicated_saturated() const {
+  for (const auto& [id, info] : datanodes_) {
+    if (!info.dedicated || info.state != DataNodeState::kLive) continue;
+    if (!config_.throttling_enabled || !info.throttle.throttled()) return false;
+  }
+  // Either every live dedicated node is throttled, or none is live at all;
+  // both mean "cannot take dedicated writes right now".
+  return true;
+}
+
+void NameNode::liveness_scan() {
+  const sim::Time now = sim_.now();
+  for (auto& [id, info] : datanodes_) {
+    const sim::Duration gap = now - info.last_heartbeat;
+    if (info.state == DataNodeState::kDead) continue;
+    if (gap > config_.expiry_interval) {
+      set_state(id, DataNodeState::kDead);
+    } else if (config_.hibernate_enabled && info.state == DataNodeState::kLive &&
+               gap > config_.hibernate_interval) {
+      set_state(id, DataNodeState::kHibernated);
+    }
+  }
+}
+
+void NameNode::estimate_scan() {
+  std::size_t volatile_total = 0;
+  std::size_t volatile_down = 0;
+  for (const auto& [id, info] : datanodes_) {
+    if (info.dedicated) continue;
+    ++volatile_total;
+    if (info.state != DataNodeState::kLive) ++volatile_down;
+  }
+  if (volatile_total == 0) return;
+  const double sample =
+      static_cast<double>(volatile_down) / static_cast<double>(volatile_total);
+  // Exponentially weighted estimate over interval I: responsive to shifts
+  // but stable against single-scan noise.
+  constexpr double kAlpha = 0.5;
+  estimate_p_ = estimate_samples_ == 0 ? sample
+                                       : kAlpha * sample + (1.0 - kAlpha) * estimate_p_;
+  ++estimate_samples_;
+  if (config_.adaptive_replication) refresh_adaptive_requirements();
+}
+
+void NameNode::set_state(NodeId node, DataNodeState next) {
+  auto& info = datanodes_.at(node);
+  const DataNodeState prev = info.state;
+  if (prev == next) return;
+  info.state = next;
+  if (next == DataNodeState::kDead) {
+    ++stats_.dead_transitions;
+    on_node_dead(node);
+  } else if (next == DataNodeState::kHibernated) {
+    ++stats_.hibernate_transitions;
+    on_node_hibernated(node);
+  }
+  for (const auto& listener : state_listeners_) listener(node, prev, next);
+}
+
+void NameNode::on_node_dead(NodeId node) {
+  // Every block on the node loses a replica for accounting purposes; the
+  // replica list keeps the entry (the node may return with data intact), but
+  // factor checks ignore dead holders, so under-replicated blocks re-queue.
+  for (BlockId b : node_blocks_[node]) {
+    if (!block_meets_factor(b)) enqueue_replication(b);
+  }
+}
+
+void NameNode::on_node_hibernated(NodeId node) {
+  // §IV-C: "only opportunistic files without dedicated replicas will be
+  // re-replicated" when a node hibernates.
+  for (BlockId b : node_blocks_[node]) {
+    const auto& meta = blocks_.at(b);
+    const auto& fm = files_.at(meta.file);
+    if (fm.kind != FileKind::kOpportunistic) continue;
+    if (live_replicas(b).dedicated > 0) continue;
+    if (!block_meets_factor(b)) enqueue_replication(b);
+  }
+}
+
+// ---- namespace ----------------------------------------------------------
+
+FileId NameNode::create_file(std::string name, FileKind kind,
+                             ReplicationFactor factor) {
+  if (kind == FileKind::kReliable && factor.dedicated < 1) {
+    // "One or more dedicated copies are always maintained for reliable
+    // files"; normalise rather than reject so Hadoop-mode configs (d=0)
+    // can still mark files reliable semantically.
+    if (config_.adaptive_replication) factor.dedicated = 1;
+  }
+  const FileId id = file_ids_.next();
+  FileMeta meta;
+  meta.id = id;
+  meta.name = std::move(name);
+  meta.kind = kind;
+  meta.factor = factor;
+  files_.emplace(id, std::move(meta));
+  return id;
+}
+
+const FileMeta& NameNode::file(FileId id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) throw std::out_of_range("NameNode: unknown file");
+  return it->second;
+}
+
+FileMeta& NameNode::file_mutable(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) throw std::out_of_range("NameNode: unknown file");
+  return it->second;
+}
+
+bool NameNode::file_exists(FileId id) const { return files_.contains(id); }
+
+void NameNode::convert_to_reliable(FileId id) {
+  auto& meta = file_mutable(id);
+  meta.kind = FileKind::kReliable;
+  meta.adaptive_volatile = 0;
+  // Reliable files carry a dedicated copy — but only when the deployment
+  // actually manages a dedicated tier (plain Hadoop mode has none, and an
+  // unsatisfiable requirement would wedge job commit forever).
+  if (config_.adaptive_replication && meta.factor.dedicated < 1) {
+    meta.factor.dedicated = 1;
+  }
+  for (BlockId b : meta.blocks) {
+    if (!block_meets_factor(b)) enqueue_replication(b);
+  }
+}
+
+bool NameNode::try_complete_file(FileId id) {
+  auto& meta = file_mutable(id);
+  if (meta.complete) return true;
+  if (!file_meets_factor(id)) return false;
+  meta.complete = true;
+  return true;
+}
+
+void NameNode::remove_file(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) return;
+  for (BlockId b : it->second.blocks) {
+    auto bit = blocks_.find(b);
+    if (bit != blocks_.end()) {
+      for (NodeId n : bit->second.replicas) {
+        auto nb = node_blocks_.find(n);
+        if (nb != node_blocks_.end()) nb->second.erase(b);
+      }
+      blocks_.erase(bit);
+    }
+    queued_.erase(b);
+  }
+  files_.erase(it);
+}
+
+// ---- blocks ---------------------------------------------------------------
+
+BlockId NameNode::add_block(FileId file_id, Bytes size) {
+  auto& meta = file_mutable(file_id);
+  const BlockId id = block_ids_.next();
+  BlockMeta bm;
+  bm.id = id;
+  bm.file = file_id;
+  bm.size = size;
+  blocks_.emplace(id, std::move(bm));
+  meta.blocks.push_back(id);
+  meta.size += size;
+  return id;
+}
+
+const BlockMeta& NameNode::block(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) throw std::out_of_range("NameNode: unknown block");
+  return it->second;
+}
+
+bool NameNode::block_exists(BlockId id) const { return blocks_.contains(id); }
+
+NameNode::WriteTargets NameNode::pick_write_targets(FileId file_id, NodeId writer,
+                                                    Rng& rng) {
+  const auto& meta = file(file_id);
+  WriteTargets out;
+
+  // Gather live candidates.
+  std::vector<NodeId> live_dedicated;
+  std::vector<NodeId> live_volatile;
+  for (const auto& [id, info] : datanodes_) {
+    if (info.state != DataNodeState::kLive) continue;
+    (info.dedicated ? live_dedicated : live_volatile).push_back(id);
+  }
+  std::sort(live_dedicated.begin(), live_dedicated.end());
+  std::sort(live_volatile.begin(), live_volatile.end());
+
+  // --- dedicated replicas (Figure 3) ---
+  int want_dedicated = meta.factor.dedicated;
+  if (want_dedicated > 0) {
+    const bool saturated = all_dedicated_saturated();
+    if (meta.kind == FileKind::kOpportunistic && saturated) {
+      // "a write request from an opportunistic file will be declined if all
+      // dedicated DataNodes are close to saturation".
+      out.dedicated_declined = true;
+      ++stats_.dedicated_writes_declined;
+      want_dedicated = 0;
+    }
+  }
+  if (want_dedicated > 0 && !live_dedicated.empty()) {
+    // Prefer unsaturated dedicated nodes; reliable writes fall back to
+    // saturated ones ("always be satisfied on dedicated DataNodes").
+    std::vector<NodeId> preferred;
+    for (NodeId n : live_dedicated) {
+      if (!is_saturated(n)) preferred.push_back(n);
+    }
+    if (preferred.empty() && meta.kind == FileKind::kReliable) {
+      preferred = live_dedicated;
+    }
+    rng.shuffle(preferred);
+    for (NodeId n : preferred) {
+      if (want_dedicated == 0) break;
+      out.nodes.push_back(n);
+      --want_dedicated;
+    }
+  }
+
+  // --- volatile replicas ---
+  int want_volatile = meta.factor.volatile_count;
+  if (out.dedicated_declined && config_.adaptive_replication) {
+    // v -> v' so availability still meets the goal without a dedicated copy.
+    const int v_prime = adaptive_volatile_requirement();
+    if (v_prime > want_volatile) {
+      want_volatile = v_prime;
+      ++stats_.adaptive_v_raises;
+    }
+    file_mutable(file_id).adaptive_volatile = want_volatile;
+  }
+  out.effective_volatile = want_volatile;
+
+  // Hadoop-style: first volatile replica lands on the writer if possible.
+  std::vector<NodeId> chosen_volatile;
+  const bool writer_is_volatile =
+      std::find(live_volatile.begin(), live_volatile.end(), writer) !=
+      live_volatile.end();
+  if (want_volatile > 0 && writer_is_volatile) {
+    chosen_volatile.push_back(writer);
+    --want_volatile;
+  }
+  if (want_volatile > 0) {
+    std::vector<NodeId> remote;
+    for (NodeId n : live_volatile) {
+      if (n != writer) remote.push_back(n);
+    }
+    rng.shuffle(remote);
+    for (NodeId n : remote) {
+      if (want_volatile == 0) break;
+      chosen_volatile.push_back(n);
+      --want_volatile;
+    }
+  }
+  out.nodes.insert(out.nodes.end(), chosen_volatile.begin(), chosen_volatile.end());
+  return out;
+}
+
+void NameNode::commit_replica(BlockId block_id, NodeId node) {
+  auto& meta = blocks_.at(block_id);
+  if (!meta.has_replica_on(node)) {
+    meta.replicas.push_back(node);
+    node_blocks_[node].insert(block_id);
+  }
+}
+
+void NameNode::drop_replica(BlockId block_id, NodeId node) {
+  auto it = blocks_.find(block_id);
+  if (it == blocks_.end()) return;
+  auto& reps = it->second.replicas;
+  reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
+  auto nb = node_blocks_.find(node);
+  if (nb != node_blocks_.end()) nb->second.erase(block_id);
+}
+
+std::vector<NodeId> NameNode::read_order(BlockId block_id, NodeId reader) const {
+  const auto& meta = block(block_id);
+  std::vector<NodeId> local, volatiles, dedicated;
+  for (NodeId n : meta.replicas) {
+    auto it = datanodes_.find(n);
+    if (it == datanodes_.end() || it->second.state != DataNodeState::kLive) continue;
+    if (n == reader) {
+      local.push_back(n);
+    } else if (it->second.dedicated) {
+      dedicated.push_back(n);
+    } else {
+      volatiles.push_back(n);
+    }
+  }
+  std::sort(volatiles.begin(), volatiles.end());
+  std::sort(dedicated.begin(), dedicated.end());
+  std::vector<NodeId> order = std::move(local);
+  const bool reader_is_volatile = !cluster_.node(reader).dedicated();
+  if (config_.prefer_volatile_reads && reader_is_volatile) {
+    // §IV-B: "read requests from clients on volatile DataNodes will always
+    // try to fetch data from volatile replicas first".
+    order.insert(order.end(), volatiles.begin(), volatiles.end());
+    order.insert(order.end(), dedicated.begin(), dedicated.end());
+  } else {
+    order.insert(order.end(), dedicated.begin(), dedicated.end());
+    order.insert(order.end(), volatiles.begin(), volatiles.end());
+  }
+  return order;
+}
+
+bool NameNode::block_readable(BlockId block_id) const {
+  const auto& meta = block(block_id);
+  for (NodeId n : meta.replicas) {
+    auto it = datanodes_.find(n);
+    if (it != datanodes_.end() && it->second.state == DataNodeState::kLive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NameNode::LiveReplicas NameNode::live_replicas(BlockId block_id) const {
+  const auto& meta = block(block_id);
+  LiveReplicas out;
+  for (NodeId n : meta.replicas) {
+    auto it = datanodes_.find(n);
+    if (it == datanodes_.end()) continue;
+    switch (it->second.state) {
+      case DataNodeState::kLive:
+        ++(it->second.dedicated ? out.dedicated : out.volatile_count);
+        break;
+      case DataNodeState::kHibernated:
+        ++out.hibernated;
+        break;
+      case DataNodeState::kDead:
+        break;
+    }
+  }
+  return out;
+}
+
+bool NameNode::block_meets_factor(BlockId block_id) const {
+  const auto& meta = block(block_id);
+  const auto& fm = files_.at(meta.file);
+  const LiveReplicas live = live_replicas(block_id);
+
+  const int need_dedicated = fm.factor.dedicated;
+  int need_volatile = fm.required_volatile();
+
+  if (live.dedicated < need_dedicated) {
+    // Opportunistic files tolerate a missing dedicated copy as long as the
+    // (possibly adaptively raised) volatile requirement is met.
+    if (fm.kind == FileKind::kReliable) return false;
+    return live.volatile_count >= need_volatile;
+  }
+  // Dedicated requirement met: hibernated replicas retain their value
+  // ("a data block with dedicated replicas already has the necessary
+  // availability to tolerate transient unavailability of volatile nodes").
+  const int effective_volatile =
+      live.volatile_count + (live.dedicated > 0 ? live.hibernated : 0);
+  return effective_volatile >= fm.factor.volatile_count;
+}
+
+bool NameNode::file_meets_factor(FileId file_id) const {
+  const auto& meta = file(file_id);
+  if (meta.blocks.empty()) return false;
+  for (BlockId b : meta.blocks) {
+    if (!block_meets_factor(b)) return false;
+  }
+  return true;
+}
+
+// ---- replication queue ------------------------------------------------
+
+void NameNode::enqueue_replication(BlockId block_id) {
+  if (queued_.contains(block_id)) return;
+  if (!blocks_.contains(block_id)) return;
+  queued_.insert(block_id);
+  replication_queue_.push_back(block_id);
+  ++stats_.re_replications;
+}
+
+std::optional<NameNode::ReplicationRequest> NameNode::next_replication_request() {
+  // Reliable files first: scan for a reliable entry before falling back.
+  auto take = [this](bool reliable_only) -> std::optional<ReplicationRequest> {
+    for (std::size_t i = 0; i < replication_queue_.size();) {
+      const BlockId id = replication_queue_[i];
+      auto bit = blocks_.find(id);
+      if (bit == blocks_.end()) {  // file removed meanwhile
+        queued_.erase(id);
+        replication_queue_.erase(replication_queue_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      const bool reliable = files_.at(bit->second.file).kind == FileKind::kReliable;
+      if (reliable_only && !reliable) {
+        ++i;
+        continue;
+      }
+      replication_queue_.erase(replication_queue_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      queued_.erase(id);
+      if (block_meets_factor(id)) continue;  // repaired in the meantime
+      return ReplicationRequest{id, reliable};
+    }
+    return std::nullopt;
+  };
+  if (auto req = take(true)) return req;
+  return take(false);
+}
+
+std::size_t NameNode::replication_queue_depth() const {
+  return replication_queue_.size();
+}
+
+std::optional<NameNode::RepairPlan> NameNode::plan_repair(BlockId block_id,
+                                                          Rng& rng) {
+  auto bit = blocks_.find(block_id);
+  if (bit == blocks_.end()) return std::nullopt;
+  const auto& meta = bit->second;
+  const auto& fm = files_.at(meta.file);
+
+  // Source: any live replica holder.
+  std::vector<NodeId> sources;
+  for (NodeId n : meta.replicas) {
+    auto it = datanodes_.find(n);
+    if (it != datanodes_.end() && it->second.state == DataNodeState::kLive) {
+      sources.push_back(n);
+    }
+  }
+  if (sources.empty()) return std::nullopt;  // unrecoverable right now
+  std::sort(sources.begin(), sources.end());
+
+  const LiveReplicas live = live_replicas(block_id);
+  const bool need_dedicated = live.dedicated < fm.factor.dedicated;
+
+  std::vector<NodeId> candidates;
+  for (const auto& [id, info] : datanodes_) {
+    if (info.state != DataNodeState::kLive) continue;
+    if (meta.has_replica_on(id)) continue;
+    if (need_dedicated) {
+      if (!info.dedicated) continue;
+      // Opportunistic repairs respect saturation; reliable ones do not.
+      if (fm.kind == FileKind::kOpportunistic && is_saturated(id)) continue;
+    } else {
+      if (info.dedicated) continue;
+    }
+    candidates.push_back(id);
+  }
+  if (candidates.empty()) {
+    if (!need_dedicated) return std::nullopt;
+    // Cannot place the dedicated copy now (all saturated/down): for
+    // opportunistic files fall back to adding a volatile copy if the
+    // adaptive requirement is unmet.
+    if (fm.kind == FileKind::kReliable) return std::nullopt;
+    for (const auto& [id, info] : datanodes_) {
+      if (info.state != DataNodeState::kLive || info.dedicated) continue;
+      if (meta.has_replica_on(id)) continue;
+      candidates.push_back(id);
+    }
+    if (candidates.empty()) return std::nullopt;
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  RepairPlan plan;
+  plan.source = sources[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(sources.size()) - 1))];
+  plan.target = candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  return plan;
+}
+
+// ---- adaptive replication ----------------------------------------------
+
+int NameNode::adaptive_volatile_requirement() const {
+  // Smallest v with 1 - p^v >= goal. p = 0 -> one copy suffices.
+  const double p = std::clamp(estimate_p_, 0.0, 0.999);
+  const double goal = config_.availability_goal;
+  if (p <= 0.0) return 1;
+  int v = 1;
+  double miss = p;  // p^v
+  while (1.0 - miss < goal && v < 32) {
+    ++v;
+    miss *= p;
+  }
+  return v;
+}
+
+void NameNode::refresh_adaptive_requirements() {
+  const int v_prime = adaptive_volatile_requirement();
+  for (auto& [id, meta] : files_) {
+    if (meta.kind != FileKind::kOpportunistic) continue;
+    if (meta.adaptive_volatile == 0) continue;  // never declined; leave alone
+    if (meta.factor.dedicated > 0) {
+      // Still waiting on a dedicated copy? If one arrived, the raised
+      // requirement lapses.
+      bool has_dedicated = true;
+      for (BlockId b : meta.blocks) {
+        if (live_replicas(b).dedicated == 0) {
+          has_dedicated = false;
+          break;
+        }
+      }
+      if (has_dedicated && !meta.blocks.empty()) {
+        meta.adaptive_volatile = 0;
+        continue;
+      }
+    }
+    if (v_prime > meta.factor.volatile_count) {
+      if (v_prime > meta.adaptive_volatile) ++stats_.adaptive_v_raises;
+      meta.adaptive_volatile = v_prime;
+      for (BlockId b : meta.blocks) {
+        if (!block_meets_factor(b)) enqueue_replication(b);
+      }
+    } else {
+      meta.adaptive_volatile = 0;
+    }
+  }
+}
+
+void NameNode::subscribe_state_changes(StateListener listener) {
+  state_listeners_.push_back(std::move(listener));
+}
+
+std::vector<NodeId> NameNode::datanodes() const {
+  std::vector<NodeId> out;
+  out.reserve(datanodes_.size());
+  for (const auto& [id, info] : datanodes_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const char* to_string(FileKind kind) {
+  switch (kind) {
+    case FileKind::kReliable: return "reliable";
+    case FileKind::kOpportunistic: return "opportunistic";
+  }
+  return "?";
+}
+
+const char* to_string(DataNodeState state) {
+  switch (state) {
+    case DataNodeState::kLive: return "live";
+    case DataNodeState::kHibernated: return "hibernated";
+    case DataNodeState::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace moon::dfs

@@ -1,0 +1,194 @@
+// The NameNode: metadata service, liveness tracking, placement decisions
+// (Figure 3), adaptive replication (§IV-A) and the priority replication
+// queue. Data movement itself happens in DataNode/ReplicationMonitor/client
+// ops; the NameNode only decides.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "dfs/metadata.hpp"
+#include "dfs/throttle.hpp"
+#include "dfs/types.hpp"
+#include "simkit/periodic.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::dfs {
+
+class NameNode {
+ public:
+  NameNode(sim::Simulation& sim, cluster::Cluster& cluster, DfsConfig config);
+
+  // ---- control plane -------------------------------------------------
+
+  /// Registers a DataNode host. All cluster nodes hosting DFS storage must
+  /// be registered before I/O starts.
+  void register_datanode(NodeId node);
+
+  /// Heartbeat from a DataNode carrying its recent I/O bandwidth (bytes/s),
+  /// which feeds Algorithm 1 for dedicated nodes.
+  void heartbeat(NodeId node, double reported_bandwidth);
+
+  [[nodiscard]] DataNodeState state_of(NodeId node) const;
+  [[nodiscard]] bool is_saturated(NodeId dedicated_node) const;
+  [[nodiscard]] bool all_dedicated_saturated() const;
+
+  /// Current estimate p of volatile-node unavailability (fraction of
+  /// registered volatile DataNodes not Live, averaged over interval I).
+  [[nodiscard]] double estimated_unavailability() const { return estimate_p_; }
+
+  /// Starts periodic liveness scanning / estimation. Idempotent.
+  void start();
+
+  // ---- namespace -----------------------------------------------------
+
+  FileId create_file(std::string name, FileKind kind, ReplicationFactor factor);
+  [[nodiscard]] const FileMeta& file(FileId id) const;
+  [[nodiscard]] FileMeta& file_mutable(FileId id);
+  [[nodiscard]] bool file_exists(FileId id) const;
+
+  /// Output commit: "once all [Reduce tasks] are completed they are then
+  /// converted to reliable files". Enqueues dedicated replication as needed.
+  void convert_to_reliable(FileId id);
+
+  /// Marks the file complete once every block meets its factor; returns
+  /// whether it did.
+  bool try_complete_file(FileId id);
+
+  void remove_file(FileId id);
+
+  // ---- blocks ----------------------------------------------------------
+
+  BlockId add_block(FileId file, Bytes size);
+  [[nodiscard]] const BlockMeta& block(BlockId id) const;
+  [[nodiscard]] bool block_exists(BlockId id) const;
+
+  /// Write-target selection for one block (Figure 3 decision process).
+  struct WriteTargets {
+    std::vector<NodeId> nodes;      ///< chosen replica hosts, writer-local first
+    bool dedicated_declined = false;  ///< opportunistic write hit saturation
+    int effective_volatile = 0;       ///< v or adjusted v'
+  };
+  WriteTargets pick_write_targets(FileId file, NodeId writer, Rng& rng);
+
+  /// Registers that `node` now holds a replica of `block`.
+  void commit_replica(BlockId block, NodeId node);
+
+  /// Replica on `node` is gone (node death handling / explicit delete).
+  void drop_replica(BlockId block, NodeId node);
+
+  /// Replicas visible for reading: on Live nodes only, ordered volatile-
+  /// first for volatile readers (§IV-B), local replica always first.
+  [[nodiscard]] std::vector<NodeId> read_order(BlockId block, NodeId reader) const;
+
+  [[nodiscard]] bool block_readable(BlockId block) const;
+
+  /// Count of replicas on Live dedicated / Live volatile nodes.
+  struct LiveReplicas {
+    int dedicated = 0;
+    int volatile_count = 0;
+    int hibernated = 0;
+  };
+  [[nodiscard]] LiveReplicas live_replicas(BlockId block) const;
+
+  /// True once `block` meets its file's factor (counting Live replicas;
+  /// hibernated replicas count when a live dedicated copy exists, per §IV-C).
+  [[nodiscard]] bool block_meets_factor(BlockId block) const;
+  [[nodiscard]] bool file_meets_factor(FileId file) const;
+
+  // ---- replication queue ----------------------------------------------
+
+  /// A block in need of copies, with "higher priority to reliable files".
+  struct ReplicationRequest {
+    BlockId block;
+    bool reliable;  // priority key
+  };
+  void enqueue_replication(BlockId block);
+  /// Pops the highest-priority block still under factor; nullopt when done.
+  std::optional<ReplicationRequest> next_replication_request();
+  [[nodiscard]] std::size_t replication_queue_depth() const;
+
+  /// Picks a (source, target) pair to repair `block`: source is any Live
+  /// replica holder; target honours the missing dimension (dedicated vs
+  /// volatile) and Fig. 3 saturation rules. nullopt if not repairable now.
+  struct RepairPlan {
+    NodeId source;
+    NodeId target;
+  };
+  std::optional<RepairPlan> plan_repair(BlockId block, Rng& rng);
+
+  // ---- adaptive replication -------------------------------------------
+
+  /// v' = min v such that 1 - p^v >= availability_goal (>= 1).
+  [[nodiscard]] int adaptive_volatile_requirement() const;
+
+  /// Recomputes v' for opportunistic files still lacking a dedicated copy
+  /// ("If p changes before a dedicated replica can be stored, v' will be
+  /// recalculated accordingly").
+  void refresh_adaptive_requirements();
+
+  // ---- events / stats ---------------------------------------------------
+
+  using StateListener =
+      std::function<void(NodeId, DataNodeState, DataNodeState)>;
+  void subscribe_state_changes(StateListener listener);
+
+  [[nodiscard]] const DfsStats& stats() const { return stats_; }
+  [[nodiscard]] DfsStats& stats_mutable() { return stats_; }
+  [[nodiscard]] const DfsConfig& config() const { return config_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+
+  /// All registered datanode ids (tests/benches).
+  [[nodiscard]] std::vector<NodeId> datanodes() const;
+
+ private:
+  struct DataNodeInfo {
+    DataNodeState state = DataNodeState::kLive;
+    sim::Time last_heartbeat = 0;
+    ThrottleState throttle;
+    bool dedicated = false;
+  };
+
+  void liveness_scan();
+  void estimate_scan();
+  void set_state(NodeId node, DataNodeState next);
+  void on_node_dead(NodeId node);
+  void on_node_hibernated(NodeId node);
+
+  /// Blocks stored per node (reverse index for death handling).
+  std::unordered_map<NodeId, std::unordered_set<BlockId>> node_blocks_;
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  DfsConfig config_;
+
+  std::unordered_map<NodeId, DataNodeInfo> datanodes_;
+  std::unordered_map<FileId, FileMeta> files_;
+  std::unordered_map<BlockId, BlockMeta> blocks_;
+  IdAllocator<FileId> file_ids_;
+  IdAllocator<BlockId> block_ids_;
+
+  std::deque<BlockId> replication_queue_;
+  std::unordered_set<BlockId> queued_;
+
+  double estimate_p_ = 0.0;
+  double estimate_accum_ = 0.0;
+  int estimate_samples_ = 0;
+
+  std::vector<StateListener> state_listeners_;
+  sim::PeriodicTask liveness_task_;
+  sim::PeriodicTask estimate_task_;
+  bool started_ = false;
+
+  DfsStats stats_;
+};
+
+}  // namespace moon::dfs

@@ -1,0 +1,43 @@
+#include "dfs/throttle.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace moon::dfs {
+
+ThrottleState::ThrottleState(std::size_t window, double threshold)
+    : window_(window), threshold_(threshold) {
+  if (window == 0) throw std::logic_error("ThrottleState: zero window");
+  if (threshold < 0.0) throw std::logic_error("ThrottleState: negative threshold");
+}
+
+double ThrottleState::window_average() const {
+  if (samples_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+bool ThrottleState::update(double bandwidth) {
+  ++seen_;
+  // Algorithm 1: avg_bw is over the *previous* W samples, excluding bw_i.
+  const double avg_bw = window_average();
+  if (!samples_.empty()) {
+    if (bandwidth > avg_bw) {
+      // Increasing but only by a small margin -> the node has hit its
+      // ceiling: consider it saturated.
+      if (!throttled_ && bandwidth < avg_bw * (1.0 + threshold_)) {
+        throttled_ = true;
+      }
+    } else if (bandwidth < avg_bw) {
+      // Decreasing and clearly below the band -> demand fell off.
+      if (throttled_ && bandwidth < avg_bw * (1.0 - threshold_)) {
+        throttled_ = false;
+      }
+    }
+  }
+  samples_.push_back(bandwidth);
+  while (samples_.size() > window_) samples_.pop_front();
+  return throttled_;
+}
+
+}  // namespace moon::dfs

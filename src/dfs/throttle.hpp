@@ -1,0 +1,38 @@
+// I/O throttling on dedicated DataNodes — paper Algorithm 1, verbatim.
+//
+// The NameNode keeps one ThrottleState per dedicated DataNode, fed with the
+// bandwidth samples the DataNode piggybacks on its heartbeats. The sliding-
+// window hysteresis "avoid[s] false detection of saturation status caused by
+// load oscillation": rising-but-flattening bandwidth means the node is at
+// its ceiling (saturated); a clear drop below the band means demand fell.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace moon::dfs {
+
+class ThrottleState {
+ public:
+  /// `window` is W (number of past samples averaged); `threshold` is T_b.
+  ThrottleState(std::size_t window, double threshold);
+
+  /// Feeds one measured bandwidth sample bw_i; returns the new state
+  /// (true = throttled/saturated).
+  bool update(double bandwidth);
+
+  [[nodiscard]] bool throttled() const { return throttled_; }
+  [[nodiscard]] std::size_t samples_seen() const { return seen_; }
+
+  /// Average over the current window (0 until the first sample).
+  [[nodiscard]] double window_average() const;
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::deque<double> samples_;  // most recent W samples (bw_{i-W} .. bw_{i-1})
+  bool throttled_ = false;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace moon::dfs

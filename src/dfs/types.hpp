@@ -1,0 +1,95 @@
+// Core DFS vocabulary types (paper §IV).
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace moon::dfs {
+
+/// MOON replication factor: "{d,v}, where d and v specify the number of data
+/// replicas on the dedicated DataNodes and the volatile DataNodes".
+struct ReplicationFactor {
+  int dedicated = 0;
+  int volatile_count = 0;
+
+  friend bool operator==(const ReplicationFactor&, const ReplicationFactor&) = default;
+};
+
+/// "MOON characterizes Hadoop data files into two categories, reliable and
+/// opportunistic."
+enum class FileKind {
+  kReliable,       ///< must never be lost; always >= 1 dedicated copy
+  kOpportunistic,  ///< transient; dedicated copy is best-effort
+};
+
+/// NameNode's view of a DataNode (§IV-C).
+enum class DataNodeState {
+  kLive,
+  kHibernated,  ///< heartbeat gap > NodeHibernateInterval: no I/O directed
+  kDead,        ///< heartbeat gap > NodeExpiryInterval: replicas written off
+};
+
+const char* to_string(FileKind kind);
+const char* to_string(DataNodeState state);
+
+struct DfsConfig {
+  Bytes block_size = mib(64.0);
+
+  sim::Duration heartbeat_interval = 3 * sim::kSecond;
+  /// NodeHibernateInterval (MOON; "much shorter than the NodeExpiryInterval").
+  sim::Duration hibernate_interval = 90 * sim::kSecond;
+  /// NodeExpiryInterval (HDFS-style declare-dead threshold).
+  sim::Duration expiry_interval = 600 * sim::kSecond;
+  /// How often the NameNode scans heartbeat recency.
+  sim::Duration liveness_scan_interval = 10 * sim::kSecond;
+  /// How often the replication queue is serviced.
+  sim::Duration replication_scan_interval = 5 * sim::kSecond;
+  /// Interval I over which the volatile-unavailability estimate p is taken.
+  sim::Duration estimate_interval = 60 * sim::kSecond;
+
+  /// User-defined availability goal for opportunistic files (paper: 0.9).
+  double availability_goal = 0.9;
+
+  /// Algorithm 1 parameters.
+  std::size_t throttle_window = 10;  ///< W: samples in the sliding window
+  double throttle_threshold = 0.1;   ///< T_b
+
+  /// Feature switches (MOON on; plain Hadoop turns these off).
+  bool hibernate_enabled = true;
+  bool adaptive_replication = true;
+  bool throttling_enabled = true;
+  bool prefer_volatile_reads = true;
+
+  /// Max concurrent re-replication flows fleet-wide (keeps recovery traffic
+  /// from starving the foreground job).
+  int max_replication_streams = 8;
+
+  /// Client read/write stall probes: a transfer whose rate is zero at probe
+  /// time is abandoned and retried on another replica.
+  sim::Duration client_probe_interval = 20 * sim::kSecond;
+  /// Give up re-picking write targets after this many attempts per block.
+  int max_write_target_retries = 16;
+  /// Whole-block reads (HDFS client semantics) sweep the replica set this
+  /// many rounds, waiting `read_round_wait` between rounds, before failing.
+  /// Shuffle partition fetches use a single round — the MapReduce layer owns
+  /// that retry/fetch-failure protocol.
+  int max_read_rounds = 5;
+  sim::Duration read_round_wait = 20 * sim::kSecond;
+};
+
+/// Counters exposed for tests and benches.
+struct DfsStats {
+  std::int64_t bytes_written = 0;           ///< client payload bytes (x replicas)
+  std::int64_t bytes_read = 0;              ///< client reads served
+  std::int64_t replication_bytes = 0;       ///< background re-replication traffic
+  std::int64_t dedicated_writes_declined = 0;  ///< Fig. 3 "decline" branch taken
+  std::int64_t re_replications = 0;         ///< blocks queued for recovery
+  std::int64_t hibernate_transitions = 0;
+  std::int64_t dead_transitions = 0;
+  std::int64_t read_failures = 0;           ///< no live replica reachable
+  std::int64_t adaptive_v_raises = 0;       ///< times v' exceeded configured v
+};
+
+}  // namespace moon::dfs

@@ -1,0 +1,210 @@
+#include "engine/mapreduce.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace moon::engine {
+namespace {
+
+/// FNV-1a partitioner: stable across platforms (std::hash is not).
+std::size_t partition_of(const std::string& key, int num_partitions) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : key) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % static_cast<std::uint64_t>(num_partitions));
+}
+
+/// Runs `count` tasks on a pool of worker threads; `body(i)` may throw, in
+/// which case the task is retried up to `max_attempts` times. `pre` is the
+/// fault-injection hook.
+void run_tasks(int count, unsigned threads, int max_attempts,
+               const std::function<bool(int, int)>& should_fail,
+               const std::function<void(int)>& body,
+               std::atomic<int>& attempts_counter,
+               std::atomic<int>& failures_counter) {
+  std::atomic<int> next{0};
+  std::atomic<bool> job_failed{false};
+  std::mutex error_mutex;
+  std::string first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const int task = next.fetch_add(1);
+      if (task >= count || job_failed.load()) return;
+      bool done = false;
+      for (int attempt = 0; attempt < max_attempts && !done; ++attempt) {
+        ++attempts_counter;
+        try {
+          if (should_fail && should_fail(task, attempt)) {
+            throw std::runtime_error("injected fault");
+          }
+          body(task);
+          done = true;
+        } catch (const std::exception& e) {
+          ++failures_counter;
+          if (attempt + 1 >= max_attempts) {
+            std::lock_guard lock(error_mutex);
+            if (first_error.empty()) {
+              first_error = "task " + std::to_string(task) +
+                            " failed after " + std::to_string(max_attempts) +
+                            " attempts: " + e.what();
+            }
+            job_failed.store(true);
+          }
+        }
+      }
+    }
+  };
+
+  const unsigned pool_size =
+      std::max(1u, threads == 0 ? std::thread::hardware_concurrency() : threads);
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (unsigned i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (job_failed.load()) throw JobFailedError(first_error);
+}
+
+/// Groups a partition's records by key (ordered, like Hadoop's sort phase).
+std::map<std::string, std::vector<std::string>> group_by_key(Records records) {
+  std::map<std::string, std::vector<std::string>> groups;
+  for (auto& r : records) {
+    groups[std::move(r.key)].push_back(std::move(r.value));
+  }
+  return groups;
+}
+
+}  // namespace
+
+MapReduceJob::MapReduceJob(MapFn map, ReduceFn reduce, EngineConfig config)
+    : map_(std::move(map)), reduce_(std::move(reduce)), config_(config) {
+  if (!map_ || !reduce_) throw std::logic_error("MapReduceJob: missing user code");
+  if (config_.num_reduce_tasks < 1) {
+    throw std::logic_error("MapReduceJob: need at least one reduce task");
+  }
+  if (config_.max_attempts < 1) {
+    throw std::logic_error("MapReduceJob: need at least one attempt");
+  }
+}
+
+void MapReduceJob::set_combiner(ReduceFn combiner) {
+  combiner_ = std::move(combiner);
+}
+
+void MapReduceJob::set_fault_injector(FaultInjector injector) {
+  fault_injector_ = std::move(injector);
+}
+
+JobResult MapReduceJob::run(const Records& input) const {
+  JobResult result;
+
+  // ---- split the input ---------------------------------------------------
+  int num_maps = config_.num_map_tasks;
+  if (num_maps <= 0) {
+    num_maps = static_cast<int>(
+        (input.size() + config_.records_per_split - 1) /
+        std::max<std::size_t>(1, config_.records_per_split));
+    num_maps = std::max(num_maps, 1);
+  }
+  const std::size_t split_size =
+      (input.size() + static_cast<std::size_t>(num_maps) - 1) /
+      static_cast<std::size_t>(num_maps);
+
+  result.metrics.map_tasks = num_maps;
+  result.metrics.reduce_tasks = config_.num_reduce_tasks;
+
+  // Per map task, per partition intermediate buffers; written only by the
+  // owning map attempt (re-runs overwrite), read after the map barrier.
+  const int R = config_.num_reduce_tasks;
+  std::vector<std::vector<Records>> intermediate(
+      static_cast<std::size_t>(num_maps));
+
+  std::atomic<int> map_attempts{0}, reduce_attempts{0}, failed{0};
+
+  // ---- map phase -----------------------------------------------------------
+  auto injected = [this](bool is_map) {
+    return [this, is_map](int task, int attempt) {
+      if (!fault_injector_) return false;
+      return fault_injector_(TaskContext{is_map, task, attempt});
+    };
+  };
+
+  run_tasks(
+      num_maps, config_.threads, config_.max_attempts, injected(true),
+      [&](int task) {
+        const auto begin =
+            std::min(input.size(), static_cast<std::size_t>(task) * split_size);
+        const auto end =
+            std::min(input.size(), begin + (split_size == 0 ? 0 : split_size));
+
+        std::vector<Records> buckets(static_cast<std::size_t>(R));
+        const Emit emit = [&](Record r) {
+          auto& bucket = buckets[partition_of(r.key, R)];
+          bucket.push_back(std::move(r));
+        };
+        for (std::size_t i = begin; i < end; ++i) map_(input[i], emit);
+
+        if (combiner_) {
+          for (auto& bucket : buckets) {
+            Records combined;
+            const Emit emit_combined = [&](Record r) {
+              combined.push_back(std::move(r));
+            };
+            for (auto& [key, values] : group_by_key(std::move(bucket))) {
+              combiner_(key, values, emit_combined);
+            }
+            bucket = std::move(combined);
+          }
+        }
+        // Publish atomically w.r.t. re-execution: last write wins.
+        intermediate[static_cast<std::size_t>(task)] = std::move(buckets);
+      },
+      map_attempts, failed);
+
+  // ---- shuffle + reduce phase ---------------------------------------------
+  std::vector<Records> partition_output(static_cast<std::size_t>(R));
+  std::atomic<std::size_t> intermediate_records{0};
+
+  run_tasks(
+      R, config_.threads, config_.max_attempts, injected(false),
+      [&](int partition) {
+        Records fetched;
+        for (const auto& per_map : intermediate) {
+          if (per_map.empty()) continue;  // empty split produced nothing
+          const auto& bucket = per_map[static_cast<std::size_t>(partition)];
+          fetched.insert(fetched.end(), bucket.begin(), bucket.end());
+        }
+        intermediate_records += fetched.size();
+
+        Records out;
+        const Emit emit = [&](Record r) { out.push_back(std::move(r)); };
+        for (auto& [key, values] : group_by_key(std::move(fetched))) {
+          reduce_(key, values, emit);
+        }
+        partition_output[static_cast<std::size_t>(partition)] = std::move(out);
+      },
+      reduce_attempts, failed);
+
+  // ---- collect ------------------------------------------------------------
+  for (auto& part : partition_output) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+  std::sort(result.output.begin(), result.output.end());
+
+  result.metrics.map_attempts = map_attempts.load();
+  result.metrics.reduce_attempts = reduce_attempts.load();
+  result.metrics.failed_attempts = failed.load();
+  result.metrics.intermediate_records = intermediate_records.load();
+  result.metrics.output_records = result.output.size();
+  return result;
+}
+
+}  // namespace moon::engine

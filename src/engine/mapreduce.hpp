@@ -1,0 +1,106 @@
+// Local MapReduce engine: the paper's programming model, executable on one
+// machine with real threads.
+//
+// The engine mirrors the structure of the simulated framework — map tasks
+// over input splits, hash partitioning into reduce tasks, per-key grouping,
+// attempt retry on failure — so examples written against it exercise the
+// same concepts the cluster simulator studies, with real data.
+//
+//   MapReduceJob job(
+//       /*map=*/[](const Record& r, const Emit& emit) {
+//         for (const auto& w : tokenize(r.value)) emit({w, "1"});
+//       },
+//       /*reduce=*/[](const std::string& k, const std::vector<std::string>& vs,
+//                     const Emit& emit) {
+//         emit({k, std::to_string(vs.size())});
+//       });
+//   auto result = job.run(records_from_lines(text));
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/record.hpp"
+
+namespace moon::engine {
+
+/// Emits one intermediate/output record.
+using Emit = std::function<void(Record)>;
+
+/// User map function: input record -> zero or more intermediate records.
+using MapFn = std::function<void(const Record&, const Emit&)>;
+
+/// User reduce function: key + all its values -> zero or more output records.
+using ReduceFn = std::function<void(const std::string& key,
+                                    const std::vector<std::string>& values,
+                                    const Emit&)>;
+
+struct EngineConfig {
+  /// Number of map tasks; 0 = one per ~`records_per_split` input records.
+  int num_map_tasks = 0;
+  std::size_t records_per_split = 1024;
+  int num_reduce_tasks = 4;
+  /// Worker threads (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// A task attempt that throws is retried up to this many times before the
+  /// job fails (Hadoop's footnote-1 semantics).
+  int max_attempts = 4;
+};
+
+/// Deliberate failure injection for resilience tests/demos: invoked before
+/// each task attempt; return true to make this attempt fail.
+struct TaskContext {
+  bool is_map = false;
+  int task_index = 0;
+  int attempt = 0;  ///< 0 for the first try
+};
+using FaultInjector = std::function<bool(const TaskContext&)>;
+
+struct EngineMetrics {
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+  int map_attempts = 0;
+  int reduce_attempts = 0;
+  int failed_attempts = 0;
+  std::size_t intermediate_records = 0;
+  std::size_t output_records = 0;
+};
+
+struct JobResult {
+  Records output;  ///< sorted by key, then value
+  EngineMetrics metrics;
+};
+
+/// Thrown when a task exhausts its attempts.
+class JobFailedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MapReduceJob {
+ public:
+  MapReduceJob(MapFn map, ReduceFn reduce, EngineConfig config = {});
+
+  /// Optional combiner: reduce-like pre-aggregation applied to each map
+  /// task's local output (word count's classic optimisation).
+  void set_combiner(ReduceFn combiner);
+
+  void set_fault_injector(FaultInjector injector);
+
+  /// Runs the job to completion; throws JobFailedError if any task exceeds
+  /// max_attempts.
+  JobResult run(const Records& input) const;
+
+ private:
+  MapFn map_;
+  ReduceFn reduce_;
+  ReduceFn combiner_;
+  FaultInjector fault_injector_;
+  EngineConfig config_;
+};
+
+}  // namespace moon::engine

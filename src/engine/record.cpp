@@ -1,0 +1,37 @@
+#include "engine/record.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace moon::engine {
+
+Records records_from_lines(const std::string& text) {
+  Records records;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(stream, line)) {
+    records.push_back(Record{std::to_string(number++), std::move(line)});
+    line.clear();
+  }
+  return records;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace moon::engine

@@ -1,0 +1,29 @@
+// Key-value records for the local MapReduce engine.
+//
+// Like Hadoop streaming, keys and values are strings: simple, loggable, and
+// sufficient for the paper's applications (sort, word count). Typed
+// adapters can be layered on top by user code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace moon::engine {
+
+struct Record {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Record&, const Record&) = default;
+  friend auto operator<=>(const Record&, const Record&) = default;
+};
+
+using Records = std::vector<Record>;
+
+/// Splits text into one record per line (key = 0-based line number).
+Records records_from_lines(const std::string& text);
+
+/// Splits a value into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& text);
+
+}  // namespace moon::engine

@@ -1,0 +1,40 @@
+#include "experiment/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace moon::experiment {
+
+SweepReport::SweepReport(std::string name) : name_(std::move(name)) {}
+
+void SweepReport::add(std::string row, std::string column, Summary summary) {
+  cells_.push_back(SweepCell{std::move(row), std::move(column), std::move(summary)});
+}
+
+void SweepReport::write_csv(std::ostream& os) const {
+  os << "sweep,row,column,runs,completed,time_mean_s,time_stddev_s,"
+        "duplicated_mean,killed_maps_mean,killed_reduces_mean,"
+        "map_time_mean_s,shuffle_time_mean_s,reduce_time_mean_s,"
+        "fetch_failures_mean\n";
+  os << std::fixed << std::setprecision(3);
+  for (const auto& cell : cells_) {
+    const auto& s = cell.summary;
+    os << name_ << ',' << cell.row << ',' << cell.column << ','
+       << s.total_runs << ',' << s.completed_runs << ','
+       << s.execution_time_s.mean() << ',' << s.execution_time_s.stddev() << ','
+       << s.duplicated_tasks.mean() << ',' << s.killed_maps.mean() << ','
+       << s.killed_reduces.mean() << ',' << s.avg_map_time_s.mean() << ','
+       << s.avg_shuffle_time_s.mean() << ',' << s.avg_reduce_time_s.mean()
+       << ',' << s.fetch_failures.mean() << '\n';
+  }
+}
+
+void SweepReport::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("SweepReport: cannot open " + path);
+  write_csv(os);
+}
+
+}  // namespace moon::experiment

@@ -1,0 +1,42 @@
+// Result reporting: CSV emission for experiment sweeps, so bench output can
+// be archived and plotted without re-running simulations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace moon::experiment {
+
+/// One labelled cell of a sweep (e.g. policy x unavailability-rate).
+struct SweepCell {
+  std::string row;     ///< e.g. "MOON-Hybrid"
+  std::string column;  ///< e.g. "0.5"
+  Summary summary;
+};
+
+class SweepReport {
+ public:
+  explicit SweepReport(std::string name);
+
+  void add(std::string row, std::string column, Summary summary);
+
+  /// CSV with one line per cell:
+  /// sweep,row,column,runs,completed,time_mean_s,time_stddev_s,
+  /// duplicated_mean,killed_maps_mean,killed_reduces_mean,
+  /// map_time_mean_s,shuffle_time_mean_s,reduce_time_mean_s,
+  /// fetch_failures_mean
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<SweepCell>& cells() const { return cells_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<SweepCell> cells_;
+};
+
+}  // namespace moon::experiment

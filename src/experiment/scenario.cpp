@@ -1,0 +1,203 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "cluster/availability_driver.hpp"
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/jobtracker.hpp"
+#include "simkit/simulation.hpp"
+#include "trace/correlated.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace moon::experiment {
+
+RunResult run_scenario(const ScenarioConfig& config) {
+  sim::Simulation sim(config.seed);
+  cluster::Cluster cluster(sim, config.fairness);
+
+  cluster::NodeConfig volatile_cfg;
+  volatile_cfg.type = cluster::NodeType::kVolatile;
+  volatile_cfg.map_slots = config.map_slots;
+  volatile_cfg.reduce_slots = config.reduce_slots;
+  volatile_cfg.nic_in_bw = config.nic_bandwidth;
+  volatile_cfg.nic_out_bw = config.nic_bandwidth;
+  volatile_cfg.disk_bw = config.disk_bandwidth;
+
+  cluster::NodeConfig dedicated_cfg = volatile_cfg;
+  dedicated_cfg.type = config.dedicated_known ? cluster::NodeType::kDedicated
+                                              : cluster::NodeType::kVolatile;
+
+  const auto volatile_ids = cluster.add_nodes(config.volatile_nodes, volatile_cfg);
+  cluster.add_nodes(config.dedicated_nodes, dedicated_cfg);
+
+  // Availability traces apply to the genuinely volatile machines only; the
+  // dedicated machines never go down (whether or not the framework knows
+  // they are special).
+  trace::GeneratorConfig gen_cfg = config.trace_gen;
+  gen_cfg.unavailability_rate = config.unavailability_rate;
+  Rng trace_rng = Rng{config.seed}.fork("traces");
+  std::vector<trace::AvailabilityTrace> fleet;
+  if (config.correlated_outages) {
+    trace::CorrelatedConfig corr;
+    corr.base = gen_cfg;
+    corr.group_size = config.correlation_group_size;
+    corr.correlated_fraction = config.correlated_fraction;
+    corr.group_event_mean_s = config.correlated_event_mean_s;
+    corr.group_event_stddev_s = config.correlated_event_mean_s / 4.0;
+    corr.group_event_min_s =
+        std::min(600.0, config.correlated_event_mean_s / 2.0);
+    fleet = trace::CorrelatedTraceGenerator(corr).generate_fleet(
+        trace_rng, volatile_ids.size());
+  } else {
+    fleet = trace::TraceGenerator(gen_cfg).generate_fleet(trace_rng,
+                                                          volatile_ids.size());
+  }
+
+  cluster::AvailabilityDriver driver(sim, cluster);
+  driver.assign_fleet(volatile_ids, fleet);
+  const int repeats = static_cast<int>(
+      config.max_sim_time / std::max<sim::Duration>(gen_cfg.horizon, 1) + 1);
+  driver.install(repeats);
+
+  dfs::Dfs dfs(sim, cluster, config.dfs, config.seed);
+  dfs.start();
+
+  mapred::JobTracker jobtracker(sim, cluster, dfs, config.sched, config.seed);
+  jobtracker.add_all_trackers();
+  jobtracker.start();
+
+  // Stage the input with one block per map task.
+  const dfs::FileKind input_kind = config.dedicated_known
+                                       ? dfs::FileKind::kReliable
+                                       : dfs::FileKind::kOpportunistic;
+  const FileId input = dfs.stage_blocks(
+      config.app.name + ".input", input_kind, config.input_factor,
+      config.app.num_maps, config.app.input_block_bytes);
+
+  const int reduce_slot_total =
+      static_cast<int>(cluster.size()) * config.reduce_slots;
+  mapred::JobSpec spec = workload::make_job_spec(
+      config.app, input, reduce_slot_total, config.intermediate_kind,
+      config.intermediate_factor, config.output_factor);
+
+  RunResult result;
+  result.num_maps = spec.num_maps;
+  result.num_reduces = spec.num_reduces;
+
+  bool done = false;
+  mapred::Job* the_job = nullptr;
+  jobtracker.on_job_finished([&](mapred::Job&) { done = true; });
+  sim.schedule_at(config.submit_at, [&] {
+    const JobId id = jobtracker.submit(spec);
+    the_job = &jobtracker.job(id);
+  });
+
+  while (!done && sim.now() < config.max_sim_time) {
+    if (!sim.step()) break;
+  }
+
+  if (the_job != nullptr) {
+    if (config.dump_unfinished && !the_job->finished()) {
+      the_job->debug_dump(std::cerr);
+    }
+    result.metrics = the_job->metrics();
+    result.finished = the_job->metrics().completed;
+    result.execution_time_s =
+        result.finished ? the_job->metrics().execution_time_s()
+                        : sim::to_seconds(sim.now() - config.submit_at);
+    result.completed_maps = the_job->completed_tasks(mapred::TaskType::kMap);
+    result.completed_reduces =
+        the_job->completed_tasks(mapred::TaskType::kReduce);
+    result.outputs_committed =
+        the_job->all_maps_done() && the_job->all_reduces_done();
+  }
+  result.replication_queue_depth = dfs.namenode().replication_queue_depth();
+  result.dfs_stats = dfs.stats();
+  return result;
+}
+
+mapred::SchedulerConfig hadoop_scheduler(sim::Duration tracker_expiry) {
+  mapred::SchedulerConfig cfg;
+  cfg.tracker_expiry = tracker_expiry;
+  cfg.suspension_interval = 0;  // Hadoop has no suspension concept
+  cfg.moon_scheduling = false;
+  cfg.hybrid_aware = false;
+  return cfg;
+}
+
+mapred::SchedulerConfig moon_scheduler(bool hybrid) {
+  mapred::SchedulerConfig cfg;
+  // §VI-A: "We use 1 minute for SuspensionInterval, and 30 minutes for
+  // TrackerExpiryInterval."
+  cfg.tracker_expiry = 30 * sim::kMinute;
+  cfg.suspension_interval = 1 * sim::kMinute;
+  cfg.moon_scheduling = true;
+  cfg.hybrid_aware = hybrid;
+  return cfg;
+}
+
+mapred::SchedulerConfig late_scheduler(sim::Duration tracker_expiry) {
+  mapred::SchedulerConfig cfg = hadoop_scheduler(tracker_expiry);
+  cfg.speculator = mapred::SchedulerConfig::Speculator::kLate;
+  return cfg;
+}
+
+mapred::SchedulerConfig late_moon_scheduler() {
+  mapred::SchedulerConfig cfg;
+  cfg.tracker_expiry = 30 * sim::kMinute;
+  cfg.suspension_interval = 1 * sim::kMinute;
+  // LATE picks the backups; MOON semantics (suspension without killing,
+  // DFS-aware tracker-death handling) come from the intervals and the
+  // recovery flag. moon_scheduling stays off so the speculator choice is
+  // honoured.
+  cfg.moon_scheduling = false;
+  cfg.dfs_aware_recovery = true;
+  cfg.speculator = mapred::SchedulerConfig::Speculator::kLate;
+  return cfg;
+}
+
+dfs::DfsConfig moon_dfs_config() {
+  dfs::DfsConfig cfg;
+  cfg.hibernate_enabled = true;
+  cfg.adaptive_replication = true;
+  cfg.throttling_enabled = true;
+  cfg.prefer_volatile_reads = true;
+  return cfg;
+}
+
+dfs::DfsConfig hadoop_dfs_config() {
+  dfs::DfsConfig cfg;
+  cfg.hibernate_enabled = false;
+  cfg.adaptive_replication = false;
+  cfg.throttling_enabled = false;
+  cfg.prefer_volatile_reads = false;
+  return cfg;
+}
+
+Summary run_repetitions(ScenarioConfig config, int repetitions,
+                        const std::function<void(const RunResult&)>& observer) {
+  Summary summary;
+  summary.total_runs = repetitions;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    config.seed = config.seed + (rep == 0 ? 0 : 1);
+    const RunResult run = run_scenario(config);
+    if (observer) observer(run);
+    summary.execution_time_s.add(run.execution_time_s);
+    summary.duplicated_tasks.add(run.duplicated_tasks());
+    summary.killed_maps.add(run.metrics.killed_map_attempts +
+                            run.metrics.map_reexecutions);
+    summary.killed_reduces.add(run.metrics.killed_reduce_attempts);
+    summary.map_reexecutions.add(run.metrics.map_reexecutions);
+    summary.avg_map_time_s.add(run.metrics.map_time_s.mean());
+    summary.avg_shuffle_time_s.add(run.metrics.shuffle_time_s.mean());
+    summary.avg_reduce_time_s.add(run.metrics.reduce_time_s.mean());
+    summary.fetch_failures.add(run.metrics.fetch_failures);
+    if (run.finished) ++summary.completed_runs;
+  }
+  return summary;
+}
+
+}  // namespace moon::experiment

@@ -1,0 +1,134 @@
+// Experiment harness: wires trace -> cluster -> DFS -> MapReduce for one
+// simulated job run, exposes the paper's policy presets, and aggregates
+// repeated runs.
+//
+// Cluster layouts:
+//  * MOON mode      — V volatile + D dedicated nodes; the framework knows
+//                     which is which (hybrid replication & scheduling work).
+//  * Hadoop mode    — the same physical machines, but the framework treats
+//                     every node as volatile ("these nodes are all treated
+//                     as volatile in the Hadoop tests as Hadoop cannot
+//                     differentiate", §VI-C); the D reliable machines simply
+//                     never go down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/stats.hpp"
+#include "dfs/types.hpp"
+#include "mapred/types.hpp"
+#include "simkit/flow_network.hpp"
+#include "trace/trace_generator.hpp"
+#include "workload/workload.hpp"
+
+namespace moon::experiment {
+
+struct ScenarioConfig {
+  // --- cluster ---
+  std::size_t volatile_nodes = 60;
+  std::size_t dedicated_nodes = 6;
+  /// false = Hadoop mode: dedicated machines exist but are typed volatile.
+  bool dedicated_known = true;
+  /// Effective per-node bandwidths (see DESIGN.md §6 for calibration).
+  BytesPerSecond nic_bandwidth = mibps(80.0);
+  BytesPerSecond disk_bandwidth = mibps(30.0);
+  int map_slots = 2;
+  int reduce_slots = 2;
+
+  // --- volatility ---
+  double unavailability_rate = 0.3;
+  trace::GeneratorConfig trace_gen;  ///< rate is overwritten per run
+  /// Correlated (lab-session) outages instead of independent ones (§III).
+  bool correlated_outages = false;
+  std::size_t correlation_group_size = 10;
+  double correlated_fraction = 0.5;
+  /// Lab-session length (seconds); sessions comparable to the job length
+  /// are the interesting regime (a short job simply dodges hour-long ones).
+  double correlated_event_mean_s = 1800.0;
+
+  // --- stack configuration ---
+  mapred::SchedulerConfig sched;
+  dfs::DfsConfig dfs;
+  sim::FairnessModel fairness = sim::FairnessModel::kBottleneckShare;
+
+  // --- workload & replication ---
+  workload::WorkloadModel app = workload::sort_workload();
+  dfs::ReplicationFactor input_factor{1, 3};
+  dfs::FileKind intermediate_kind = dfs::FileKind::kOpportunistic;
+  dfs::ReplicationFactor intermediate_factor{1, 1};
+  dfs::ReplicationFactor output_factor{1, 3};
+
+  // --- run control ---
+  std::uint64_t seed = 1;
+  sim::Duration submit_at = 60 * sim::kSecond;
+  sim::Duration max_sim_time = 24 * sim::kHour;
+  /// Dump unfinished-task state to stderr when the horizon is hit.
+  bool dump_unfinished = false;
+};
+
+struct RunResult {
+  mapred::JobMetrics metrics;
+  dfs::DfsStats dfs_stats;
+  int num_maps = 0;
+  int num_reduces = 0;
+  bool finished = false;  ///< completed within the horizon
+  double execution_time_s = 0.0;  ///< horizon time if DNF
+  // End-of-run progress snapshot (diagnoses DNF runs).
+  int completed_maps = 0;
+  int completed_reduces = 0;
+  bool outputs_committed = false;  ///< all reduces done, waiting on factors
+  std::size_t replication_queue_depth = 0;
+  [[nodiscard]] int duplicated_tasks() const {
+    return metrics.duplicated_tasks(num_maps, num_reduces);
+  }
+};
+
+/// Runs one job to completion (or the horizon) and collects everything.
+RunResult run_scenario(const ScenarioConfig& config);
+
+// ---- policy presets (paper §VI) -------------------------------------------
+
+/// Hadoop baseline with a given TrackerExpiryInterval (the paper sweeps
+/// 1 / 5 / 10 minutes).
+mapred::SchedulerConfig hadoop_scheduler(sim::Duration tracker_expiry);
+
+/// MOON scheduler: SuspensionInterval 1 min, TrackerExpiryInterval 30 min;
+/// `hybrid` enables §V-C dedicated-resource awareness.
+mapred::SchedulerConfig moon_scheduler(bool hybrid);
+
+/// LATE (OSDI'08) on stock Hadoop fault-tolerance semantics.
+mapred::SchedulerConfig late_scheduler(sim::Duration tracker_expiry);
+
+/// The paper's named future work: LATE's time-to-end speculation combined
+/// with MOON's suspension detection (no premature kills).
+mapred::SchedulerConfig late_moon_scheduler();
+
+/// DFS configs: MOON (hibernation + adaptive replication + throttling) vs
+/// plain Hadoop-style behaviour.
+dfs::DfsConfig moon_dfs_config();
+dfs::DfsConfig hadoop_dfs_config();
+
+// ---- repetition aggregation -----------------------------------------------
+
+struct Summary {
+  Accumulator execution_time_s;
+  Accumulator duplicated_tasks;
+  Accumulator killed_maps;
+  Accumulator killed_reduces;
+  Accumulator map_reexecutions;
+  Accumulator avg_map_time_s;
+  Accumulator avg_shuffle_time_s;
+  Accumulator avg_reduce_time_s;
+  Accumulator fetch_failures;
+  int completed_runs = 0;
+  int total_runs = 0;
+};
+
+/// Runs `repetitions` seeds of the scenario (seed, seed+1, ...) and
+/// aggregates. An optional observer sees every RunResult.
+Summary run_repetitions(ScenarioConfig config, int repetitions,
+                        const std::function<void(const RunResult&)>& observer = {});
+
+}  // namespace moon::experiment

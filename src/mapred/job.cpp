@@ -1,0 +1,539 @@
+#include "mapred/job.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "mapred/jobtracker.hpp"
+
+namespace moon::mapred {
+
+Job::Job(JobTracker& jobtracker, JobId id, JobSpec spec)
+    : jobtracker_(jobtracker), id_(id), spec_(std::move(spec)) {
+  build_tasks();
+}
+
+void Job::build_tasks() {
+  const auto& input = jobtracker_.dfs().namenode().file(spec_.input_file);
+  if (static_cast<int>(input.blocks.size()) < spec_.num_maps) {
+    throw std::logic_error("Job: input file has fewer blocks than maps");
+  }
+  int order = 0;
+  for (int i = 0; i < spec_.num_maps; ++i) {
+    const TaskId id = task_ids_.next();
+    Task t;
+    t.id = id;
+    t.type = TaskType::kMap;
+    t.index = i;
+    t.input_block = input.blocks[static_cast<std::size_t>(i)];
+    t.schedule_order = order++;
+    tasks_.emplace(id, std::move(t));
+    map_tasks_.push_back(id);
+  }
+  for (int i = 0; i < spec_.num_reduces; ++i) {
+    const TaskId id = task_ids_.next();
+    Task t;
+    t.id = id;
+    t.type = TaskType::kReduce;
+    t.index = i;
+    t.schedule_order = order++;
+    tasks_.emplace(id, std::move(t));
+    reduce_tasks_.push_back(id);
+  }
+}
+
+Task& Job::task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::out_of_range("Job: unknown task");
+  return it->second;
+}
+
+const Task& Job::task(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::out_of_range("Job: unknown task");
+  return it->second;
+}
+
+const std::vector<TaskId>& Job::tasks_of(TaskType type) const {
+  return type == TaskType::kMap ? map_tasks_ : reduce_tasks_;
+}
+
+TaskAttempt* Job::attempt(AttemptId id) {
+  auto it = attempts_.find(id);
+  return it == attempts_.end() ? nullptr : it->second.get();
+}
+
+int Job::remaining_tasks() const {
+  int remaining = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.state != TaskState::kCompleted) ++remaining;
+  }
+  return remaining;
+}
+
+int Job::completed_tasks(TaskType type) const {
+  int done = 0;
+  for (TaskId id : tasks_of(type)) {
+    if (tasks_.at(id).state == TaskState::kCompleted) ++done;
+  }
+  return done;
+}
+
+bool Job::all_maps_done() const {
+  return completed_tasks(TaskType::kMap) == spec_.num_maps;
+}
+
+bool Job::all_reduces_done() const {
+  return completed_tasks(TaskType::kReduce) == spec_.num_reduces;
+}
+
+double Job::task_progress(TaskId id) const {
+  const Task& t = task(id);
+  if (t.state == TaskState::kCompleted) return 1.0;
+  double best = 0.0;
+  for (AttemptId a : t.attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() && !it->second->terminal()) {
+      best = std::max(best, it->second->progress());
+    }
+  }
+  return best;
+}
+
+double Job::average_progress(TaskType type) const {
+  double sum = 0.0;
+  int counted = 0;
+  for (TaskId id : tasks_of(type)) {
+    const Task& t = task(id);
+    if (t.state == TaskState::kPending && t.attempts.empty()) continue;
+    sum += task_progress(id);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+int Job::non_terminal_attempts(TaskId id) const {
+  int n = 0;
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() && !it->second->terminal()) ++n;
+  }
+  return n;
+}
+
+int Job::active_attempts(TaskId id) const {
+  int n = 0;
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() &&
+        it->second->state() == AttemptState::kRunning) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Job::has_attempt_on(TaskId id, NodeId node) const {
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() && !it->second->terminal() &&
+        it->second->tracker().node_id() == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Job::has_active_dedicated_attempt(TaskId id) const {
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() &&
+        it->second->state() == AttemptState::kRunning &&
+        it->second->on_dedicated()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<sim::Time> Job::oldest_attempt_start(TaskId id) const {
+  std::optional<sim::Time> oldest;
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() && !it->second->terminal()) {
+      const sim::Time s = it->second->started_at();
+      if (!oldest || s < *oldest) oldest = s;
+    }
+  }
+  return oldest;
+}
+
+int Job::running_speculative() const {
+  // Counts copies that are actually consuming a live slot: speculative
+  // attempts marooned on suspended trackers don't hold back the cap, or a
+  // burst of suspensions would starve frozen-task rescue precisely when it
+  // is needed.
+  int n = 0;
+  for (const auto& [id, attempt] : attempts_) {
+    if (attempt->state() == AttemptState::kRunning && attempt->speculative()) ++n;
+  }
+  return n;
+}
+
+// ---- lifecycle -------------------------------------------------------------
+
+void Job::submit() { metrics_.submitted_at = jobtracker_.simulation().now(); }
+
+TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
+                                 bool speculative) {
+  Task& t = task(task_id);
+  const AttemptId id = attempt_ids_.next();
+  auto attempt = std::make_unique<TaskAttempt>(*this, id, task_id, tracker,
+                                               speculative);
+  TaskAttempt* raw = attempt.get();
+  attempts_.emplace(id, std::move(attempt));
+  t.attempts.push_back(id);
+  tracker.occupy(t.type, raw);
+  if (t.type == TaskType::kMap) {
+    ++metrics_.launched_map_attempts;
+  } else {
+    ++metrics_.launched_reduce_attempts;
+  }
+  if (speculative) ++metrics_.speculative_attempts;
+  update_task_state(t);
+  raw->start();
+  return *raw;
+}
+
+void Job::kill_attempt(TaskAttempt& attempt) {
+  if (attempt.terminal()) return;
+  attempt.kill();
+  Task& t = task(attempt.task());
+  if (t.type == TaskType::kMap) {
+    ++metrics_.killed_map_attempts;
+  } else {
+    ++metrics_.killed_reduce_attempts;
+  }
+  finalize_attempt(attempt);
+  // Abandon the attempt's partial output unless it is the winning copy.
+  const FileId file = attempt.output_file();
+  if (file.valid() && file != t.output_file) {
+    jobtracker_.dfs().namenode().remove_file(file);
+  }
+  update_task_state(t);
+}
+
+void Job::kill_attempts_on(TaskTracker& tracker) {
+  for (TaskAttempt* attempt : tracker.all_attempts()) {
+    kill_attempt(*attempt);
+  }
+}
+
+void Job::attempt_succeeded(TaskAttempt& attempt) {
+  Task& t = task(attempt.task());
+  finalize_attempt(attempt);
+
+  if (t.state == TaskState::kCompleted) {
+    // A redundant copy finished after the task was already done; drop its
+    // output.
+    const FileId file = attempt.output_file();
+    if (file.valid() && file != t.output_file) {
+      jobtracker_.dfs().namenode().remove_file(file);
+    }
+    return;
+  }
+
+  t.state = TaskState::kCompleted;
+  t.output_file = attempt.output_file();
+  t.completed_on = attempt.tracker().node_id();
+  fetch_failures_.erase(t.id);
+
+  const double elapsed =
+      sim::to_seconds(jobtracker_.simulation().now() - attempt.started_at());
+  if (t.type == TaskType::kMap) {
+    metrics_.map_time_s.add(elapsed);
+  } else {
+    metrics_.reduce_time_s.add(
+        sim::to_seconds(jobtracker_.simulation().now() - attempt.shuffle_done_at()));
+  }
+
+  // Kill the losers.
+  for (AttemptId a : t.attempts) {
+    auto it = attempts_.find(a);
+    if (it != attempts_.end() && !it->second->terminal()) {
+      kill_attempt(*it->second);
+    }
+  }
+
+  if (t.type == TaskType::kMap) {
+    notify_reduces_of_map(t.id);
+  }
+}
+
+void Job::attempt_failed(TaskAttempt& attempt) {
+  Task& t = task(attempt.task());
+  finalize_attempt(attempt);
+  if (t.type == TaskType::kMap) {
+    ++metrics_.failed_map_attempts;
+  } else {
+    ++metrics_.failed_reduce_attempts;
+  }
+  const FileId file = attempt.output_file();
+  if (file.valid() && file != t.output_file) {
+    jobtracker_.dfs().namenode().remove_file(file);
+  }
+  ++t.failures;
+  if (t.failures > jobtracker_.config().max_task_failures) {
+    fail_job();
+    return;
+  }
+  update_task_state(t);
+}
+
+void Job::finalize_attempt(TaskAttempt& attempt) {
+  Task& t = task(attempt.task());
+  attempt.tracker().release(t.type, &attempt);
+}
+
+void Job::update_task_state(Task& t) {
+  if (t.state == TaskState::kCompleted) return;
+  t.state = non_terminal_attempts(t.id) > 0 ? TaskState::kRunning
+                                            : TaskState::kPending;
+}
+
+// ---- intermediate / output data ---------------------------------------------
+
+FileId Job::map_output(TaskId map_task) const {
+  const Task& t = task(map_task);
+  if (t.state != TaskState::kCompleted) return FileId::invalid();
+  return t.output_file;
+}
+
+FileId Job::create_intermediate_file(TaskId map_task, AttemptId attempt) {
+  const std::string name = spec_.name + ".m" +
+                           std::to_string(task(map_task).index) + ".a" +
+                           std::to_string(attempt.value());
+  return jobtracker_.dfs().namenode().create_file(name, spec_.intermediate_kind,
+                                                  spec_.intermediate_factor);
+}
+
+FileId Job::create_output_file(TaskId reduce_task, AttemptId attempt) {
+  const std::string name = spec_.name + ".r" +
+                           std::to_string(task(reduce_task).index) + ".a" +
+                           std::to_string(attempt.value());
+  // §IV-A: output starts life as an opportunistic file.
+  return jobtracker_.dfs().namenode().create_file(
+      name, dfs::FileKind::kOpportunistic, spec_.output_factor);
+}
+
+void Job::report_fetch_failure(TaskId map_task, TaskAttempt& reporter) {
+  ++metrics_.fetch_failures;
+  const Task& mt = task(map_task);
+  if (mt.state != TaskState::kCompleted) return;  // already being re-run
+
+  auto& reporters = fetch_failures_[map_task];
+  reporters.insert(reporter.task());
+
+  const auto& cfg = jobtracker_.config();
+  bool reexecute = false;
+
+  if (cfg.fetch_failure_query_threshold > 0 &&
+      static_cast<int>(reporters.size()) >= cfg.fetch_failure_query_threshold) {
+    // Augmented rule: consult the DFS; if no live replica of the output
+    // remains, reissue the map immediately (§VI-B).
+    auto& nn = jobtracker_.dfs().namenode();
+    bool any_live = false;
+    if (mt.output_file.valid() && nn.file_exists(mt.output_file)) {
+      for (BlockId b : nn.file(mt.output_file).blocks) {
+        if (nn.block_readable(b)) {
+          any_live = true;
+          break;
+        }
+      }
+    }
+    if (!any_live) reexecute = true;
+  }
+
+  // Classic Hadoop rule: > fraction of running reduces reporting.
+  int running_reduces = 0;
+  for (TaskId r : reduce_tasks_) {
+    if (tasks_.at(r).state == TaskState::kRunning) ++running_reduces;
+  }
+  if (running_reduces > 0 &&
+      static_cast<double>(reporters.size()) >
+          cfg.fetch_failure_fraction * running_reduces) {
+    reexecute = true;
+  }
+
+  if (reexecute) revert_map(map_task);
+}
+
+void Job::revert_map(TaskId map_task) {
+  Task& t = task(map_task);
+  if (t.state != TaskState::kCompleted) return;
+  ++metrics_.map_reexecutions;
+  fetch_failures_.erase(map_task);
+  if (t.output_file.valid()) {
+    jobtracker_.dfs().namenode().remove_file(t.output_file);
+    t.output_file = FileId::invalid();
+  }
+  t.completed_on = NodeId::invalid();
+  t.state = TaskState::kPending;
+  ++t.failures;  // "recently failed" priority boost for rescheduling
+}
+
+void Job::handle_tracker_death(TaskTracker& tracker) {
+  kill_attempts_on(tracker);
+  if (all_reduces_done()) return;
+  // Hadoop semantics: completed maps that ran on a dead tracker are
+  // re-executed — their output is presumed local to the lost node. MOON
+  // instead asks the DFS whether live replicas of the output remain and
+  // re-runs only when they do not.
+  const bool dfs_aware = jobtracker_.config().moon_scheduling ||
+                         jobtracker_.config().dfs_aware_recovery;
+  auto& nn = jobtracker_.dfs().namenode();
+  for (TaskId id : map_tasks_) {
+    Task& t = tasks_.at(id);
+    if (t.state != TaskState::kCompleted) continue;
+    if (t.completed_on != tracker.node_id()) continue;
+    if (dfs_aware && t.output_file.valid() && nn.file_exists(t.output_file)) {
+      bool any_live = false;
+      for (BlockId b : nn.file(t.output_file).blocks) {
+        if (nn.block_readable(b)) {
+          any_live = true;
+          break;
+        }
+      }
+      if (any_live) continue;  // replicas survive; no need to re-run
+    }
+    revert_map(id);
+  }
+}
+
+void Job::notify_reduces_of_map(TaskId map_task) {
+  for (TaskId r : reduce_tasks_) {
+    for (AttemptId a : tasks_.at(r).attempts) {
+      auto it = attempts_.find(a);
+      if (it != attempts_.end() && !it->second->terminal()) {
+        it->second->notify_map_completed(map_task);
+      }
+    }
+  }
+}
+
+void Job::try_commit() {
+  if (finished()) return;
+  if (!all_maps_done() || !all_reduces_done()) return;
+  auto& nn = jobtracker_.dfs().namenode();
+  if (!outputs_converted_) {
+    // "Once all [Reduce tasks] are completed [output files] are then
+    // converted to reliable files."
+    for (TaskId r : reduce_tasks_) {
+      const FileId f = tasks_.at(r).output_file;
+      if (f.valid()) nn.convert_to_reliable(f);
+    }
+    outputs_converted_ = true;
+  }
+  // "Only after all data blocks of the output file have reached its
+  // replication factor, will the job be marked as complete." Reaching the
+  // factor latches per file (try_complete_file is sticky): transient replica
+  // loss after a file is fully replicated does not un-commit it.
+  bool all_complete = true;
+  for (TaskId r : reduce_tasks_) {
+    const FileId f = tasks_.at(r).output_file;
+    if (!f.valid() || !nn.try_complete_file(f)) all_complete = false;
+  }
+  if (!all_complete) return;
+  metrics_.completed = true;
+  metrics_.finished_at = jobtracker_.simulation().now();
+  jobtracker_.notify_job_finished(*this);
+}
+
+void Job::fail_job() {
+  if (finished()) return;
+  metrics_.failed = true;
+  metrics_.finished_at = jobtracker_.simulation().now();
+  // Tear down all live attempts.
+  for (auto& [id, attempt] : attempts_) {
+    if (!attempt->terminal()) {
+      attempt->kill();
+      finalize_attempt(*attempt);
+    }
+  }
+  jobtracker_.notify_job_finished(*this);
+}
+
+void Job::debug_dump(std::ostream& os) const {
+  os << "job " << id_ << " '" << spec_.name << "' maps "
+     << completed_tasks(TaskType::kMap) << '/' << spec_.num_maps << " reduces "
+     << completed_tasks(TaskType::kReduce) << '/' << spec_.num_reduces << '\n';
+  for (const auto& [tid, t] : tasks_) {
+    if (t.state == TaskState::kCompleted) continue;
+    os << "  " << to_string(t.type) << '[' << t.index << "] "
+       << to_string(t.state) << " failures=" << t.failures << '\n';
+    for (AttemptId a : t.attempts) {
+      auto it = attempts_.find(a);
+      if (it == attempts_.end()) continue;
+      const TaskAttempt& att = *it->second;
+      if (att.terminal()) continue;
+      os << "    attempt " << a << " on node " << att.tracker().node_id()
+         << (att.tracker().host_available() ? " (up)" : " (down)") << " state="
+         << to_string(att.state()) << " phase=" << static_cast<int>(att.phase())
+         << " progress=" << att.progress()
+         << (att.speculative() ? " speculative" : "");
+      if (t.type == TaskType::kReduce &&
+          att.phase() == TaskAttempt::Phase::kShuffle) {
+        os << " fetching=" << att.fetching_count()
+           << " retrywait=" << att.retry_wait_count();
+        auto missing = att.unfetched_maps();
+        os << " missing=[";
+        for (std::size_t i = 0; i < missing.size() && i < 3; ++i) {
+          const Task& mt = tasks_.at(missing[i]);
+          os << "map" << mt.index << ":" << to_string(mt.state) << ":file="
+             << mt.output_file;
+          auto& nn = jobtracker_.dfs().namenode();
+          if (mt.output_file.valid() && nn.file_exists(mt.output_file)) {
+            for (BlockId b : nn.file(mt.output_file).blocks) {
+              const auto live = nn.live_replicas(b);
+              os << "(d" << live.dedicated << ",v" << live.volatile_count
+                 << ",h" << live.hibernated << ")";
+            }
+          } else {
+            os << "(nofile)";
+          }
+          os << ' ';
+        }
+        os << "]";
+      }
+      os << '\n';
+    }
+  }
+}
+
+const char* to_string(TaskType type) {
+  return type == TaskType::kMap ? "map" : "reduce";
+}
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kPending: return "pending";
+    case TaskState::kRunning: return "running";
+    case TaskState::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+const char* to_string(AttemptState state) {
+  switch (state) {
+    case AttemptState::kRunning: return "running";
+    case AttemptState::kInactive: return "inactive";
+    case AttemptState::kSucceeded: return "succeeded";
+    case AttemptState::kKilled: return "killed";
+    case AttemptState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace moon::mapred

@@ -1,0 +1,135 @@
+// A MapReduce job: tasks, attempts, intermediate/output files, metrics.
+//
+// The Job owns every Task and TaskAttempt and is the single place where
+// attempt state transitions are book-kept (slots released, metrics counted,
+// redundant copies killed, tasks reverted). The JobTracker drives
+// scheduling; TaskAttempts call back into the Job as they progress.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "mapred/task.hpp"
+#include "mapred/types.hpp"
+
+namespace moon::mapred {
+
+class JobTracker;
+
+class Job {
+ public:
+  Job(JobTracker& jobtracker, JobId id, JobSpec spec);
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+  [[nodiscard]] JobMetrics& metrics() { return metrics_; }
+  [[nodiscard]] const JobMetrics& metrics() const { return metrics_; }
+
+  // ---- tasks -------------------------------------------------------------
+  [[nodiscard]] Task& task(TaskId id);
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const std::vector<TaskId>& tasks_of(TaskType type) const;
+  [[nodiscard]] TaskAttempt* attempt(AttemptId id);
+
+  [[nodiscard]] int remaining_tasks() const;  ///< not yet completed (both types)
+  [[nodiscard]] int completed_tasks(TaskType type) const;
+  [[nodiscard]] bool all_maps_done() const;
+  [[nodiscard]] bool all_reduces_done() const;
+
+  /// Max progress across a task's attempts (1.0 once completed).
+  [[nodiscard]] double task_progress(TaskId id) const;
+  /// Average progress over all *started or completed* tasks of a type
+  /// (Hadoop's straggler baseline).
+  [[nodiscard]] double average_progress(TaskType type) const;
+
+  [[nodiscard]] int non_terminal_attempts(TaskId id) const;  ///< running+inactive
+  [[nodiscard]] int active_attempts(TaskId id) const;        ///< running only
+  [[nodiscard]] bool has_attempt_on(TaskId id, NodeId node) const;
+  [[nodiscard]] bool has_active_dedicated_attempt(TaskId id) const;
+  /// First-launch time of the oldest non-terminal attempt; nullopt if none.
+  [[nodiscard]] std::optional<sim::Time> oldest_attempt_start(TaskId id) const;
+
+  /// Count of non-terminal speculative attempts across the job.
+  [[nodiscard]] int running_speculative() const;
+
+  // ---- lifecycle ---------------------------------------------------------
+  void submit();
+  [[nodiscard]] bool finished() const { return metrics_.completed || metrics_.failed; }
+
+  /// Launches an attempt of `task` on `tracker` (slot must be free).
+  TaskAttempt& launch_attempt(TaskId task, TaskTracker& tracker, bool speculative);
+
+  /// Kills one attempt (bookkeeping + slot release + file cleanup).
+  void kill_attempt(TaskAttempt& attempt);
+  /// Kills every attempt hosted by `tracker` (tracker declared dead).
+  void kill_attempts_on(TaskTracker& tracker);
+
+  /// Full tracker-death handling: kill attempts, then re-execute completed
+  /// maps that lived there (Hadoop rule; MOON consults the DFS first).
+  void handle_tracker_death(TaskTracker& tracker);
+
+  // Called by TaskAttempt on self transitions.
+  void attempt_succeeded(TaskAttempt& attempt);
+  void attempt_failed(TaskAttempt& attempt);
+
+  // ---- intermediate / output data -----------------------------------------
+  /// Map-output file for a *completed* map task; invalid id otherwise.
+  [[nodiscard]] FileId map_output(TaskId map_task) const;
+  FileId create_intermediate_file(TaskId map_task, AttemptId attempt);
+  FileId create_output_file(TaskId reduce_task, AttemptId attempt);
+
+  /// A reduce attempt could not fetch `map_task`'s output.
+  void report_fetch_failure(TaskId map_task, TaskAttempt& reporter);
+
+  /// Reverts a completed map (its output is gone); re-queues it.
+  void revert_map(TaskId map_task);
+
+  /// Called by the JobTracker's completion scan: converts outputs to
+  /// reliable once all reduces are done, then completes the job when every
+  /// output block meets its replication factor.
+  void try_commit();
+
+  void fail_job();
+
+  /// Writes a human-readable snapshot of every incomplete task (state,
+  /// attempts, phases, shuffle progress) — debugging aid for stuck jobs.
+  void debug_dump(std::ostream& os) const;
+
+  [[nodiscard]] JobTracker& jobtracker() { return jobtracker_; }
+
+ private:
+  void build_tasks();
+  void update_task_state(Task& t);
+  void finalize_attempt(TaskAttempt& attempt);
+  void notify_reduces_of_map(TaskId map_task);
+
+  JobTracker& jobtracker_;
+  JobId id_;
+  JobSpec spec_;
+  JobMetrics metrics_;
+
+  std::unordered_map<TaskId, Task> tasks_;
+  std::vector<TaskId> map_tasks_;
+  std::vector<TaskId> reduce_tasks_;
+  std::unordered_map<AttemptId, std::unique_ptr<TaskAttempt>> attempts_;
+  IdAllocator<TaskId> task_ids_;
+  IdAllocator<AttemptId> attempt_ids_;
+
+  /// Distinct reduce tasks reporting fetch failure per map (Hadoop rule
+  /// counts reduces, not individual retries).
+  std::unordered_map<TaskId, std::unordered_set<TaskId>> fetch_failures_;
+
+  bool outputs_converted_ = false;
+};
+
+}  // namespace moon::mapred

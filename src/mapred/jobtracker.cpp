@@ -1,0 +1,236 @@
+#include "mapred/jobtracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace moon::mapred {
+
+JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
+                       dfs::Dfs& dfs, SchedulerConfig config, std::uint64_t seed)
+    : sim_(sim),
+      cluster_(cluster),
+      dfs_(dfs),
+      config_(config),
+      rng_(Rng{seed}.fork("jobtracker")),
+      liveness_task_(sim, config.liveness_scan_interval, [this] { liveness_scan(); }),
+      completion_task_(sim, config.completion_scan_interval,
+                       [this] { completion_scan(); }) {
+  // moon_scheduling implies the MOON speculator; otherwise the explicit
+  // choice (Hadoop's progress-gap policy or LATE) applies.
+  if (config_.moon_scheduling ||
+      config_.speculator == SchedulerConfig::Speculator::kMoon) {
+    speculator_ = std::make_unique<MoonSpeculator>(*this);
+  } else if (config_.speculator == SchedulerConfig::Speculator::kLate) {
+    speculator_ = std::make_unique<LateSpeculator>(*this);
+  } else {
+    speculator_ = std::make_unique<HadoopSpeculator>(*this);
+  }
+}
+
+TaskTracker& JobTracker::add_tracker(NodeId node) {
+  auto tracker = std::make_unique<TaskTracker>(sim_, cluster_.node(node), *this,
+                                               config_.heartbeat_interval);
+  TaskTracker* raw = tracker.get();
+  trackers_.push_back(std::move(tracker));
+  tracker_info_.emplace(node, TrackerInfo{raw, TrackerState::kLive, sim_.now()});
+  return *raw;
+}
+
+void JobTracker::add_all_trackers() {
+  for (NodeId id : cluster_.all_nodes()) add_tracker(id);
+}
+
+void JobTracker::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& tracker : trackers_) tracker->start();
+  liveness_task_.start();
+  completion_task_.start();
+}
+
+JobId JobTracker::submit(JobSpec spec) {
+  const JobId id = job_ids_.next();
+  auto job = std::make_unique<Job>(*this, id, std::move(spec));
+  job->submit();
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+Job& JobTracker::job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobTracker: unknown job");
+  return *it->second;
+}
+
+const Job& JobTracker::job(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobTracker: unknown job");
+  return *it->second;
+}
+
+void JobTracker::on_job_finished(std::function<void(Job&)> callback) {
+  finished_callbacks_.push_back(std::move(callback));
+}
+
+void JobTracker::notify_job_finished(Job& job) {
+  for (const auto& cb : finished_callbacks_) cb(job);
+}
+
+// ---- heartbeat handling ------------------------------------------------
+
+void JobTracker::heartbeat(TaskTracker& tracker) {
+  auto it = tracker_info_.find(tracker.node_id());
+  if (it == tracker_info_.end()) throw std::logic_error("JobTracker: unknown tracker");
+  TrackerInfo& info = it->second;
+  info.last_heartbeat = sim_.now();
+  if (info.state != TrackerState::kLive) {
+    set_tracker_state(info, TrackerState::kLive);
+  }
+  assign_work(tracker);
+}
+
+void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
+  const TrackerState prev = info.state;
+  if (prev == next) return;
+  info.state = next;
+  switch (next) {
+    case TrackerState::kLive:
+      // Back from suspension: reactivate surviving attempts.
+      for (TaskAttempt* attempt : info.tracker->all_attempts()) {
+        attempt->set_inactive(false);
+      }
+      break;
+    case TrackerState::kSuspended:
+      // §V-A: attempts are flagged inactive but *not* killed, "in the hope
+      // that they may be resumed when the TaskTracker is returned".
+      for (TaskAttempt* attempt : info.tracker->all_attempts()) {
+        attempt->set_inactive(true);
+      }
+      break;
+    case TrackerState::kDead:
+      // Hadoop semantics: every attempt on a dead tracker is killed, its
+      // tasks become schedulable elsewhere, and completed maps that lived
+      // there are re-executed (unless MOON finds surviving replicas).
+      for (auto& [job_id, job] : jobs_) {
+        if (!job->finished()) job->handle_tracker_death(*info.tracker);
+      }
+      break;
+  }
+}
+
+void JobTracker::liveness_scan() {
+  const sim::Time now = sim_.now();
+  for (auto& [node, info] : tracker_info_) {
+    if (info.state == TrackerState::kDead) continue;
+    const sim::Duration gap = now - info.last_heartbeat;
+    if (gap > config_.tracker_expiry) {
+      set_tracker_state(info, TrackerState::kDead);
+    } else if (config_.suspension_interval > 0 &&
+               info.state == TrackerState::kLive &&
+               gap > config_.suspension_interval) {
+      set_tracker_state(info, TrackerState::kSuspended);
+    }
+  }
+}
+
+void JobTracker::completion_scan() {
+  for (auto& [id, job] : jobs_) {
+    if (!job->finished()) job->try_commit();
+  }
+}
+
+// ---- task assignment -----------------------------------------------------
+
+void JobTracker::assign_work(TaskTracker& tracker) {
+  // One task per heartbeat, like Hadoop 0.17. Maps get priority when both
+  // slot types are open (they gate the reducers' shuffle).
+  for (auto& [job_id, job] : jobs_) {
+    if (job->finished()) continue;
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      if (tracker.free_slots(type) <= 0) continue;
+      std::optional<TaskId> choice = pick_pending(*job, type, tracker);
+      bool speculative = false;
+      if (!choice) {
+        choice = speculator_->pick(*job, type, tracker);
+        speculative = choice.has_value();
+      }
+      if (choice) {
+        job->launch_attempt(*choice, tracker, speculative);
+        return;
+      }
+    }
+  }
+}
+
+std::optional<TaskId> JobTracker::pick_pending(Job& job, TaskType type,
+                                               TaskTracker& tracker) {
+  // "The JobTracker first tries to schedule a non-running task, giving high
+  // priority to the recently failed tasks"; map input locality preferred.
+  const auto& nn = dfs_.namenode();
+  TaskId best = TaskId::invalid();
+  // Rank: (failures > 0, locality, schedule order).
+  int best_key_failed = -1;
+  int best_key_local = -1;
+  int best_key_order = 0;
+  for (TaskId id : job.tasks_of(type)) {
+    const Task& t = job.task(id);
+    if (t.state != TaskState::kPending) continue;
+    const int failed = t.failures > 0 ? 1 : 0;
+    int local = 0;
+    if (type == TaskType::kMap && nn.block_exists(t.input_block) &&
+        nn.block(t.input_block).has_replica_on(tracker.node_id())) {
+      local = 1;
+    }
+    const bool better =
+        !best.valid() || failed > best_key_failed ||
+        (failed == best_key_failed && local > best_key_local) ||
+        (failed == best_key_failed && local == best_key_local &&
+         t.schedule_order < best_key_order);
+    if (better) {
+      best = id;
+      best_key_failed = failed;
+      best_key_local = local;
+      best_key_order = t.schedule_order;
+    }
+  }
+  if (!best.valid()) return std::nullopt;
+  return best;
+}
+
+// ---- observations ---------------------------------------------------------
+
+TrackerState JobTracker::tracker_state(NodeId node) const {
+  auto it = tracker_info_.find(node);
+  if (it == tracker_info_.end()) throw std::out_of_range("JobTracker: unknown tracker");
+  return it->second.state;
+}
+
+int JobTracker::available_execution_slots() const {
+  int slots = 0;
+  for (const auto& [node, info] : tracker_info_) {
+    if (info.state != TrackerState::kLive) continue;
+    slots += info.tracker->map_slots() + info.tracker->reduce_slots();
+  }
+  return slots;
+}
+
+int JobTracker::total_slots(TaskType type) const {
+  int slots = 0;
+  for (const auto& [node, info] : tracker_info_) {
+    if (info.state != TrackerState::kLive) continue;
+    slots += type == TaskType::kMap ? info.tracker->map_slots()
+                                    : info.tracker->reduce_slots();
+  }
+  return slots;
+}
+
+std::vector<TaskTracker*> JobTracker::trackers() {
+  std::vector<TaskTracker*> out;
+  out.reserve(trackers_.size());
+  for (auto& t : trackers_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace moon::mapred

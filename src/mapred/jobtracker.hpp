@@ -1,0 +1,100 @@
+// JobTracker: the master control plane.
+//
+// Receives tracker heartbeats, assigns tasks (non-running tasks first with
+// failed-task priority and map locality, then speculative copies via the
+// configured SpeculationPolicy), monitors tracker liveness
+// (suspended/dead), arbitrates fetch-failure reports, and runs the job
+// completion scan.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/job.hpp"
+#include "mapred/speculation.hpp"
+#include "mapred/tasktracker.hpp"
+#include "mapred/types.hpp"
+#include "simkit/periodic.hpp"
+
+namespace moon::mapred {
+
+enum class TrackerState { kLive, kSuspended, kDead };
+
+class JobTracker {
+ public:
+  JobTracker(sim::Simulation& sim, cluster::Cluster& cluster, dfs::Dfs& dfs,
+             SchedulerConfig config, std::uint64_t seed);
+
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
+
+  /// Creates a TaskTracker on `node`. Call for every worker before start().
+  TaskTracker& add_tracker(NodeId node);
+  /// Convenience: trackers on every cluster node.
+  void add_all_trackers();
+
+  void start();
+
+  JobId submit(JobSpec spec);
+  [[nodiscard]] Job& job(JobId id);
+  [[nodiscard]] const Job& job(JobId id) const;
+
+  /// Fires when a job completes or fails.
+  void on_job_finished(std::function<void(Job&)> callback);
+
+  // ---- callbacks from the data plane --------------------------------------
+  void heartbeat(TaskTracker& tracker);
+  void notify_job_finished(Job& job);
+
+  // ---- environment observations -------------------------------------------
+  [[nodiscard]] TrackerState tracker_state(NodeId node) const;
+  /// Total execution slots (map + reduce) on live trackers — the paper's
+  /// "currently available execution slots".
+  [[nodiscard]] int available_execution_slots() const;
+  [[nodiscard]] int total_slots(TaskType type) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::vector<TaskTracker*> trackers();
+
+ private:
+  struct TrackerInfo {
+    TaskTracker* tracker = nullptr;
+    TrackerState state = TrackerState::kLive;
+    sim::Time last_heartbeat = 0;
+  };
+
+  void liveness_scan();
+  void completion_scan();
+  void assign_work(TaskTracker& tracker);
+  std::optional<TaskId> pick_pending(Job& job, TaskType type, TaskTracker& tracker);
+  void set_tracker_state(TrackerInfo& info, TrackerState next);
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  dfs::Dfs& dfs_;
+  SchedulerConfig config_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  std::unordered_map<NodeId, TrackerInfo> tracker_info_;
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+  IdAllocator<JobId> job_ids_;
+  std::unique_ptr<SpeculationPolicy> speculator_;
+
+  std::vector<std::function<void(Job&)>> finished_callbacks_;
+  sim::PeriodicTask liveness_task_;
+  sim::PeriodicTask completion_task_;
+  bool started_ = false;
+};
+
+}  // namespace moon::mapred

@@ -1,0 +1,89 @@
+// Speculative-execution policies (paper §V).
+//
+// `HadoopSpeculator` reproduces the Hadoop-0.17 baseline: a task is a
+// straggler if it has run for at least a minute and its progress score lags
+// the average of its type by 0.2; one backup copy max; stragglers picked in
+// original scheduling order with map-locality preference.
+//
+// `MoonSpeculator` implements §V-A/B/C: frozen-before-slow lists sorted by
+// ascending progress, a global cap on concurrent speculative copies (20 % of
+// available slots), two-phase homestretch replication (maintain R active
+// copies when remaining tasks < H % of slots), and optional hybrid awareness
+// (dedicated nodes host backups; tasks with a dedicated copy are excluded
+// from further replication and from the homestretch).
+#pragma once
+
+#include <optional>
+
+#include "common/ids.hpp"
+#include "mapred/types.hpp"
+
+namespace moon::mapred {
+
+class Job;
+class JobTracker;
+class TaskTracker;
+
+class SpeculationPolicy {
+ public:
+  virtual ~SpeculationPolicy() = default;
+
+  /// Picks a task of `type` deserving a speculative copy on `tracker`;
+  /// nullopt if none qualifies.
+  virtual std::optional<TaskId> pick(Job& job, TaskType type,
+                                     TaskTracker& tracker) = 0;
+};
+
+class HadoopSpeculator final : public SpeculationPolicy {
+ public:
+  explicit HadoopSpeculator(JobTracker& jobtracker) : jobtracker_(jobtracker) {}
+  std::optional<TaskId> pick(Job& job, TaskType type, TaskTracker& tracker) override;
+
+ private:
+  [[nodiscard]] bool is_straggler(Job& job, TaskId id, double average) const;
+  JobTracker& jobtracker_;
+};
+
+/// LATE — "Longest Approximate Time to End" (Zaharia et al., OSDI'08).
+///
+/// Estimates each running task's progress *rate* (score / elapsed time) and
+/// speculates on the slow task expected to finish furthest in the future,
+/// subject to a global SpeculativeCap. Designed for heterogeneous but
+/// *dedicated* resources: the paper's related work explains why a constant-
+/// rate assumption misfires on opportunistic ones ("the task progress rate
+/// is not constant on a node"), and combining LATE with MOON is named as
+/// future work — this implementation enables exactly that comparison.
+class LateSpeculator final : public SpeculationPolicy {
+ public:
+  explicit LateSpeculator(JobTracker& jobtracker) : jobtracker_(jobtracker) {}
+  std::optional<TaskId> pick(Job& job, TaskType type, TaskTracker& tracker) override;
+
+  /// Estimated seconds until `task` completes at its current rate;
+  /// +infinity for stalled tasks.
+  [[nodiscard]] double estimated_time_left(Job& job, TaskId task) const;
+  /// Progress score per second since first launch (0 for unstarted).
+  [[nodiscard]] double progress_rate(Job& job, TaskId task) const;
+
+ private:
+  JobTracker& jobtracker_;
+};
+
+class MoonSpeculator final : public SpeculationPolicy {
+ public:
+  explicit MoonSpeculator(JobTracker& jobtracker) : jobtracker_(jobtracker) {}
+  std::optional<TaskId> pick(Job& job, TaskType type, TaskTracker& tracker) override;
+
+  /// True when the job has entered the homestretch phase (§V-B).
+  [[nodiscard]] bool in_homestretch(const Job& job) const;
+
+ private:
+  std::optional<TaskId> pick_frozen(Job& job, TaskType type, TaskTracker& tracker);
+  std::optional<TaskId> pick_slow(Job& job, TaskType type, TaskTracker& tracker);
+  std::optional<TaskId> pick_homestretch(Job& job, TaskType type,
+                                         TaskTracker& tracker);
+  std::optional<TaskId> pick_dedicated_backup(Job& job, TaskType type,
+                                              TaskTracker& tracker);
+  JobTracker& jobtracker_;
+};
+
+}  // namespace moon::mapred

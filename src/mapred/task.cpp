@@ -1,0 +1,270 @@
+#include "mapred/task.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "mapred/job.hpp"
+#include "mapred/jobtracker.hpp"
+#include "mapred/tasktracker.hpp"
+
+namespace moon::mapred {
+
+namespace {
+/// Applies the per-attempt compute jitter: uniform in [1-j, 1+j].
+sim::Duration jittered(sim::Duration mean, double jitter, Rng& rng) {
+  if (jitter <= 0.0) return mean;
+  const double factor = rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return static_cast<sim::Duration>(static_cast<double>(mean) * factor);
+}
+}  // namespace
+
+TaskAttempt::TaskAttempt(Job& job, AttemptId id, TaskId task, TaskTracker& tracker,
+                         bool speculative)
+    : job_(job), id_(id), task_(task), tracker_(tracker), speculative_(speculative) {}
+
+TaskAttempt::~TaskAttempt() { cleanup_io(); }
+
+bool TaskAttempt::on_dedicated() const { return tracker_.dedicated(); }
+
+void TaskAttempt::start() {
+  auto& sim = job_.jobtracker().simulation();
+  started_at_ = sim.now();
+  const Task& t = job_.task(task_);
+  if (t.type == TaskType::kMap) {
+    phase_ = Phase::kRead;
+    map_read_input();
+  } else {
+    phase_ = Phase::kShuffle;
+    shuffle_pump();
+  }
+}
+
+// ---- map pipeline ----------------------------------------------------------
+
+void TaskAttempt::map_read_input() {
+  const Task& t = job_.task(task_);
+  io_op_ = job_.jobtracker().dfs().read_block(
+      t.input_block, tracker_.node_id(), [this](bool ok) {
+        io_op_.reset();
+        if (terminal()) return;
+        if (!ok) {
+          // Input block unreachable: this attempt fails (footnote 1: the map
+          // is rescheduled up to 4 times, then the job is terminated).
+          fail();
+          return;
+        }
+        phase_ = Phase::kCompute;
+        begin_compute(jittered(job_.spec().map_compute, job_.spec().compute_jitter,
+                               job_.jobtracker().rng()));
+      });
+}
+
+void TaskAttempt::map_compute_done() {
+  phase_ = Phase::kWrite;
+  my_output_ = job_.create_intermediate_file(task_, id_);
+  write_output(job_.spec().intermediate_per_map, job_.spec().intermediate_kind,
+               job_.spec().intermediate_factor, "intermediate");
+}
+
+// ---- reduce pipeline -------------------------------------------------------
+
+void TaskAttempt::shuffle_pump() {
+  if (terminal() || phase_ != Phase::kShuffle) return;
+  const auto& maps = job_.tasks_of(TaskType::kMap);
+  if (fetched_.size() == maps.size()) {
+    // Shuffle complete.
+    shuffle_done_at_ = job_.jobtracker().simulation().now();
+    job_.metrics().shuffle_time_s.add(
+        sim::to_seconds(shuffle_done_at_ - started_at_));
+    phase_ = Phase::kCompute;
+    begin_compute(jittered(job_.spec().reduce_compute, job_.spec().compute_jitter,
+                           job_.jobtracker().rng()));
+    return;
+  }
+  const int parallelism = job_.jobtracker().config().shuffle_parallelism;
+  for (TaskId m : maps) {
+    if (static_cast<int>(fetching_.size()) >= parallelism) break;
+    if (fetched_.contains(m) || fetching_.contains(m) || retry_wait_.contains(m)) {
+      continue;
+    }
+    if (!job_.map_output(m).valid()) continue;  // map not (re-)completed yet
+    start_fetch(m);
+  }
+}
+
+void TaskAttempt::start_fetch(TaskId map_task) {
+  auto& dfs = job_.jobtracker().dfs();
+  const FileId file = job_.map_output(map_task);
+  const auto& meta = dfs.namenode().file(file);
+  if (meta.blocks.empty()) return;
+  // The partition is spread across the file's blocks; pick one keyed by the
+  // reduce index so concurrent reducers spread their load.
+  const Task& me = job_.task(task_);
+  const BlockId block =
+      meta.blocks[static_cast<std::size_t>(me.index) % meta.blocks.size()];
+  const Bytes partition = std::max<Bytes>(
+      1, job_.spec().intermediate_per_map /
+             std::max(1, job_.spec().num_reduces));
+  const dfs::OpId op = dfs.read_partial(
+      block, tracker_.node_id(), partition,
+      [this, map_task](bool ok) { fetch_done(map_task, ok); });
+  fetching_.emplace(map_task, op);
+}
+
+void TaskAttempt::fetch_done(TaskId map_task, bool ok) {
+  fetching_.erase(map_task);
+  if (terminal()) return;
+  if (ok) {
+    fetched_.insert(map_task);
+  } else {
+    job_.report_fetch_failure(map_task, *this);
+    retry_wait_.insert(map_task);
+    auto& sim = job_.jobtracker().simulation();
+    retry_events_.push_back(sim.schedule_after(
+        job_.jobtracker().config().fetch_retry_interval, [this, map_task] {
+          retry_wait_.erase(map_task);
+          shuffle_pump();
+        }));
+  }
+  shuffle_pump();
+}
+
+std::vector<TaskId> TaskAttempt::unfetched_maps() const {
+  std::vector<TaskId> out;
+  for (TaskId m : job_.tasks_of(TaskType::kMap)) {
+    if (!fetched_.contains(m)) out.push_back(m);
+  }
+  return out;
+}
+
+void TaskAttempt::notify_map_completed(TaskId map_task) {
+  if (terminal() || phase_ != Phase::kShuffle) return;
+  // Fresh output supersedes any backoff for this map.
+  retry_wait_.erase(map_task);
+  shuffle_pump();
+}
+
+void TaskAttempt::reduce_compute_done() {
+  phase_ = Phase::kWrite;
+  my_output_ = job_.create_output_file(task_, id_);
+  // "Output data will first be stored as opportunistic files while the
+  // Reduce tasks are completing" (§IV-A).
+  write_output(job_.spec().output_per_reduce, dfs::FileKind::kOpportunistic,
+               job_.spec().output_factor, "output");
+}
+
+// ---- shared ---------------------------------------------------------------
+
+void TaskAttempt::begin_compute(sim::Duration duration) {
+  compute_total_ = duration;
+  auto& sim = job_.jobtracker().simulation();
+  compute_ = std::make_unique<sim::WorkUnit>(sim, duration, [this] {
+    if (terminal()) return;
+    if (job_.task(task_).type == TaskType::kMap) {
+      map_compute_done();
+    } else {
+      reduce_compute_done();
+    }
+  });
+  compute_->start();
+  if (!tracker_.host_available()) compute_->pause();
+}
+
+void TaskAttempt::write_output(Bytes size, dfs::FileKind /*kind*/,
+                               dfs::ReplicationFactor /*factor*/,
+                               const char* /*label*/) {
+  io_op_ = job_.jobtracker().dfs().write_file(
+      my_output_, tracker_.node_id(), std::max<Bytes>(size, 1),
+      [this](bool ok) { write_done(ok); });
+}
+
+void TaskAttempt::write_done(bool ok) {
+  io_op_.reset();
+  if (terminal()) return;
+  if (ok) {
+    succeed();
+  } else {
+    fail();
+  }
+}
+
+double TaskAttempt::progress() const {
+  if (state_ == AttemptState::kSucceeded) return 1.0;
+  const Task& t = job_.task(task_);
+  if (t.type == TaskType::kMap) {
+    switch (phase_) {
+      case Phase::kRead: return 0.0;
+      case Phase::kCompute:
+        return 0.05 + 0.90 * (compute_ ? compute_->progress() : 0.0);
+      case Phase::kWrite: return 0.95;
+      default: return 1.0;
+    }
+  }
+  // Reduce: shuffle third + compute two-thirds (sort+reduce), write at ~1.
+  const auto num_maps =
+      static_cast<double>(job_.tasks_of(TaskType::kMap).size());
+  const double shuffled =
+      num_maps == 0.0 ? 1.0 : static_cast<double>(fetched_.size()) / num_maps;
+  switch (phase_) {
+    case Phase::kShuffle: return shuffled / 3.0;
+    case Phase::kCompute:
+      return (1.0 + 2.0 * (compute_ ? compute_->progress() : 0.0)) / 3.0;
+    case Phase::kWrite: return 0.99;
+    default: return 1.0;
+  }
+}
+
+void TaskAttempt::set_inactive(bool inactive) {
+  if (terminal()) return;
+  state_ = inactive ? AttemptState::kInactive : AttemptState::kRunning;
+}
+
+void TaskAttempt::on_node_availability(bool up) {
+  if (terminal()) return;
+  if (compute_ && phase_ == Phase::kCompute) {
+    if (up) {
+      compute_->start();
+    } else {
+      compute_->pause();
+    }
+  }
+  if (up && phase_ == Phase::kShuffle) shuffle_pump();
+}
+
+void TaskAttempt::succeed() {
+  assert(!terminal());
+  phase_ = Phase::kDone;
+  state_ = AttemptState::kSucceeded;
+  cleanup_io();
+  job_.attempt_succeeded(*this);
+}
+
+void TaskAttempt::fail() {
+  assert(!terminal());
+  state_ = AttemptState::kFailed;
+  cleanup_io();
+  job_.attempt_failed(*this);
+}
+
+void TaskAttempt::kill() {
+  if (terminal()) return;
+  state_ = AttemptState::kKilled;
+  cleanup_io();
+}
+
+void TaskAttempt::cleanup_io() {
+  auto& dfs = job_.jobtracker().dfs();
+  auto& sim = job_.jobtracker().simulation();
+  if (io_op_) {
+    dfs.cancel_op(*io_op_);
+    io_op_.reset();
+  }
+  for (auto& [task, op] : fetching_) dfs.cancel_op(op);
+  fetching_.clear();
+  for (EventId e : retry_events_) sim.cancel(e);
+  retry_events_.clear();
+  if (compute_) compute_->cancel();
+}
+
+}  // namespace moon::mapred

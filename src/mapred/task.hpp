@@ -1,0 +1,146 @@
+// Tasks and task attempts.
+//
+// A `Task` is a unit of the job (map i / reduce j) with scheduling metadata;
+// a `TaskAttempt` is one execution instance on a specific tracker, a small
+// asynchronous state machine over DFS I/O and a pausable compute WorkUnit:
+//
+//   map    : READ input block -> COMPUTE -> WRITE intermediate file
+//   reduce : SHUFFLE (fetch every map's partition) -> COMPUTE -> WRITE output
+//
+// Attempts never self-destruct: terminal transitions are driven through the
+// Job, which owns them and keeps the metrics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/types.hpp"
+#include "simkit/work_unit.hpp"
+
+namespace moon::mapred {
+
+class Job;
+class TaskTracker;
+
+struct Task {
+  TaskId id;
+  TaskType type = TaskType::kMap;
+  int index = 0;            ///< map index / reduce partition
+  TaskState state = TaskState::kPending;
+  BlockId input_block;      ///< maps only
+  int failures = 0;         ///< failed attempts (footnote-1 accounting)
+  int schedule_order = 0;   ///< original scheduling order (Hadoop tie-break)
+  std::vector<AttemptId> attempts;  ///< all attempts ever launched
+
+  /// Output of the winning map attempt (maps only; invalid until complete).
+  FileId output_file;
+
+  /// Node that hosted the winning attempt (for Hadoop's re-execute-on-
+  /// tracker-death rule; maps only).
+  NodeId completed_on;
+};
+
+class TaskAttempt {
+ public:
+  enum class Phase { kRead, kCompute, kWrite, kShuffle, kDone };
+
+  TaskAttempt(Job& job, AttemptId id, TaskId task, TaskTracker& tracker,
+              bool speculative);
+  ~TaskAttempt();
+
+  TaskAttempt(const TaskAttempt&) = delete;
+  TaskAttempt& operator=(const TaskAttempt&) = delete;
+
+  void start();
+
+  /// Framework-initiated termination (redundant copy, tracker death, ...).
+  void kill();
+
+  [[nodiscard]] AttemptId id() const { return id_; }
+  [[nodiscard]] TaskId task() const { return task_; }
+  [[nodiscard]] TaskTracker& tracker() { return tracker_; }
+  [[nodiscard]] const TaskTracker& tracker() const { return tracker_; }
+  [[nodiscard]] AttemptState state() const { return state_; }
+  [[nodiscard]] bool terminal() const {
+    return state_ == AttemptState::kSucceeded || state_ == AttemptState::kKilled ||
+           state_ == AttemptState::kFailed;
+  }
+  [[nodiscard]] bool speculative() const { return speculative_; }
+  [[nodiscard]] bool on_dedicated() const;
+  [[nodiscard]] sim::Time started_at() const { return started_at_; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+  /// File this attempt is writing (intermediate for maps, output for
+  /// reduces); invalid before the write phase.
+  [[nodiscard]] FileId output_file() const { return my_output_; }
+  [[nodiscard]] sim::Time shuffle_done_at() const { return shuffle_done_at_; }
+
+  /// Hadoop progress score in [0,1]:
+  ///   map   : 0.05 read + 0.90 x compute + 0.05 write
+  ///   reduce: (shuffled_fraction + 2 x compute_progress) / 3
+  [[nodiscard]] double progress() const;
+
+  /// Scheduler view (MOON): mark inactive / reactivate on tracker
+  /// suspension transitions. Physical progress is governed by node
+  /// availability, not by this flag.
+  void set_inactive(bool inactive);
+
+  /// Node availability transitions (pauses/resumes the compute unit).
+  void on_node_availability(bool up);
+
+  /// Shuffle bookkeeping: a map completed (fresh output available).
+  void notify_map_completed(TaskId map_task);
+
+  /// Maps whose partitions this (reduce) attempt has not yet fetched.
+  [[nodiscard]] std::vector<TaskId> unfetched_maps() const;
+  [[nodiscard]] std::size_t fetched_count() const { return fetched_.size(); }
+  [[nodiscard]] std::size_t fetching_count() const { return fetching_.size(); }
+  [[nodiscard]] std::size_t retry_wait_count() const { return retry_wait_.size(); }
+
+ private:
+  // --- map pipeline ---
+  void map_read_input();
+  void map_compute_done();
+
+  // --- reduce pipeline ---
+  void shuffle_pump();
+  void start_fetch(TaskId map_task);
+  void fetch_done(TaskId map_task, bool ok);
+  void reduce_compute_done();
+
+  void begin_compute(sim::Duration duration);
+  void write_output(Bytes size, dfs::FileKind kind, dfs::ReplicationFactor factor,
+                    const char* label);
+  void write_done(bool ok);
+
+  void succeed();
+  void fail();
+  void cleanup_io();
+
+  Job& job_;
+  AttemptId id_;
+  TaskId task_;
+  TaskTracker& tracker_;
+  bool speculative_;
+  AttemptState state_ = AttemptState::kRunning;
+  Phase phase_ = Phase::kRead;
+  sim::Time started_at_ = 0;
+
+  std::optional<dfs::OpId> io_op_;        ///< read or write in flight
+  std::unique_ptr<sim::WorkUnit> compute_;
+  sim::Duration compute_total_ = 0;
+  FileId my_output_;                       ///< file this attempt is writing
+
+  // Reduce/shuffle state.
+  std::unordered_set<TaskId> fetched_;
+  std::unordered_map<TaskId, dfs::OpId> fetching_;
+  std::unordered_set<TaskId> retry_wait_;  ///< failed; waiting for retry tick
+  std::vector<EventId> retry_events_;
+  sim::Time shuffle_done_at_ = 0;
+};
+
+}  // namespace moon::mapred

@@ -1,0 +1,63 @@
+#include "mapred/tasktracker.hpp"
+
+#include <stdexcept>
+
+#include "mapred/jobtracker.hpp"
+#include "mapred/task.hpp"
+
+namespace moon::mapred {
+
+TaskTracker::TaskTracker(sim::Simulation& sim, cluster::Node& host,
+                         JobTracker& jobtracker, sim::Duration heartbeat_interval)
+    : sim_(sim),
+      host_(host),
+      jobtracker_(jobtracker),
+      heartbeat_(sim, heartbeat_interval, [this] { beat(); }) {
+  host_.subscribe([this](bool up) {
+    for (TaskAttempt* attempt : all_attempts()) attempt->on_node_availability(up);
+  });
+}
+
+int TaskTracker::free_slots(TaskType type) const {
+  const int total = type == TaskType::kMap ? map_slots() : reduce_slots();
+  return total - used_slots(type);
+}
+
+int TaskTracker::used_slots(TaskType type) const {
+  return static_cast<int>(type == TaskType::kMap ? map_attempts_.size()
+                                                 : reduce_attempts_.size());
+}
+
+void TaskTracker::occupy(TaskType type, TaskAttempt* attempt) {
+  auto& set = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
+  if (free_slots(type) <= 0) throw std::logic_error("TaskTracker: no free slot");
+  set.insert(attempt);
+}
+
+void TaskTracker::release(TaskType type, TaskAttempt* attempt) {
+  auto& set = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
+  set.erase(attempt);
+}
+
+const std::unordered_set<TaskAttempt*>& TaskTracker::attempts(TaskType type) const {
+  return type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
+}
+
+std::vector<TaskAttempt*> TaskTracker::all_attempts() const {
+  std::vector<TaskAttempt*> out;
+  out.reserve(map_attempts_.size() + reduce_attempts_.size());
+  out.insert(out.end(), map_attempts_.begin(), map_attempts_.end());
+  out.insert(out.end(), reduce_attempts_.begin(), reduce_attempts_.end());
+  return out;
+}
+
+void TaskTracker::start() { heartbeat_.start(); }
+
+void TaskTracker::beat() {
+  // A suspended host is silent; the JobTracker infers suspension/death from
+  // the heartbeat gap.
+  if (!host_.available()) return;
+  jobtracker_.heartbeat(*this);
+}
+
+}  // namespace moon::mapred

@@ -1,0 +1,150 @@
+// MapReduce framework vocabulary (Hadoop-0.17-era semantics, per paper §II-C).
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "dfs/types.hpp"
+
+namespace moon::mapred {
+
+enum class TaskType { kMap, kReduce };
+
+enum class TaskState {
+  kPending,    ///< no live attempt; eligible for scheduling
+  kRunning,    ///< >= 1 non-terminal attempt
+  kCompleted,  ///< one attempt succeeded
+};
+
+enum class AttemptState {
+  kRunning,
+  kInactive,   ///< MOON: host tracker suspected suspended; not killed yet
+  kSucceeded,
+  kKilled,     ///< terminated by the framework (tracker died, redundant, ...)
+  kFailed,     ///< the attempt itself errored (e.g. unreadable input)
+};
+
+const char* to_string(TaskType type);
+const char* to_string(TaskState state);
+const char* to_string(AttemptState state);
+
+/// Per-job static description. Data volumes/durations come from the
+/// workload models (Table I + calibration).
+struct JobSpec {
+  std::string name = "job";
+  int num_maps = 0;
+  int num_reduces = 0;
+  /// Staged input file; map i reads input block i (blocks == num_maps).
+  FileId input_file;
+
+  Bytes intermediate_per_map = 0;  ///< total map-output bytes per map task
+  Bytes output_per_reduce = 0;     ///< final output bytes per reduce task
+
+  sim::Duration map_compute = 10 * sim::kSecond;
+  sim::Duration reduce_compute = 10 * sim::kSecond;
+  /// Uniform +/- jitter applied per attempt (0.1 -> [0.9x, 1.1x]).
+  double compute_jitter = 0.1;
+
+  /// Intermediate-data policy: kind + {d,v}. Hadoop's map-local storage is
+  /// {0,1} opportunistic (the single replica lands on the writer).
+  dfs::FileKind intermediate_kind = dfs::FileKind::kOpportunistic;
+  dfs::ReplicationFactor intermediate_factor{0, 1};
+
+  /// Output files are written opportunistic with this factor, then converted
+  /// to reliable at job commit (§IV-A).
+  dfs::ReplicationFactor output_factor{1, 3};
+};
+
+/// Scheduler/framework tunables. The experiment harness derives the paper's
+/// policy variants (Hadoop{1,5,10}Min, MOON, MOON-Hybrid) from these.
+struct SchedulerConfig {
+  sim::Duration heartbeat_interval = 3 * sim::kSecond;
+  sim::Duration liveness_scan_interval = 10 * sim::kSecond;
+
+  /// TrackerExpiryInterval: heartbeat gap after which a tracker is dead and
+  /// its attempts are killed (Hadoop default 10 min).
+  sim::Duration tracker_expiry = 600 * sim::kSecond;
+
+  /// MOON SuspensionInterval ("much smaller than TrackerExpiryInterval");
+  /// 0 disables suspension detection (plain Hadoop).
+  sim::Duration suspension_interval = 0;
+
+  bool moon_scheduling = false;  ///< frozen/slow lists + two-phase replication
+  bool hybrid_aware = false;     ///< dedicated-node-aware placement (§V-C)
+
+  /// On tracker death, consult the DFS before re-executing completed maps
+  /// (MOON); stock Hadoop re-runs them unconditionally.
+  bool dfs_aware_recovery = false;
+
+  /// Which speculative-execution policy drives backup copies. kMoon is
+  /// implied by moon_scheduling; kLate implements Zaharia et al.'s LATE
+  /// (OSDI'08), the alternative the paper's related work discusses.
+  enum class Speculator { kHadoop, kMoon, kLate };
+  Speculator speculator = Speculator::kHadoop;
+
+  // --- LATE parameters (used when speculator == kLate) ---
+  /// SpeculativeCap: concurrent backups <= this fraction of total slots.
+  double late_cap_fraction = 0.1;
+  /// SlowTaskThreshold: only tasks whose progress *rate* is below this
+  /// percentile of running tasks' rates are candidates.
+  double late_slow_task_percentile = 25.0;
+
+  // --- speculative execution ---
+  sim::Duration min_age_for_speculation = 60 * sim::kSecond;
+  double straggler_gap = 0.2;         ///< progress lag vs average
+  int per_task_speculative_cap = 1;   ///< Hadoop default backup copies
+  double speculative_slot_fraction = 0.2;  ///< MOON global cap (20 % of slots)
+  double homestretch_fraction = 0.2;  ///< H: remaining < H% of slots
+  int homestretch_copies = 2;         ///< R: active copies to maintain
+
+  // --- fetch-failure handling ---
+  /// Hadoop rule: re-execute a map when more than this fraction of running
+  /// reduces report failures fetching it.
+  double fetch_failure_fraction = 0.5;
+  /// Augmented rule (§VI-B): after this many failures, query the DFS and
+  /// re-execute immediately if no live replica remains. <= 0 disables.
+  int fetch_failure_query_threshold = 3;
+  sim::Duration fetch_retry_interval = 30 * sim::kSecond;
+  int shuffle_parallelism = 4;  ///< concurrent fetch streams per reduce
+
+  /// Footnote 1: a map rescheduled this many times fails the job.
+  int max_task_failures = 4;
+
+  sim::Duration completion_scan_interval = 5 * sim::kSecond;
+};
+
+/// Everything the paper's evaluation reports, collected per job run.
+struct JobMetrics {
+  bool completed = false;
+  bool failed = false;
+  sim::Time submitted_at = 0;
+  sim::Time finished_at = 0;
+
+  int launched_map_attempts = 0;
+  int launched_reduce_attempts = 0;
+  int speculative_attempts = 0;
+  int killed_map_attempts = 0;
+  int killed_reduce_attempts = 0;
+  int failed_map_attempts = 0;
+  int failed_reduce_attempts = 0;
+  int map_reexecutions = 0;  ///< completed maps reverted (lost output)
+  int fetch_failures = 0;
+
+  Accumulator map_time_s;      ///< successful map attempt durations
+  Accumulator shuffle_time_s;  ///< reduce start -> last fetch done
+  Accumulator reduce_time_s;   ///< post-shuffle compute+write durations
+
+  [[nodiscard]] double execution_time_s() const {
+    return sim::to_seconds(finished_at - submitted_at);
+  }
+  /// Paper Fig. 5: attempts beyond one per task (speculatives + re-runs).
+  [[nodiscard]] int duplicated_tasks(int num_maps, int num_reduces) const {
+    return launched_map_attempts + launched_reduce_attempts - num_maps -
+           num_reduces;
+  }
+};
+
+}  // namespace moon::mapred

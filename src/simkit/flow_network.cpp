@@ -1,0 +1,252 @@
+#include "simkit/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace moon::sim {
+namespace {
+// A flow is "done" when less than half a byte remains; avoids infinite
+// rescheduling from floating-point residue.
+constexpr double kDoneEpsilon = 0.5;
+}  // namespace
+
+FlowNetwork::FlowNetwork(Simulation& sim, FairnessModel model)
+    : sim_(sim), model_(model), last_update_(sim.now()) {}
+
+FlowNetwork::~FlowNetwork() {
+  if (completion_event_.valid()) sim_.cancel(completion_event_);
+}
+
+FlowNetwork::ResourceId FlowNetwork::add_resource(BytesPerSecond capacity,
+                                                  std::string name) {
+  if (capacity < 0.0) throw std::logic_error("FlowNetwork: negative capacity");
+  resources_.push_back(Resource{capacity, std::move(name), 0.0});
+  return resources_.size() - 1;
+}
+
+void FlowNetwork::set_capacity(ResourceId resource, BytesPerSecond capacity) {
+  if (capacity < 0.0) throw std::logic_error("FlowNetwork: negative capacity");
+  advance_progress();
+  resources_.at(resource).cap = capacity;
+  settle();
+}
+
+BytesPerSecond FlowNetwork::capacity(ResourceId resource) const {
+  return resources_.at(resource).cap;
+}
+
+FlowId FlowNetwork::start_flow(std::vector<ResourceId> resources, Bytes size,
+                               CompletionFn on_complete) {
+  if (size < 0) throw std::logic_error("FlowNetwork: negative flow size");
+  for (ResourceId r : resources) {
+    if (r >= resources_.size()) throw std::out_of_range("FlowNetwork: bad resource");
+  }
+  advance_progress();
+  const FlowId id = ids_.next();
+  // Clamp to one byte: a zero-size flow would complete synchronously inside
+  // this call, handing re-entrancy surprises to the caller. One byte keeps
+  // completion asynchronous (and is immediate at any non-zero rate).
+  const double bytes = std::max<double>(1.0, static_cast<double>(size));
+  flows_.emplace(id, Flow{std::move(resources), bytes, 0.0,
+                          std::move(on_complete)});
+  settle();
+  return id;
+}
+
+void FlowNetwork::abort_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  flows_.erase(it);
+  settle();
+}
+
+bool FlowNetwork::active(FlowId id) const { return flows_.contains(id); }
+
+Bytes FlowNetwork::remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0;
+  // Account for progress since the last settle without mutating state.
+  const double elapsed = to_seconds(sim_.now() - last_update_);
+  const double rem = it->second.remaining - it->second.rate * elapsed;
+  return static_cast<Bytes>(std::max(0.0, std::ceil(rem)));
+}
+
+double FlowNetwork::rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::transferred_through(ResourceId resource) const {
+  // Progress accrued up to the last settle. Settles happen on every flow
+  // start/finish/capacity change, so under load this is at most a few
+  // simulated milliseconds stale — good enough for the heartbeat bandwidth
+  // telemetry it feeds, and O(1) (it is polled by every DataNode beat).
+  return resources_.at(resource).transferred;
+}
+
+void FlowNetwork::advance_progress() {
+  const Time now = sim_.now();
+  const double elapsed = to_seconds(now - last_update_);
+  last_update_ = now;
+  if (elapsed <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const double moved = std::min(flow.remaining, flow.rate * elapsed);
+    flow.remaining -= moved;
+    for (ResourceId r : flow.resources) resources_[r].transferred += moved;
+  }
+}
+
+void FlowNetwork::recompute_rates() {
+  if (model_ == FairnessModel::kBottleneckShare) {
+    recompute_rates_bottleneck_share();
+  } else {
+    recompute_rates_maxmin();
+  }
+}
+
+void FlowNetwork::recompute_rates_bottleneck_share() {
+  // Fast approximation: each flow receives the worst per-resource fair share
+  // along its path. Shares never sum above capacity on any resource.
+  //
+  // Stalled flows (any zero-capacity resource on the path, i.e. an endpoint
+  // node is down) are excluded from the load counts first: exact max-min
+  // redistributes their share automatically, and without this exclusion a
+  // volatile cluster collapses — half the flows are stalled at any moment
+  // and would pin down capacity they cannot use.
+  std::vector<std::size_t> load(resources_.size(), 0);
+  for (auto& [id, flow] : flows_) {
+    bool stalled = false;
+    for (ResourceId r : flow.resources) {
+      if (resources_[r].cap <= 0.0) {
+        stalled = true;
+        break;
+      }
+    }
+    flow.rate = stalled ? 0.0 : -1.0;  // -1 marks "live, rate pending"
+    if (!stalled) {
+      for (ResourceId r : flow.resources) ++load[r];
+    }
+  }
+  for (auto& [id, flow] : flows_) {
+    if (flow.rate == 0.0) continue;  // stalled
+    if (flow.resources.empty()) {
+      flow.rate = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    double rate = std::numeric_limits<double>::infinity();
+    for (ResourceId r : flow.resources) {
+      rate = std::min(rate, resources_[r].cap / static_cast<double>(load[r]));
+    }
+    flow.rate = std::max(0.0, rate);
+  }
+}
+
+void FlowNetwork::recompute_rates_maxmin() {
+  // Progressive filling (max-min fairness).
+  std::vector<double> residual(resources_.size());
+  std::vector<std::size_t> load(resources_.size(), 0);
+  for (std::size_t r = 0; r < resources_.size(); ++r) residual[r] = resources_[r].cap;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    if (flow.resources.empty()) {
+      // Resource-less flow: completes at infinite rate; model as huge rate.
+      flow.rate = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    unfrozen.push_back(&flow);
+    for (ResourceId r : flow.resources) ++load[r];
+  }
+
+  while (!unfrozen.empty()) {
+    // Find the bottleneck: the resource with the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_r = resources_.size();
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (load[r] == 0) continue;
+      const double share = residual[r] / static_cast<double>(load[r]);
+      if (share < best_share) {
+        best_share = share;
+        best_r = r;
+      }
+    }
+    if (best_r == resources_.size()) break;  // no loaded resources remain
+
+    // Freeze every unfrozen flow crossing the bottleneck at that share.
+    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
+      Flow* f = *it;
+      const bool crosses = std::find(f->resources.begin(), f->resources.end(),
+                                     best_r) != f->resources.end();
+      if (!crosses) {
+        ++it;
+        continue;
+      }
+      f->rate = std::max(0.0, best_share);
+      for (ResourceId r : f->resources) {
+        residual[r] = std::max(0.0, residual[r] - f->rate);
+        --load[r];
+      }
+      it = unfrozen.erase(it);
+    }
+  }
+}
+
+void FlowNetwork::schedule_next_completion() {
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId::invalid();
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining <= kDoneEpsilon) {
+      earliest = 0.0;
+      break;
+    }
+    if (flow.rate > 0.0) {
+      earliest = std::min(earliest, flow.remaining / flow.rate);
+    }
+  }
+  if (!std::isfinite(earliest)) return;  // everything stalled
+  auto delay = static_cast<Duration>(std::ceil(earliest * kSecond));
+  delay = std::max<Duration>(delay, 0);
+  completion_event_ = sim_.schedule_after(delay, [this] {
+    completion_event_ = EventId::invalid();
+    settle();
+  });
+}
+
+void FlowNetwork::settle() {
+  // Completion callbacks may call back into this object (starting/aborting
+  // flows). Those nested calls run advance/settle themselves; suppress the
+  // outer re-entry and let the loop below re-check.
+  if (settling_) return;
+  settling_ = true;
+  advance_progress();
+
+  // Retire finished flows, firing callbacks outside of map mutation.
+  for (;;) {
+    FlowId done = FlowId::invalid();
+    for (auto& [id, flow] : flows_) {
+      if (flow.remaining <= kDoneEpsilon) {
+        done = id;
+        break;
+      }
+    }
+    if (!done.valid()) break;
+    CompletionFn cb = std::move(flows_.at(done).on_complete);
+    flows_.erase(done);
+    if (cb) cb(done);
+    advance_progress();
+  }
+
+  recompute_rates();
+  settling_ = false;
+  schedule_next_completion();
+}
+
+}  // namespace moon::sim

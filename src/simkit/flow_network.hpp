@@ -1,0 +1,114 @@
+// Fluid data-transfer model with max-min fair sharing.
+//
+// Every data movement in the cluster (network transfer, disk read/write) is
+// a *flow* that occupies one or more capacity-limited *resources* (a node's
+// NIC-out, NIC-in, or disk). Rates are allocated by progressive filling
+// (water-filling): the most contended resource saturates first, its flows
+// are frozen at the bottleneck share, and the residual capacity is re-
+// divided among the rest. Rates are recomputed whenever the flow set or a
+// capacity changes; each flow's completion is an event computed from its
+// remaining bytes.
+//
+// A node that becomes unavailable has its resource capacities set to zero:
+// flows through it stall at rate 0 (they do not abort — mirroring the
+// paper's emulation, which SIGSTOPs Hadoop processes). Failure semantics
+// (timeouts, fetch failures) belong to the layers above.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::sim {
+
+/// Rate-allocation strategy.
+enum class FairnessModel {
+  /// Exact max-min fairness via progressive filling. O(bottlenecks × flows)
+  /// per churn; use for correctness-sensitive small scenarios and tests.
+  kMaxMin,
+  /// Bottleneck-share approximation: rate = min over the flow's resources of
+  /// capacity / flow-count. Never over-subscribes a resource, but forgoes
+  /// redistributing residual capacity. O(flow degree) per flow per churn;
+  /// use for large experiment sweeps.
+  kBottleneckShare,
+};
+
+class FlowNetwork {
+ public:
+  using ResourceId = std::size_t;
+  /// Completion callback; receives the id of the finished flow.
+  using CompletionFn = std::function<void(FlowId)>;
+
+  explicit FlowNetwork(Simulation& sim,
+                       FairnessModel model = FairnessModel::kMaxMin);
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+  ~FlowNetwork();
+
+  /// Registers a capacity-limited resource (bytes/second).
+  ResourceId add_resource(BytesPerSecond capacity, std::string name = {});
+
+  /// Changes a resource's capacity (0 = stalled); live flows re-share.
+  void set_capacity(ResourceId resource, BytesPerSecond capacity);
+  [[nodiscard]] BytesPerSecond capacity(ResourceId resource) const;
+
+  /// Starts a flow of `size` bytes across `resources` (all simultaneously
+  /// required). `on_complete` fires when the last byte is delivered; it may
+  /// start or abort other flows.
+  FlowId start_flow(std::vector<ResourceId> resources, Bytes size,
+                    CompletionFn on_complete);
+
+  /// Aborts a flow; its completion callback never fires.
+  void abort_flow(FlowId id);
+
+  [[nodiscard]] bool active(FlowId id) const;
+  [[nodiscard]] Bytes remaining(FlowId id) const;
+  [[nodiscard]] double rate(FlowId id) const;  ///< bytes/second right now
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Bytes moved through `resource` since construction (for throttling
+  /// telemetry: dedicated DataNodes report consumed bandwidth upstream).
+  [[nodiscard]] double transferred_through(ResourceId resource) const;
+
+ private:
+  struct Flow {
+    std::vector<ResourceId> resources;
+    double remaining;  // bytes
+    double rate = 0.0;  // bytes/second, assigned by the allocator
+    CompletionFn on_complete;
+  };
+
+  struct Resource {
+    BytesPerSecond cap = 0.0;
+    std::string name;
+    double transferred = 0.0;  // lifetime bytes through this resource
+  };
+
+  /// Accrues progress for all flows since `last_update_`, retiring finished
+  /// flows, then recomputes rates and re-schedules the completion event.
+  void settle();
+  void advance_progress();
+  void recompute_rates();
+  void recompute_rates_maxmin();
+  void recompute_rates_bottleneck_share();
+  void schedule_next_completion();
+
+  Simulation& sim_;
+  FairnessModel model_;
+  IdAllocator<FlowId> ids_;
+  std::vector<Resource> resources_;
+  std::unordered_map<FlowId, Flow> flows_;
+  Time last_update_ = 0;
+  EventId completion_event_ = EventId::invalid();
+  bool settling_ = false;
+};
+
+}  // namespace moon::sim

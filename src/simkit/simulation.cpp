@@ -1,0 +1,68 @@
+#include "simkit/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace moon::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::logic_error("Simulation: scheduling into the past");
+  const EventId id = ids_.next();
+  queue_.push(Entry{t, seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulation::schedule_after(Duration delay, Callback cb) {
+  if (delay < 0) throw std::logic_error("Simulation: negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulation::is_pending(EventId id) const { return callbacks_.contains(id); }
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // tombstone from cancel()
+      continue;
+    }
+    queue_.pop();
+    assert(top.time >= now_);
+    now_ = top.time;
+    // Move the callback out before invoking: it may schedule/cancel events,
+    // and must not observe itself as still pending.
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (!callbacks_.contains(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace moon::sim

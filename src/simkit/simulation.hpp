@@ -1,0 +1,79 @@
+// Discrete-event simulation core.
+//
+// A `Simulation` owns the virtual clock and the pending-event queue. Events
+// are closures scheduled for an absolute or relative simulated time; equal
+// timestamps execute in scheduling order (FIFO), which makes runs fully
+// deterministic. Cancellation is O(1) amortised via tombstoning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace moon::sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed = 0);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event; cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool is_pending(EventId id) const;
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  void run_until(Time t);
+
+  /// Runs until the event queue drains.
+  void run();
+
+  [[nodiscard]] std::size_t pending_events() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  IdAllocator<EventId> ids_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  Rng rng_;
+};
+
+}  // namespace moon::sim

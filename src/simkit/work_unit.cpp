@@ -1,0 +1,73 @@
+#include "simkit/work_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace moon::sim {
+
+WorkUnit::WorkUnit(Simulation& sim, Duration total_work, Callback on_complete)
+    : sim_(sim), total_work_(std::max<Duration>(total_work, 0)),
+      on_complete_(std::move(on_complete)) {}
+
+WorkUnit::~WorkUnit() {
+  if (completion_event_.valid()) sim_.cancel(completion_event_);
+}
+
+void WorkUnit::start() {
+  if (finished_ || running_) return;
+  running_ = true;
+  started_at_ = sim_.now();
+  const Duration remaining = total_work_ - done_;
+  if (remaining <= 0) {
+    // Zero-length work completes via an event so callers never observe a
+    // completion callback re-entering from inside start().
+    completion_event_ = sim_.schedule_after(0, [this] { complete(); });
+    return;
+  }
+  completion_event_ = sim_.schedule_after(remaining, [this] { complete(); });
+}
+
+void WorkUnit::pause() {
+  if (!running_ || finished_) return;
+  done_ += sim_.now() - started_at_;
+  running_ = false;
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId::invalid();
+  }
+}
+
+void WorkUnit::cancel() {
+  pause();
+  finished_ = true;  // prevents restart; callback already dropped below
+  on_complete_ = nullptr;
+}
+
+double WorkUnit::progress() const {
+  if (total_work_ <= 0) return finished_ ? 1.0 : 0.0;
+  const auto done = static_cast<double>(work_done());
+  return std::min(1.0, done / static_cast<double>(total_work_));
+}
+
+Duration WorkUnit::work_done() const {
+  if (finished_) return total_work_;
+  Duration d = done_;
+  if (running_) d += sim_.now() - started_at_;
+  return std::min(d, total_work_);
+}
+
+void WorkUnit::complete() {
+  completion_event_ = EventId::invalid();
+  done_ = total_work_;
+  running_ = false;
+  finished_ = true;
+  if (on_complete_) {
+    // Move out first: the callback commonly destroys this WorkUnit.
+    Callback cb = std::move(on_complete_);
+    cb();
+  }
+}
+
+}  // namespace moon::sim

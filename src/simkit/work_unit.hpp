@@ -1,0 +1,61 @@
+// Pausable compute work.
+//
+// A WorkUnit models a CPU-bound activity (a map or reduce computation) that
+// accrues progress only while running. Pausing freezes the remaining work —
+// exactly the semantics of the paper's emulation, where all MapReduce
+// processes on a node are suspended while the "owner" uses the machine.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::sim {
+
+class WorkUnit {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `total_work` is the busy time required to finish (µs of CPU).
+  WorkUnit(Simulation& sim, Duration total_work, Callback on_complete);
+  ~WorkUnit();
+
+  WorkUnit(const WorkUnit&) = delete;
+  WorkUnit& operator=(const WorkUnit&) = delete;
+
+  /// Begins (or restarts after pause) accruing progress.
+  void start();
+
+  /// Stops accruing progress; completed work is retained.
+  void pause();
+
+  /// Abandons the work; the completion callback never fires.
+  void cancel();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// Fraction of total work completed, in [0, 1].
+  [[nodiscard]] double progress() const;
+
+  /// Busy time accrued so far.
+  [[nodiscard]] Duration work_done() const;
+
+  [[nodiscard]] Duration total_work() const { return total_work_; }
+
+ private:
+  void complete();
+
+  Simulation& sim_;
+  Duration total_work_;
+  Callback on_complete_;
+  Duration done_ = 0;        // accrued while paused or finished
+  Time started_at_ = 0;      // valid while running_
+  bool running_ = false;
+  bool finished_ = false;
+  EventId completion_event_ = EventId::invalid();
+};
+
+}  // namespace moon::sim

@@ -1,0 +1,54 @@
+#include "trace/availability_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace moon::trace {
+
+AvailabilityTrace::AvailabilityTrace(sim::Duration horizon,
+                                     std::vector<Interval> down)
+    : horizon_(horizon) {
+  if (horizon <= 0) throw std::logic_error("AvailabilityTrace: non-positive horizon");
+  for (auto& iv : down) {
+    if (iv.begin < 0 || iv.end > horizon || iv.begin >= iv.end) {
+      throw std::logic_error("AvailabilityTrace: interval outside horizon");
+    }
+  }
+  std::sort(down.begin(), down.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  // Coalesce overlapping or touching intervals.
+  for (const auto& iv : down) {
+    if (!down_.empty() && iv.begin <= down_.back().end) {
+      down_.back().end = std::max(down_.back().end, iv.end);
+    } else {
+      down_.push_back(iv);
+    }
+  }
+}
+
+AvailabilityTrace AvailabilityTrace::always_available(sim::Duration horizon) {
+  return AvailabilityTrace{horizon, {}};
+}
+
+bool AvailabilityTrace::available_at(sim::Time t) const {
+  if (t < 0) return true;
+  const sim::Time wrapped = t % horizon_;
+  // First interval with end > wrapped; node is down iff it also begins <= t.
+  auto it = std::upper_bound(
+      down_.begin(), down_.end(), wrapped,
+      [](sim::Time value, const Interval& iv) { return value < iv.end; });
+  return it == down_.end() || it->begin > wrapped;
+}
+
+sim::Duration AvailabilityTrace::total_down_time() const {
+  sim::Duration total = 0;
+  for (const auto& iv : down_) total += iv.length();
+  return total;
+}
+
+double AvailabilityTrace::unavailability_fraction() const {
+  return static_cast<double>(total_down_time()) / static_cast<double>(horizon_);
+}
+
+}  // namespace moon::trace

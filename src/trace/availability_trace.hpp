@@ -1,0 +1,53 @@
+// Per-node availability traces.
+//
+// A trace is a sorted list of disjoint *down* intervals within a fixed
+// horizon; the node is up everywhere else. Traces drive the cluster's
+// availability transitions and are also analysed directly (Figure 1).
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace moon::trace {
+
+/// Half-open interval [begin, end) of simulated time during which a node is
+/// unavailable.
+struct Interval {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+
+  [[nodiscard]] sim::Duration length() const { return end - begin; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class AvailabilityTrace {
+ public:
+  /// `down` intervals must lie within [0, horizon); they are sorted and
+  /// merged on construction (overlapping/adjacent intervals coalesce).
+  AvailabilityTrace(sim::Duration horizon, std::vector<Interval> down);
+
+  /// A trace with no outages (dedicated nodes).
+  static AvailabilityTrace always_available(sim::Duration horizon);
+
+  [[nodiscard]] sim::Duration horizon() const { return horizon_; }
+  [[nodiscard]] const std::vector<Interval>& down_intervals() const { return down_; }
+
+  /// Is the node up at time `t`? Times beyond the horizon repeat the trace
+  /// cyclically (jobs occasionally run past 8 h in high-volatility sweeps).
+  [[nodiscard]] bool available_at(sim::Time t) const;
+
+  /// Total down time / horizon.
+  [[nodiscard]] double unavailability_fraction() const;
+
+  [[nodiscard]] sim::Duration total_down_time() const;
+
+  /// Number of distinct outages.
+  [[nodiscard]] std::size_t outage_count() const { return down_.size(); }
+
+ private:
+  sim::Duration horizon_;
+  std::vector<Interval> down_;
+};
+
+}  // namespace moon::trace

@@ -1,0 +1,106 @@
+#include "trace/correlated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace moon::trace {
+
+CorrelatedTraceGenerator::CorrelatedTraceGenerator(CorrelatedConfig config)
+    : config_(config) {
+  if (config_.correlated_fraction < 0.0 || config_.correlated_fraction > 1.0) {
+    throw std::logic_error("CorrelatedTraceGenerator: fraction out of range");
+  }
+  if (config_.group_size == 0) {
+    throw std::logic_error("CorrelatedTraceGenerator: zero group size");
+  }
+  if (config_.group_event_mean_s <= 0.0 || config_.group_event_min_s <= 0.0) {
+    throw std::logic_error("CorrelatedTraceGenerator: bad group event length");
+  }
+}
+
+std::vector<Interval> CorrelatedTraceGenerator::group_events(Rng& rng) const {
+  const auto horizon = config_.base.horizon;
+  const double target_rate =
+      config_.base.unavailability_rate * config_.correlated_fraction;
+  const auto target_down =
+      static_cast<sim::Duration>(target_rate * static_cast<double>(horizon));
+  if (target_down <= 0) return {};
+
+  // Same construction as the base generator, with lab-session lengths.
+  std::vector<sim::Duration> outages;
+  sim::Duration down_sum = 0;
+  while (down_sum < target_down) {
+    const double len_s =
+        rng.normal_at_least(config_.group_event_mean_s,
+                            config_.group_event_stddev_s,
+                            config_.group_event_min_s);
+    auto len = static_cast<sim::Duration>(sim::seconds(len_s));
+    if (down_sum + len > target_down) len = target_down - down_sum;
+    if (len <= 0) break;
+    outages.push_back(len);
+    down_sum += len;
+  }
+
+  const sim::Duration up_total = horizon - down_sum;
+  std::vector<double> weights(outages.size() + 1);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = rng.exponential(1.0);
+    weight_sum += w;
+  }
+
+  std::vector<Interval> events;
+  sim::Time cursor = 0;
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    cursor += static_cast<sim::Duration>(static_cast<double>(up_total) *
+                                         weights[i] / weight_sum);
+    const sim::Time begin = cursor;
+    const sim::Time end = std::min<sim::Time>(begin + outages[i], horizon);
+    if (begin < end) events.push_back(Interval{begin, end});
+    cursor = end;
+  }
+  return events;
+}
+
+std::vector<AvailabilityTrace> CorrelatedTraceGenerator::generate_fleet(
+    Rng& rng, std::size_t n) const {
+  // Individual share, over-provisioned against expected overlap with group
+  // events: an individual outage lands inside a group outage with
+  // probability ~ group_rate, contributing nothing new.
+  const double group_rate =
+      config_.base.unavailability_rate * config_.correlated_fraction;
+  double individual_rate =
+      config_.base.unavailability_rate * (1.0 - config_.correlated_fraction);
+  if (group_rate < 1.0) individual_rate /= (1.0 - group_rate);
+  individual_rate = std::min(individual_rate, 0.95);
+
+  GeneratorConfig individual_cfg = config_.base;
+  individual_cfg.unavailability_rate = individual_rate;
+  TraceGenerator individual(individual_cfg);
+
+  const std::size_t groups = (n + config_.group_size - 1) / config_.group_size;
+  std::vector<std::vector<Interval>> lab_events;
+  lab_events.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    Rng group_rng = rng.fork("group").fork(g);
+    lab_events.push_back(group_events(group_rng));
+  }
+
+  std::vector<AvailabilityTrace> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng node_rng = rng.fork("node").fork(i);
+    auto intervals = lab_events[i / config_.group_size];
+    if (individual_rate > 0.0) {
+      const auto own = individual.generate(node_rng);
+      intervals.insert(intervals.end(), own.down_intervals().begin(),
+                       own.down_intervals().end());
+    }
+    // AvailabilityTrace coalesces the union.
+    fleet.emplace_back(config_.base.horizon, std::move(intervals));
+  }
+  return fleet;
+}
+
+}  // namespace moon::trace

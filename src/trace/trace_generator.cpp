@@ -1,0 +1,83 @@
+#include "trace/trace_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace moon::trace {
+
+TraceGenerator::TraceGenerator(GeneratorConfig config) : config_(config) {
+  if (config_.horizon <= 0) throw std::logic_error("TraceGenerator: bad horizon");
+  if (config_.unavailability_rate < 0.0 || config_.unavailability_rate >= 1.0) {
+    throw std::logic_error("TraceGenerator: rate must be in [0, 1)");
+  }
+  if (config_.mean_outage_s <= 0.0 || config_.min_outage_s <= 0.0) {
+    throw std::logic_error("TraceGenerator: outage lengths must be positive");
+  }
+}
+
+AvailabilityTrace TraceGenerator::generate(Rng& rng) const {
+  const auto horizon = config_.horizon;
+  if (config_.unavailability_rate == 0.0) {
+    return AvailabilityTrace::always_available(horizon);
+  }
+
+  const auto target_down = static_cast<sim::Duration>(
+      config_.unavailability_rate * static_cast<double>(horizon));
+
+  // 1. Draw outage durations until the budget is met; trim the last one.
+  std::vector<sim::Duration> outages;
+  sim::Duration down_sum = 0;
+  while (down_sum < target_down) {
+    const double len_s = rng.normal_at_least(
+        config_.mean_outage_s, config_.stddev_outage_s, config_.min_outage_s);
+    auto len = static_cast<sim::Duration>(sim::seconds(len_s));
+    if (down_sum + len > target_down) len = target_down - down_sum;
+    if (len <= 0) break;
+    outages.push_back(len);
+    down_sum += len;
+  }
+
+  // 2. Distribute the up-time into k+1 exponential gaps (Poisson spacing),
+  //    scaled so gaps + outages fill the horizon exactly.
+  const sim::Duration up_total = horizon - down_sum;
+  const std::size_t gaps = outages.size() + 1;
+  std::vector<double> weights(gaps);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = rng.exponential(1.0);
+    weight_sum += w;
+  }
+
+  std::vector<Interval> down;
+  down.reserve(outages.size());
+  sim::Time cursor = 0;
+  double carry = 0.0;  // fractional µs carried between gaps
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    const double exact_gap =
+        static_cast<double>(up_total) * weights[i] / weight_sum + carry;
+    const auto gap = static_cast<sim::Duration>(exact_gap);
+    carry = exact_gap - static_cast<double>(gap);
+    cursor += gap;
+    const sim::Time begin = cursor;
+    sim::Time end = begin + outages[i];
+    end = std::min<sim::Time>(end, horizon);
+    if (begin < end) down.push_back(Interval{begin, end});
+    cursor = end;
+  }
+
+  return AvailabilityTrace{horizon, std::move(down)};
+}
+
+std::vector<AvailabilityTrace> TraceGenerator::generate_fleet(
+    Rng& rng, std::size_t n) const {
+  std::vector<AvailabilityTrace> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng node_rng = rng.fork(i);
+    fleet.push_back(generate(node_rng));
+  }
+  return fleet;
+}
+
+}  // namespace moon::trace

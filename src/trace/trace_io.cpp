@@ -1,0 +1,78 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace moon::trace {
+
+void write_fleet_csv(std::ostream& os, const std::vector<AvailabilityTrace>& fleet) {
+  const sim::Duration horizon = fleet.empty() ? 0 : fleet.front().horizon();
+  os << "# horizon_us=" << horizon << " nodes=" << fleet.size() << '\n';
+  os << "node,begin_us,end_us\n";
+  for (std::size_t n = 0; n < fleet.size(); ++n) {
+    for (const auto& iv : fleet[n].down_intervals()) {
+      os << n << ',' << iv.begin << ',' << iv.end << '\n';
+    }
+  }
+}
+
+std::vector<AvailabilityTrace> read_fleet_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("# horizon_us=", 0) != 0) {
+    throw std::runtime_error("trace csv: missing header");
+  }
+  sim::Duration horizon = 0;
+  std::size_t nodes = 0;
+  {
+    std::istringstream hs(line);
+    std::string tok;
+    hs >> tok;  // '#'
+    while (hs >> tok) {
+      if (tok.rfind("horizon_us=", 0) == 0) horizon = std::stoll(tok.substr(11));
+      if (tok.rfind("nodes=", 0) == 0) nodes = std::stoull(tok.substr(6));
+    }
+  }
+  if (horizon <= 0) throw std::runtime_error("trace csv: bad horizon");
+  if (!std::getline(is, line)) throw std::runtime_error("trace csv: missing columns");
+
+  std::map<std::size_t, std::vector<Interval>> per_node;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::size_t node = 0;
+    Interval iv;
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("trace csv: bad row");
+    node = std::stoull(cell);
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("trace csv: bad row");
+    iv.begin = std::stoll(cell);
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("trace csv: bad row");
+    iv.end = std::stoll(cell);
+    per_node[node].push_back(iv);
+  }
+
+  std::vector<AvailabilityTrace> fleet;
+  fleet.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    auto it = per_node.find(n);
+    fleet.emplace_back(horizon,
+                       it == per_node.end() ? std::vector<Interval>{} : it->second);
+  }
+  return fleet;
+}
+
+void save_fleet(const std::string& path, const std::vector<AvailabilityTrace>& fleet) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace csv: cannot open " + path);
+  write_fleet_csv(os, fleet);
+}
+
+std::vector<AvailabilityTrace> load_fleet(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace csv: cannot open " + path);
+  return read_fleet_csv(is);
+}
+
+}  // namespace moon::trace

@@ -1,0 +1,28 @@
+// Trace persistence.
+//
+// Fleet traces serialise to a simple CSV (`node,begin_us,end_us`) so
+// experiments can be re-run against pinned inputs and traces can be
+// inspected with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/availability_trace.hpp"
+
+namespace moon::trace {
+
+/// Writes a fleet to CSV. First line is a header carrying the horizon:
+/// `# horizon_us=<n> nodes=<k>`.
+void write_fleet_csv(std::ostream& os, const std::vector<AvailabilityTrace>& fleet);
+
+/// Parses a fleet written by `write_fleet_csv`. Throws std::runtime_error on
+/// malformed input.
+std::vector<AvailabilityTrace> read_fleet_csv(std::istream& is);
+
+/// File-path conveniences.
+void save_fleet(const std::string& path, const std::vector<AvailabilityTrace>& fleet);
+std::vector<AvailabilityTrace> load_fleet(const std::string& path);
+
+}  // namespace moon::trace

@@ -1,0 +1,57 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace moon::trace {
+
+std::vector<ProfilePoint> UnavailabilityProfile::compute(
+    const std::vector<AvailabilityTrace>& fleet, sim::Duration bin) {
+  std::vector<ProfilePoint> points;
+  if (fleet.empty() || bin <= 0) return points;
+  const sim::Duration horizon = fleet.front().horizon();
+  for (sim::Time t = 0; t < horizon; t += bin) {
+    std::size_t down = 0;
+    for (const auto& tr : fleet) {
+      if (!tr.available_at(t)) ++down;
+    }
+    points.push_back(ProfilePoint{
+        t, 100.0 * static_cast<double>(down) / static_cast<double>(fleet.size())});
+  }
+  return points;
+}
+
+double UnavailabilityProfile::average_unavailability(
+    const std::vector<AvailabilityTrace>& fleet) {
+  if (fleet.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tr : fleet) sum += tr.unavailability_fraction();
+  return sum / static_cast<double>(fleet.size());
+}
+
+double UnavailabilityProfile::peak_unavailability(
+    const std::vector<AvailabilityTrace>& fleet, sim::Duration bin) {
+  double peak = 0.0;
+  for (const auto& pt : compute(fleet, bin)) {
+    peak = std::max(peak, pt.percent_unavailable / 100.0);
+  }
+  return peak;
+}
+
+OutageSummary summarize_outages(const std::vector<AvailabilityTrace>& fleet) {
+  OutageSummary summary;
+  Accumulator acc;
+  for (const auto& tr : fleet) {
+    for (const auto& iv : tr.down_intervals()) {
+      acc.add(sim::to_seconds(iv.length()));
+    }
+  }
+  summary.count = acc.count();
+  summary.mean_seconds = acc.mean();
+  summary.min_seconds = acc.min();
+  summary.max_seconds = acc.max();
+  return summary;
+}
+
+}  // namespace moon::trace

@@ -1,0 +1,48 @@
+// Fleet-level trace analysis (reproduces Figure 1's measurement).
+//
+// The paper plots, for each day-long trace, the percentage of unavailable
+// resources sampled in 10-minute intervals. `UnavailabilityProfile` computes
+// the same series for a fleet of synthetic traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace moon::trace {
+
+struct ProfilePoint {
+  sim::Time at;                ///< sample instant
+  double percent_unavailable;  ///< 0..100
+};
+
+class UnavailabilityProfile {
+ public:
+  /// Samples the fleet every `bin` (default 10 min, as in Figure 1).
+  static std::vector<ProfilePoint> compute(
+      const std::vector<AvailabilityTrace>& fleet,
+      sim::Duration bin = 10 * sim::kMinute);
+
+  /// Average fraction of unavailable nodes across the whole horizon
+  /// (time-weighted, exact).
+  static double average_unavailability(const std::vector<AvailabilityTrace>& fleet);
+
+  /// Maximum instantaneous unavailability over the sampled points.
+  static double peak_unavailability(const std::vector<AvailabilityTrace>& fleet,
+                                    sim::Duration bin = 10 * sim::kMinute);
+};
+
+/// Summary of outage lengths across a fleet (validates the generator against
+/// the configured distribution).
+struct OutageSummary {
+  std::size_t count = 0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+OutageSummary summarize_outages(const std::vector<AvailabilityTrace>& fleet);
+
+}  // namespace moon::trace

@@ -1,0 +1,72 @@
+// Workload models for the paper's applications (Table I).
+//
+//   | Application | Input | #Maps | #Reduces          |
+//   | sort        | 24 GB | 384   | 0.9 x AvailSlots  |
+//   | word count  | 20 GB | 320   | 20                |
+//
+// Plus `sleep`, which replays an application's measured map/reduce service
+// times while moving almost no data (used in §VI-A to isolate scheduling).
+//
+// Data volumes and compute times are calibrated against the System-X
+// profiles in Table II (see DESIGN.md §6); absolute values are approximate,
+// relative behaviour is what the experiments reproduce.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "mapred/types.hpp"
+
+namespace moon::workload {
+
+enum class AppKind { kSort, kWordCount, kSleepSort, kSleepWordCount };
+
+const char* to_string(AppKind kind);
+
+struct WorkloadModel {
+  std::string name;
+  AppKind kind = AppKind::kSort;
+
+  Bytes input_size = 0;
+  int num_maps = 0;
+  /// Fixed reduce count; 0 means "use reduce_slot_fraction".
+  int fixed_reduces = 0;
+  /// Fraction of the cluster's reduce slots (sort: 0.9).
+  double reduce_slot_fraction = 0.0;
+
+  sim::Duration map_compute = 0;
+  sim::Duration reduce_compute = 0;
+  double compute_jitter = 0.1;
+
+  Bytes intermediate_per_map = 0;
+  Bytes total_output = 0;
+
+  /// Block layout of the staged input (sleep uses tiny per-map blocks).
+  Bytes input_block_bytes = mib(64.0);
+
+  [[nodiscard]] int reduces_for(int total_reduce_slots) const;
+  [[nodiscard]] Bytes output_per_reduce(int num_reduces) const;
+};
+
+/// Table I `sort`: shuffle-heavy — intermediate data == input data.
+WorkloadModel sort_workload();
+
+/// Table I `word count`: compute-heavy maps, tiny intermediate data.
+WorkloadModel wordcount_workload();
+
+/// §VI-A `sleep`: faithful service times of `base`, but "only [an]
+/// insignificant amount of intermediate and output data (two integers per
+/// record of intermediate and zero output data)".
+WorkloadModel sleep_of(const WorkloadModel& base);
+
+/// Builds the JobSpec for a model (input must already be staged with one
+/// block per map; reduces resolved against the cluster's slot count).
+mapred::JobSpec make_job_spec(const WorkloadModel& model, FileId input_file,
+                              int total_reduce_slots,
+                              dfs::FileKind intermediate_kind,
+                              dfs::ReplicationFactor intermediate_factor,
+                              dfs::ReplicationFactor output_factor);
+
+}  // namespace moon::workload

@@ -1,0 +1,105 @@
+#include "cluster/availability_driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon::cluster {
+namespace {
+
+NodeConfig basic_cfg() { return NodeConfig{}; }
+
+TEST(AvailabilityDriver, DrivesNodeThroughTrace) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(basic_cfg());
+
+  trace::AvailabilityTrace trace(
+      sim::hours(8), {{10 * sim::kSecond, 20 * sim::kSecond},
+                      {50 * sim::kSecond, 60 * sim::kSecond}});
+  AvailabilityDriver driver(sim, cluster);
+  driver.assign(id, trace);
+  driver.install(1);
+
+  Node& node = cluster.node(id);
+  sim.run_until(5 * sim::kSecond);
+  EXPECT_TRUE(node.available());
+  sim.run_until(15 * sim::kSecond);
+  EXPECT_FALSE(node.available());
+  sim.run_until(25 * sim::kSecond);
+  EXPECT_TRUE(node.available());
+  sim.run_until(55 * sim::kSecond);
+  EXPECT_FALSE(node.available());
+  sim.run_until(70 * sim::kSecond);
+  EXPECT_TRUE(node.available());
+}
+
+TEST(AvailabilityDriver, RepeatsTraceCyclically) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(basic_cfg());
+  const sim::Duration horizon = 100 * sim::kSecond;
+  trace::AvailabilityTrace trace(horizon, {{10 * sim::kSecond, 20 * sim::kSecond}});
+  AvailabilityDriver driver(sim, cluster);
+  driver.assign(id, trace);
+  driver.install(3);
+
+  Node& node = cluster.node(id);
+  sim.run_until(115 * sim::kSecond);  // second repeat's outage
+  EXPECT_FALSE(node.available());
+  sim.run_until(215 * sim::kSecond);  // third repeat's outage
+  EXPECT_FALSE(node.available());
+  sim.run_until(325 * sim::kSecond);  // beyond installed repeats: stays up
+  EXPECT_TRUE(node.available());
+}
+
+TEST(AvailabilityDriver, FleetAssignmentIsPairwise) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const auto ids = cluster.add_nodes(2, basic_cfg());
+  std::vector<trace::AvailabilityTrace> traces;
+  traces.emplace_back(sim::hours(8),
+                      std::vector<trace::Interval>{{0, 10 * sim::kSecond}});
+  traces.push_back(trace::AvailabilityTrace::always_available(sim::hours(8)));
+
+  AvailabilityDriver driver(sim, cluster);
+  driver.assign_fleet(ids, traces);
+  driver.install(1);
+
+  sim.run_until(5 * sim::kSecond);
+  EXPECT_FALSE(cluster.node(ids[0]).available());
+  EXPECT_TRUE(cluster.node(ids[1]).available());
+  ASSERT_NE(driver.trace_for(ids[0]), nullptr);
+  EXPECT_EQ(driver.trace_for(ids[0])->outage_count(), 1u);
+  EXPECT_EQ(driver.trace_for(NodeId{99}), nullptr);
+}
+
+TEST(AvailabilityDriver, MismatchedFleetSizesThrow) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const auto ids = cluster.add_nodes(2, basic_cfg());
+  std::vector<trace::AvailabilityTrace> traces;
+  traces.push_back(trace::AvailabilityTrace::always_available(sim::hours(8)));
+  AvailabilityDriver driver(sim, cluster);
+  EXPECT_THROW(driver.assign_fleet(ids, traces), std::logic_error);
+}
+
+TEST(AvailabilityDriver, DoubleInstallThrows) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  AvailabilityDriver driver(sim, cluster);
+  driver.install(1);
+  EXPECT_THROW(driver.install(1), std::logic_error);
+}
+
+TEST(AvailabilityDriver, AssignAfterInstallThrows) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(basic_cfg());
+  AvailabilityDriver driver(sim, cluster);
+  driver.install(1);
+  EXPECT_THROW(
+      driver.assign(id, trace::AvailabilityTrace::always_available(sim::hours(8))),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace moon::cluster

@@ -1,0 +1,130 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon::cluster {
+namespace {
+
+NodeConfig volatile_cfg() {
+  NodeConfig cfg;
+  cfg.type = NodeType::kVolatile;
+  return cfg;
+}
+
+NodeConfig dedicated_cfg() {
+  NodeConfig cfg;
+  cfg.type = NodeType::kDedicated;
+  return cfg;
+}
+
+TEST(Cluster, AddNodesAssignsSequentialIds) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const auto ids = cluster.add_nodes(3, volatile_cfg());
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], NodeId{0});
+  EXPECT_EQ(ids[2], NodeId{2});
+  EXPECT_EQ(cluster.size(), 3u);
+}
+
+TEST(Cluster, PartitionsByType) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(4, volatile_cfg());
+  cluster.add_nodes(2, dedicated_cfg());
+  EXPECT_EQ(cluster.volatile_nodes().size(), 4u);
+  EXPECT_EQ(cluster.dedicated_nodes().size(), 2u);
+  EXPECT_EQ(cluster.all_nodes().size(), 6u);
+  EXPECT_TRUE(cluster.node(NodeId{5}).dedicated());
+  EXPECT_FALSE(cluster.node(NodeId{0}).dedicated());
+}
+
+TEST(Cluster, UnknownNodeThrows) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_node(volatile_cfg());
+  EXPECT_THROW(cluster.node(NodeId{1}), std::out_of_range);
+  EXPECT_THROW(cluster.node(NodeId::invalid()), std::out_of_range);
+}
+
+TEST(Node, StartsAvailable) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(volatile_cfg());
+  EXPECT_TRUE(cluster.node(id).available());
+  EXPECT_EQ(cluster.available_count(), 1u);
+}
+
+TEST(Node, AvailabilityTransitionZeroesAndRestoresCapacity) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  NodeConfig cfg = volatile_cfg();
+  cfg.nic_in_bw = 1000.0;
+  cfg.disk_bw = 500.0;
+  const NodeId id = cluster.add_node(cfg);
+  Node& node = cluster.node(id);
+  auto& net = cluster.network();
+
+  node.set_available(false);
+  EXPECT_EQ(net.capacity(node.nic_in()), 0.0);
+  EXPECT_EQ(net.capacity(node.nic_out()), 0.0);
+  EXPECT_EQ(net.capacity(node.disk()), 0.0);
+
+  node.set_available(true);
+  EXPECT_EQ(net.capacity(node.nic_in()), 1000.0);
+  EXPECT_EQ(net.capacity(node.disk()), 500.0);
+}
+
+TEST(Node, TransitionIsIdempotent) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(volatile_cfg());
+  Node& node = cluster.node(id);
+  int notifications = 0;
+  node.subscribe([&](bool) { ++notifications; });
+  node.set_available(false);
+  node.set_available(false);  // no-op
+  node.set_available(true);
+  node.set_available(true);  // no-op
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(Node, ListenersSeeTransitions) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(volatile_cfg());
+  Node& node = cluster.node(id);
+  std::vector<bool> seen;
+  node.subscribe([&](bool up) { seen.push_back(up); });
+  node.set_available(false);
+  node.set_available(true);
+  EXPECT_EQ(seen, (std::vector<bool>{false, true}));
+}
+
+TEST(Node, TotalDownTimeAccumulates) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(volatile_cfg());
+  Node& node = cluster.node(id);
+
+  sim.schedule_at(10 * sim::kSecond, [&] { node.set_available(false); });
+  sim.schedule_at(25 * sim::kSecond, [&] { node.set_available(true); });
+  sim.schedule_at(40 * sim::kSecond, [&] { node.set_available(false); });
+  sim.run();
+  EXPECT_EQ(sim.now(), 40 * sim::kSecond);
+  sim.run_until(50 * sim::kSecond);
+  // 15 s (first outage) + 10 s (ongoing).
+  EXPECT_EQ(node.total_down_time(), 25 * sim::kSecond);
+}
+
+TEST(Cluster, AvailableCountTracksState) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const auto ids = cluster.add_nodes(5, volatile_cfg());
+  cluster.node(ids[1]).set_available(false);
+  cluster.node(ids[3]).set_available(false);
+  EXPECT_EQ(cluster.available_count(), 3u);
+}
+
+}  // namespace
+}  // namespace moon::cluster

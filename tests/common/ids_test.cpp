@@ -1,0 +1,65 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace moon {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  NodeId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, ZeroIsAValidId) {
+  EXPECT_TRUE(NodeId{0}.valid());
+}
+
+TEST(Ids, ComparisonOperators) {
+  NodeId a{1}, b{2};
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, NodeId{1});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, FileId>);
+  static_assert(!std::is_same_v<TaskId, AttemptId>);
+}
+
+TEST(Ids, HashWorksInUnorderedSet) {
+  std::unordered_set<BlockId> set;
+  for (std::uint64_t i = 0; i < 100; ++i) set.insert(BlockId{i});
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(BlockId{42}));
+  EXPECT_FALSE(set.contains(BlockId{100}));
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << JobId{5} << ' ' << JobId::invalid();
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+TEST(IdAllocator, HandsOutSequentialIds) {
+  IdAllocator<TaskId> alloc;
+  EXPECT_EQ(alloc.next(), TaskId{0});
+  EXPECT_EQ(alloc.next(), TaskId{1});
+  EXPECT_EQ(alloc.next(), TaskId{2});
+  EXPECT_EQ(alloc.issued(), 3u);
+}
+
+}  // namespace
+}  // namespace moon

@@ -1,0 +1,171 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace moon {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent{99};
+  Rng f1 = parent.fork("alpha");
+  Rng f2 = Rng{99}.fork("alpha");
+  Rng f3 = parent.fork("beta");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  EXPECT_NE(Rng{99}.fork("alpha").next_u64(), f3.next_u64());
+}
+
+TEST(Rng, ForkByIndexDiffers) {
+  Rng parent{7};
+  EXPECT_NE(parent.fork(0).next_u64(), parent.fork(1).next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{6};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{8};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng{9};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng{10};
+  constexpr int kN = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalAtLeastRespectsFloor) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.normal_at_least(100.0, 300.0, 30.0), 30.0);
+  }
+}
+
+TEST(Rng, NormalAtLeastDegenerateParametersClampToFloor) {
+  Rng rng{12};
+  // Mean far below the floor: virtually every draw is rejected.
+  EXPECT_GE(rng.normal_at_least(-1000.0, 1.0, 5.0), 5.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 1.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng{14};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{15};
+  const auto picks = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(picks.size(), 20u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t p : picks) EXPECT_LT(p, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng{16};
+  const auto picks = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng rng{17};
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+  EXPECT_TRUE(rng.sample_without_replacement(0, 0).empty());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{18};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+class RngSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSweep, UniformIntNoModuloBiasAtRangeEdges) {
+  Rng rng{GetParam()};
+  // A range of 3 over many draws: each value within ~2% of 1/3.
+  int counts[3] = {0, 0, 0};
+  constexpr int kN = 90000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_int(0, 2)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 3.0, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep,
+                         ::testing::Values(1u, 42u, 1337u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace moon

@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.columns({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.columns({"x", "y", "z"});
+  t.add_row({"only"});
+  // Must not crash; missing cells render empty.
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t;
+  t.columns({"col"});
+  t.add_row({"wide-value"});
+  const std::string out = t.to_string();
+  // Separator lines span the widest cell.
+  const auto first_line_len = out.find('\n');
+  ASSERT_NE(first_line_len, std::string::npos);
+  EXPECT_GE(first_line_len, std::string("wide-value").size());
+}
+
+TEST(Table, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(1000.5, 1), "1000.5");
+}
+
+TEST(Table, NumFormatsIntegers) {
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace moon

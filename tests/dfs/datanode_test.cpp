@@ -1,0 +1,91 @@
+// DataNode behaviour: block bookkeeping and heartbeat bandwidth reports.
+#include "dfs/datanode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+
+namespace moon::dfs {
+namespace {
+
+class DataNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<cluster::Cluster>(sim_);
+    cluster::NodeConfig vcfg;
+    vcfg.type = cluster::NodeType::kVolatile;
+    ids_ = cluster_->add_nodes(3, vcfg);
+    dfs_ = std::make_unique<Dfs>(sim_, *cluster_, DfsConfig{}, 3);
+    dfs_->start();
+  }
+
+  sim::Simulation sim_{4};
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<Dfs> dfs_;
+  std::vector<NodeId> ids_;
+};
+
+TEST_F(DataNodeTest, StoreAndDropBlocksTrackBytes) {
+  DataNode& dn = dfs_->datanode(ids_[0]);
+  auto& nn = dfs_->namenode();
+  const FileId f = nn.create_file("x", FileKind::kOpportunistic, {0, 1});
+  const BlockId b = nn.add_block(f, mib(4.0));
+
+  EXPECT_FALSE(dn.stores(b));
+  dn.store_block(b, mib(4.0));
+  EXPECT_TRUE(dn.stores(b));
+  EXPECT_EQ(dn.block_count(), 1u);
+  EXPECT_EQ(dn.stored_bytes(), mib(4.0));
+  EXPECT_TRUE(nn.block(b).has_replica_on(ids_[0]));
+
+  dn.drop_block(b, mib(4.0));
+  EXPECT_FALSE(dn.stores(b));
+  EXPECT_EQ(dn.stored_bytes(), 0);
+  EXPECT_FALSE(nn.block(b).has_replica_on(ids_[0]));
+}
+
+TEST_F(DataNodeTest, DoubleStoreIsIdempotent) {
+  DataNode& dn = dfs_->datanode(ids_[1]);
+  auto& nn = dfs_->namenode();
+  const FileId f = nn.create_file("x", FileKind::kOpportunistic, {0, 1});
+  const BlockId b = nn.add_block(f, 100);
+  dn.store_block(b, 100);
+  dn.store_block(b, 100);
+  EXPECT_EQ(dn.block_count(), 1u);
+  EXPECT_EQ(dn.stored_bytes(), 100);
+  EXPECT_EQ(nn.block(b).replicas.size(), 1u);
+}
+
+TEST_F(DataNodeTest, HeartbeatsKeepNodeLive) {
+  sim_.run_until(10 * sim::kMinute);
+  for (NodeId id : ids_) {
+    EXPECT_EQ(dfs_->namenode().state_of(id), DataNodeState::kLive);
+  }
+}
+
+TEST_F(DataNodeTest, HeartbeatsStopWhileHostDown) {
+  cluster_->node(ids_[0]).set_available(false);
+  sim_.run_until(3 * sim::kMinute);
+  EXPECT_EQ(dfs_->namenode().state_of(ids_[0]), DataNodeState::kHibernated);
+  // Peers keep beating.
+  EXPECT_EQ(dfs_->namenode().state_of(ids_[1]), DataNodeState::kLive);
+}
+
+TEST_F(DataNodeTest, TrafficShowsUpInReportedBandwidth) {
+  // Move data through node 0's disk and check the throttle telemetry path
+  // indirectly: transferred_through grows, and heartbeats consume it
+  // without error while the node serves I/O.
+  auto& net = cluster_->network();
+  const auto before = net.transferred_through(cluster_->node(ids_[0]).disk());
+  const FileId f = dfs_->namenode().create_file("y", FileKind::kOpportunistic,
+                                                {0, 1});
+  bool done = false;
+  dfs_->write_file(f, ids_[0], mib(16.0), [&](bool ok) { done = ok; });
+  sim_.run_until(5 * sim::kMinute);
+  ASSERT_TRUE(done);
+  EXPECT_GT(net.transferred_through(cluster_->node(ids_[0]).disk()), before);
+}
+
+}  // namespace
+}  // namespace moon::dfs

@@ -1,0 +1,427 @@
+// NameNode policy tests: Figure 3 write decisions, read ordering (§IV-B),
+// liveness states (§IV-C), adaptive replication (§IV-A), replication queue
+// priorities.
+#include "dfs/namenode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+
+namespace moon::dfs {
+namespace {
+
+class NameNodeTest : public ::testing::Test {
+ protected:
+  /// 6 volatile + 2 dedicated nodes. Control plane only: a bare NameNode
+  /// plus a manual heartbeat pump — no data plane, no background repair, so
+  /// liveness/factor assertions are not raced by the replication monitor.
+  void build(DfsConfig config = {}) {
+    cluster_ = std::make_unique<cluster::Cluster>(sim_);
+    cluster::NodeConfig vcfg;
+    vcfg.type = cluster::NodeType::kVolatile;
+    volatile_ids_ = cluster_->add_nodes(6, vcfg);
+    cluster::NodeConfig dcfg;
+    dcfg.type = cluster::NodeType::kDedicated;
+    dedicated_ids_ = cluster_->add_nodes(2, dcfg);
+    namenode_ = std::make_unique<NameNode>(sim_, *cluster_, config);
+    for (NodeId id : cluster_->all_nodes()) namenode_->register_datanode(id);
+    namenode_->start();
+    // Steady positive bandwidth keeps the throttle windows in a neutral
+    // state (constant samples never flip Algorithm 1 either way).
+    pump_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config.heartbeat_interval, [this] {
+          for (NodeId id : cluster_->all_nodes()) {
+            if (cluster_->node(id).available()) namenode_->heartbeat(id, 100.0);
+          }
+        });
+    pump_->start();
+  }
+
+  NameNode& nn() { return *namenode_; }
+
+  /// Drives heartbeats and liveness scans for a while.
+  void advance(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulation sim_{1};
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<NameNode> namenode_;
+  std::unique_ptr<sim::PeriodicTask> pump_;
+  std::vector<NodeId> volatile_ids_;
+  std::vector<NodeId> dedicated_ids_;
+};
+
+TEST_F(NameNodeTest, DataNodesRegisterLive) {
+  build();
+  for (NodeId id : cluster_->all_nodes()) {
+    EXPECT_EQ(nn().state_of(id), DataNodeState::kLive);
+  }
+  EXPECT_EQ(nn().datanodes().size(), 8u);
+}
+
+TEST_F(NameNodeTest, ReliableWriteAlwaysGetsDedicatedTarget) {
+  build();
+  const FileId f = nn().create_file("input", FileKind::kReliable, {1, 3});
+  nn().add_block(f, 100);
+  Rng rng{3};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[0], rng);
+  int dedicated = 0;
+  for (NodeId n : targets.nodes) {
+    if (cluster_->node(n).dedicated()) ++dedicated;
+  }
+  EXPECT_EQ(dedicated, 1);
+  EXPECT_FALSE(targets.dedicated_declined);
+  EXPECT_EQ(targets.nodes.size(), 4u);  // 1 dedicated + 3 volatile
+}
+
+TEST_F(NameNodeTest, WriterLocalReplicaComesFirst) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 3});
+  Rng rng{4};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[2], rng);
+  ASSERT_FALSE(targets.nodes.empty());
+  EXPECT_EQ(targets.nodes.front(), volatile_ids_[2]);
+}
+
+TEST_F(NameNodeTest, VolatileTargetsAreDistinct) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 5});
+  Rng rng{5};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[0], rng);
+  auto nodes = targets.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
+}
+
+TEST_F(NameNodeTest, OpportunisticWriteDeclinedWhenAllDedicatedSaturated) {
+  DfsConfig cfg;
+  cfg.throttle_window = 2;
+  build(cfg);
+  // Saturate both dedicated nodes: rising-but-flattening bandwidth.
+  for (NodeId d : dedicated_ids_) {
+    nn().heartbeat(d, 100.0);
+    nn().heartbeat(d, 104.0);
+    EXPECT_TRUE(nn().is_saturated(d));
+  }
+  EXPECT_TRUE(nn().all_dedicated_saturated());
+
+  const FileId f = nn().create_file("inter", FileKind::kOpportunistic, {1, 1});
+  Rng rng{6};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[0], rng);
+  EXPECT_TRUE(targets.dedicated_declined);
+  for (NodeId n : targets.nodes) {
+    EXPECT_FALSE(cluster_->node(n).dedicated());
+  }
+}
+
+TEST_F(NameNodeTest, ReliableWriteIgnoresSaturation) {
+  DfsConfig cfg;
+  cfg.throttle_window = 2;
+  build(cfg);
+  for (NodeId d : dedicated_ids_) {
+    nn().heartbeat(d, 100.0);
+    nn().heartbeat(d, 104.0);
+  }
+  const FileId f = nn().create_file("in", FileKind::kReliable, {1, 1});
+  Rng rng{7};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[0], rng);
+  EXPECT_FALSE(targets.dedicated_declined);
+  int dedicated = 0;
+  for (NodeId n : targets.nodes) {
+    if (cluster_->node(n).dedicated()) ++dedicated;
+  }
+  EXPECT_EQ(dedicated, 1);
+}
+
+TEST_F(NameNodeTest, DeclinedWriteRaisesVolatileRequirement) {
+  DfsConfig cfg;
+  cfg.throttle_window = 2;
+  cfg.availability_goal = 0.9;
+  build(cfg);
+  // Make p = 0.5:三 of six volatile nodes down long enough to hibernate.
+  for (int i = 0; i < 3; ++i) {
+    cluster_->node(volatile_ids_[static_cast<std::size_t>(i)]).set_available(false);
+  }
+  advance(3 * sim::kMinute);  // hibernate + estimate scans run
+  EXPECT_GT(nn().estimated_unavailability(), 0.2);
+
+  for (NodeId d : dedicated_ids_) {
+    nn().heartbeat(d, 100.0);
+    nn().heartbeat(d, 104.0);
+  }
+  const FileId f = nn().create_file("inter", FileKind::kOpportunistic, {1, 1});
+  nn().add_block(f, 100);
+  Rng rng{8};
+  const auto targets = nn().pick_write_targets(f, volatile_ids_[4], rng);
+  EXPECT_TRUE(targets.dedicated_declined);
+  // 1 - p^v >= 0.9 with p around 0.4-0.5 needs v >= 3ish; must exceed the
+  // configured v = 1.
+  EXPECT_GT(targets.effective_volatile, 1);
+  EXPECT_EQ(nn().file(f).required_volatile(), targets.effective_volatile);
+}
+
+TEST_F(NameNodeTest, AdaptiveRequirementFormula) {
+  build();
+  // p is 0 right after start: one volatile copy suffices.
+  EXPECT_EQ(nn().adaptive_volatile_requirement(), 1);
+}
+
+TEST_F(NameNodeTest, ReadOrderPrefersLocalThenVolatile) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {1, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[1]);
+  nn().commit_replica(b, volatile_ids_[3]);
+  nn().commit_replica(b, dedicated_ids_[0]);
+
+  // Volatile reader holding a replica: itself first.
+  auto order = nn().read_order(b, volatile_ids_[1]);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], volatile_ids_[1]);
+  // §IV-B: dedicated replicas last for volatile readers.
+  EXPECT_EQ(order.back(), dedicated_ids_[0]);
+
+  // Remote volatile reader: volatile replicas before dedicated.
+  order = nn().read_order(b, volatile_ids_[5]);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_FALSE(cluster_->node(order[0]).dedicated());
+  EXPECT_EQ(order.back(), dedicated_ids_[0]);
+}
+
+TEST_F(NameNodeTest, DedicatedReaderPrefersDedicatedReplicas) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {1, 1});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().commit_replica(b, dedicated_ids_[1]);
+  const auto order = nn().read_order(b, dedicated_ids_[0]);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], dedicated_ids_[1]);
+}
+
+TEST_F(NameNodeTest, HibernatedReplicasAreNotReadable) {
+  DfsConfig cfg;
+  build(cfg);
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().commit_replica(b, volatile_ids_[1]);
+
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(2 * sim::kMinute);  // > hibernate_interval (90 s)
+  EXPECT_EQ(nn().state_of(volatile_ids_[0]), DataNodeState::kHibernated);
+
+  const auto order = nn().read_order(b, volatile_ids_[2]);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], volatile_ids_[1]);
+  EXPECT_TRUE(nn().block_readable(b));
+
+  cluster_->node(volatile_ids_[1]).set_available(false);
+  advance(2 * sim::kMinute);
+  EXPECT_FALSE(nn().block_readable(b));
+}
+
+TEST_F(NameNodeTest, LivenessProgressionLiveHibernatedDead) {
+  DfsConfig cfg;
+  cfg.hibernate_interval = 90 * sim::kSecond;
+  cfg.expiry_interval = 600 * sim::kSecond;
+  build(cfg);
+  const NodeId victim = volatile_ids_[0];
+  cluster_->node(victim).set_available(false);
+
+  advance(30 * sim::kSecond);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kLive);
+  advance(2 * sim::kMinute);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kHibernated);
+  advance(10 * sim::kMinute);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kDead);
+
+  // Heartbeats resume -> node revives.
+  cluster_->node(victim).set_available(true);
+  advance(10 * sim::kSecond);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kLive);
+}
+
+TEST_F(NameNodeTest, HibernateDisabledSkipsHibernation) {
+  DfsConfig cfg;
+  cfg.hibernate_enabled = false;
+  build(cfg);
+  const NodeId victim = volatile_ids_[0];
+  cluster_->node(victim).set_available(false);
+  advance(3 * sim::kMinute);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kLive);
+  advance(10 * sim::kMinute);
+  EXPECT_EQ(nn().state_of(victim), DataNodeState::kDead);
+}
+
+TEST_F(NameNodeTest, HibernationReplicatesOnlyVulnerableOpportunisticBlocks) {
+  build();
+  // Block A: opportunistic without dedicated copy (vulnerable).
+  const FileId fa = nn().create_file("a", FileKind::kOpportunistic, {0, 2});
+  const BlockId a = nn().add_block(fa, 100);
+  nn().commit_replica(a, volatile_ids_[0]);
+  nn().commit_replica(a, volatile_ids_[1]);
+  // Block B: opportunistic with a dedicated copy (protected).
+  const FileId fb = nn().create_file("b", FileKind::kOpportunistic, {1, 1});
+  const BlockId bb = nn().add_block(fb, 100);
+  nn().commit_replica(bb, volatile_ids_[0]);
+  nn().commit_replica(bb, dedicated_ids_[0]);
+  // Block C: reliable (protected).
+  const FileId fc = nn().create_file("c", FileKind::kReliable, {1, 1});
+  const BlockId c = nn().add_block(fc, 100);
+  nn().commit_replica(c, volatile_ids_[0]);
+  nn().commit_replica(c, dedicated_ids_[0]);
+
+  const auto before = nn().stats().re_replications;
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(2 * sim::kMinute);  // hibernated
+  ASSERT_EQ(nn().state_of(volatile_ids_[0]), DataNodeState::kHibernated);
+  // Only block A re-queued.
+  EXPECT_EQ(nn().stats().re_replications, before + 1);
+  auto req = nn().next_replication_request();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->block, a);
+}
+
+TEST_F(NameNodeTest, BlockFactorCountsHibernatedWithDedicatedBackup) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {1, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, dedicated_ids_[0]);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().commit_replica(b, volatile_ids_[1]);
+  EXPECT_TRUE(nn().block_meets_factor(b));
+
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(2 * sim::kMinute);  // hibernated
+  // Hibernated replica retains its value because a dedicated copy exists.
+  EXPECT_TRUE(nn().block_meets_factor(b));
+}
+
+TEST_F(NameNodeTest, DeadReplicasDoNotCount) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().commit_replica(b, volatile_ids_[1]);
+  EXPECT_TRUE(nn().block_meets_factor(b));
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(11 * sim::kMinute);  // dead
+  EXPECT_FALSE(nn().block_meets_factor(b));
+  const auto live = nn().live_replicas(b);
+  EXPECT_EQ(live.volatile_count, 1);
+  EXPECT_EQ(live.hibernated, 0);
+}
+
+TEST_F(NameNodeTest, ReplicationQueuePrioritisesReliableFiles) {
+  build();
+  const FileId fo = nn().create_file("opp", FileKind::kOpportunistic, {0, 2});
+  const BlockId ob = nn().add_block(fo, 100);
+  nn().commit_replica(ob, volatile_ids_[0]);
+  const FileId fr = nn().create_file("rel", FileKind::kReliable, {1, 1});
+  const BlockId rb = nn().add_block(fr, 100);
+  nn().commit_replica(rb, volatile_ids_[1]);
+
+  nn().enqueue_replication(ob);
+  nn().enqueue_replication(rb);  // enqueued second, served first
+
+  auto first = nn().next_replication_request();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->block, rb);
+  EXPECT_TRUE(first->reliable);
+  auto second = nn().next_replication_request();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->block, ob);
+}
+
+TEST_F(NameNodeTest, QueueSkipsRepairedAndRemovedBlocks) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().enqueue_replication(b);
+  nn().commit_replica(b, volatile_ids_[1]);  // repaired meanwhile
+  EXPECT_FALSE(nn().next_replication_request().has_value());
+
+  nn().enqueue_replication(b);
+  nn().remove_file(f);  // removed meanwhile
+  EXPECT_FALSE(nn().next_replication_request().has_value());
+}
+
+TEST_F(NameNodeTest, EnqueueIsDeduplicated) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 3});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().enqueue_replication(b);
+  nn().enqueue_replication(b);
+  nn().enqueue_replication(b);
+  EXPECT_EQ(nn().replication_queue_depth(), 1u);
+}
+
+TEST_F(NameNodeTest, PlanRepairPicksMissingDimension) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {1, 1});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);  // volatile ok, dedicated missing
+  Rng rng{9};
+  const auto plan = nn().plan_repair(b, rng);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->source, volatile_ids_[0]);
+  EXPECT_TRUE(cluster_->node(plan->target).dedicated());
+}
+
+TEST_F(NameNodeTest, PlanRepairUnrecoverableWithoutLiveSource) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 2});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(11 * sim::kMinute);  // dead
+  Rng rng{10};
+  EXPECT_FALSE(nn().plan_repair(b, rng).has_value());
+}
+
+TEST_F(NameNodeTest, ConvertToReliableRequiresDedicatedCopy) {
+  build();
+  const FileId f = nn().create_file("out", FileKind::kOpportunistic, {1, 1});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  nn().convert_to_reliable(f);
+  EXPECT_EQ(nn().file(f).kind, FileKind::kReliable);
+  EXPECT_FALSE(nn().block_meets_factor(b));  // dedicated copy still missing
+  EXPECT_GE(nn().replication_queue_depth(), 1u);
+  nn().commit_replica(b, dedicated_ids_[0]);
+  EXPECT_TRUE(nn().block_meets_factor(b));
+  EXPECT_TRUE(nn().try_complete_file(f));
+  EXPECT_TRUE(nn().file(f).complete);
+}
+
+TEST_F(NameNodeTest, StateChangeListenersFire) {
+  build();
+  std::vector<std::pair<DataNodeState, DataNodeState>> transitions;
+  nn().subscribe_state_changes(
+      [&](NodeId, DataNodeState from, DataNodeState to) {
+        transitions.emplace_back(from, to);
+      });
+  cluster_->node(volatile_ids_[0]).set_available(false);
+  advance(2 * sim::kMinute);
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.back().second, DataNodeState::kHibernated);
+}
+
+TEST_F(NameNodeTest, RemoveFileClearsBlocks) {
+  build();
+  const FileId f = nn().create_file("x", FileKind::kOpportunistic, {0, 1});
+  const BlockId b = nn().add_block(f, 100);
+  nn().commit_replica(b, volatile_ids_[0]);
+  EXPECT_TRUE(nn().block_exists(b));
+  nn().remove_file(f);
+  EXPECT_FALSE(nn().block_exists(b));
+  EXPECT_FALSE(nn().file_exists(f));
+}
+
+}  // namespace
+}  // namespace moon::dfs

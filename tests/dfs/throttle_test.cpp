@@ -1,0 +1,131 @@
+// Unit tests for paper Algorithm 1 (I/O throttling on dedicated DataNodes).
+#include "dfs/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon::dfs {
+namespace {
+
+TEST(Throttle, StartsUnthrottled) {
+  ThrottleState t(4, 0.1);
+  EXPECT_FALSE(t.throttled());
+}
+
+TEST(Throttle, FirstSampleNeverThrottles) {
+  ThrottleState t(4, 0.1);
+  EXPECT_FALSE(t.update(1000.0));
+}
+
+TEST(Throttle, RisingButFlatteningBandwidthThrottles) {
+  // bw_i > avg but below avg * (1 + T_b): the node has hit its ceiling.
+  ThrottleState t(4, 0.1);
+  t.update(100.0);
+  // avg = 100; 105 is higher but < 110 -> saturated.
+  EXPECT_TRUE(t.update(105.0));
+}
+
+TEST(Throttle, SteeplyRisingBandwidthDoesNotThrottle) {
+  // bw_i > avg * (1 + T_b): demand is still growing into headroom.
+  ThrottleState t(4, 0.1);
+  t.update(100.0);
+  EXPECT_FALSE(t.update(150.0));  // 150 > 110
+  EXPECT_FALSE(t.throttled());
+}
+
+TEST(Throttle, ClearDropUnthrottles) {
+  ThrottleState t(4, 0.1);
+  t.update(100.0);
+  ASSERT_TRUE(t.update(105.0));  // throttled
+  // avg now (100+105)/2 = 102.5; a clear drop below 92.25 releases.
+  EXPECT_FALSE(t.update(80.0));
+  EXPECT_FALSE(t.throttled());
+}
+
+TEST(Throttle, SmallDipKeepsThrottled) {
+  // Hysteresis: a dip that stays within the band does not release.
+  ThrottleState t(4, 0.1);
+  t.update(100.0);
+  ASSERT_TRUE(t.update(105.0));
+  // avg = 102.5; 95 < avg but > avg*0.9 = 92.25 -> stays throttled.
+  EXPECT_TRUE(t.update(95.0));
+}
+
+TEST(Throttle, EqualBandwidthChangesNothing) {
+  ThrottleState t(4, 0.1);
+  t.update(100.0);
+  EXPECT_FALSE(t.update(100.0));  // neither > nor < avg
+  t.update(105.0);                // throttles
+  ASSERT_TRUE(t.throttled());
+  const double avg = t.window_average();
+  EXPECT_TRUE(t.update(avg));  // exactly average: state unchanged
+}
+
+TEST(Throttle, WindowAverageSlides) {
+  ThrottleState t(2, 0.1);
+  t.update(10.0);
+  t.update(20.0);
+  EXPECT_DOUBLE_EQ(t.window_average(), 15.0);
+  t.update(40.0);  // window is now {20, 40}
+  EXPECT_DOUBLE_EQ(t.window_average(), 30.0);
+  EXPECT_EQ(t.samples_seen(), 3u);
+}
+
+TEST(Throttle, OscillationIsAbsorbed) {
+  // The paper's motivation: load oscillation must not flap the state.
+  ThrottleState t(8, 0.2);
+  for (int i = 0; i < 4; ++i) t.update(100.0);
+  t.update(110.0);  // rising within band -> throttled
+  ASSERT_TRUE(t.throttled());
+  // Oscillate mildly around the average: state must remain throttled.
+  for (double bw : {108.0, 104.0, 109.0, 103.0, 107.0}) {
+    t.update(bw);
+    EXPECT_TRUE(t.throttled()) << "flapped at bw=" << bw;
+  }
+}
+
+TEST(Throttle, RecoversAfterLoadFallsAway) {
+  ThrottleState t(4, 0.1);
+  for (double bw : {100.0, 104.0}) t.update(bw);
+  ASSERT_TRUE(t.throttled());
+  // Load drains: bandwidth collapses well below the window average.
+  t.update(10.0);
+  EXPECT_FALSE(t.throttled());
+}
+
+TEST(Throttle, ZeroWindowRejected) {
+  EXPECT_THROW(ThrottleState(0, 0.1), std::logic_error);
+  EXPECT_THROW(ThrottleState(4, -0.5), std::logic_error);
+}
+
+TEST(Throttle, IdleNodeNeverThrottles) {
+  ThrottleState t(4, 0.1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(t.update(0.0));
+  }
+}
+
+/// Parameterised sweep over thresholds: the throttle must engage when a
+/// bandwidth ramp flattens, for any sane T_b.
+class ThrottleThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThrottleThresholdSweep, EngagesOnPlateau) {
+  const double tb = GetParam();
+  ThrottleState t(4, tb);
+  // Steep ramp: no throttling while growth beats the threshold.
+  double bw = 100.0;
+  t.update(bw);
+  for (int i = 0; i < 4; ++i) {
+    bw *= (1.0 + tb) * 1.5;  // clearly above the band
+    t.update(bw);
+    EXPECT_FALSE(t.throttled());
+  }
+  // Plateau: next sample barely above average -> saturated.
+  t.update(t.window_average() * (1.0 + tb / 2.0));
+  EXPECT_TRUE(t.throttled());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThrottleThresholdSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace moon::dfs

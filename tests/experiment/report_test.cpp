@@ -1,0 +1,84 @@
+#include "experiment/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace moon::experiment {
+namespace {
+
+Summary fake_summary(double time_s, int runs = 3) {
+  Summary s;
+  s.total_runs = runs;
+  s.completed_runs = runs;
+  for (int i = 0; i < runs; ++i) {
+    s.execution_time_s.add(time_s + i);
+    s.duplicated_tasks.add(10 + i);
+    s.killed_maps.add(2);
+    s.killed_reduces.add(1);
+    s.avg_map_time_s.add(20.0);
+    s.avg_shuffle_time_s.add(120.0);
+    s.avg_reduce_time_s.add(40.0);
+    s.fetch_failures.add(5);
+  }
+  return s;
+}
+
+TEST(SweepReport, CsvHasHeaderAndOneLinePerCell) {
+  SweepReport report("fig4a");
+  report.add("MOON", "0.1", fake_summary(300.0));
+  report.add("MOON", "0.5", fake_summary(800.0));
+  std::ostringstream os;
+  report.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("sweep,row,column,runs"), std::string::npos);
+  // header + 2 data lines
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("fig4a,MOON,0.1,3,3,301.000"), std::string::npos);
+  EXPECT_NE(csv.find("fig4a,MOON,0.5,3,3,801.000"), std::string::npos);
+}
+
+TEST(SweepReport, RecordsCellsInOrder) {
+  SweepReport report("x");
+  report.add("a", "1", fake_summary(1.0));
+  report.add("b", "2", fake_summary(2.0));
+  ASSERT_EQ(report.cells().size(), 2u);
+  EXPECT_EQ(report.cells()[0].row, "a");
+  EXPECT_EQ(report.cells()[1].column, "2");
+  EXPECT_EQ(report.name(), "x");
+}
+
+TEST(SweepReport, SaveCsvRoundTrip) {
+  SweepReport report("t");
+  report.add("r", "c", fake_summary(5.0));
+  const std::string path = ::testing::TempDir() + "/moon_report_test.csv";
+  report.save_csv(path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("time_mean_s"), std::string::npos);
+}
+
+TEST(SweepReport, SaveToBadPathThrows) {
+  SweepReport report("t");
+  EXPECT_THROW(report.save_csv("/nonexistent/dir/report.csv"),
+               std::runtime_error);
+}
+
+TEST(SweepReport, DnfRunsVisibleInCompletedColumn) {
+  Summary s;
+  s.total_runs = 3;
+  s.completed_runs = 1;
+  s.execution_time_s.add(100.0);
+  SweepReport report("dnf");
+  report.add("hadoop", "0.5", s);
+  std::ostringstream os;
+  report.write_csv(os);
+  EXPECT_NE(os.str().find("dnf,hadoop,0.5,3,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moon::experiment

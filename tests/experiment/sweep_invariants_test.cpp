@@ -1,0 +1,100 @@
+// Property sweep over (policy x unavailability rate): every run must
+// complete on a small cluster and its metrics must satisfy structural
+// invariants, regardless of configuration.
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+
+namespace moon::experiment {
+namespace {
+
+enum class PolicyKind { kHadoop10, kHadoop1, kLate, kMoon, kMoonHybrid };
+
+const char* name_of(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kHadoop10: return "Hadoop10";
+    case PolicyKind::kHadoop1: return "Hadoop1";
+    case PolicyKind::kLate: return "LATE";
+    case PolicyKind::kMoon: return "MOON";
+    case PolicyKind::kMoonHybrid: return "MOONHybrid";
+  }
+  return "?";
+}
+
+mapred::SchedulerConfig sched_of(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kHadoop10: return hadoop_scheduler(10 * sim::kMinute);
+    case PolicyKind::kHadoop1: return hadoop_scheduler(1 * sim::kMinute);
+    case PolicyKind::kLate: return late_scheduler(1 * sim::kMinute);
+    case PolicyKind::kMoon: return moon_scheduler(false);
+    case PolicyKind::kMoonHybrid: return moon_scheduler(true);
+  }
+  return {};
+}
+
+class SweepInvariants
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, double>> {};
+
+TEST_P(SweepInvariants, RunCompletesWithConsistentMetrics) {
+  const auto [policy, rate] = GetParam();
+
+  ScenarioConfig cfg;
+  cfg.volatile_nodes = 12;
+  cfg.dedicated_nodes = 2;
+  cfg.app = workload::sleep_of(workload::sort_workload());
+  cfg.app.num_maps = 24;
+  cfg.app.reduce_slot_fraction = 0.0;
+  cfg.app.fixed_reduces = 6;
+  cfg.app.map_compute = 20 * sim::kSecond;
+  cfg.app.reduce_compute = 30 * sim::kSecond;
+  cfg.app.input_size = 24 * kKiB;
+  cfg.sched = sched_of(policy);
+  cfg.dfs = moon_dfs_config();
+  cfg.intermediate_kind = dfs::FileKind::kReliable;
+  cfg.intermediate_factor = {1, 1};
+  cfg.unavailability_rate = rate;
+  cfg.seed = 17;
+  cfg.max_sim_time = 8 * sim::kHour;
+
+  const auto r = run_scenario(cfg);
+
+  SCOPED_TRACE(std::string(name_of(policy)) + " @ " + std::to_string(rate));
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.completed_maps, r.num_maps);
+  EXPECT_EQ(r.completed_reduces, r.num_reduces);
+
+  const auto& m = r.metrics;
+  // Structural invariants that must hold for any policy at any volatility.
+  EXPECT_GE(m.launched_map_attempts, r.num_maps);
+  EXPECT_GE(m.launched_reduce_attempts, r.num_reduces);
+  EXPECT_EQ(r.duplicated_tasks(),
+            m.launched_map_attempts + m.launched_reduce_attempts -
+                r.num_maps - r.num_reduces);
+  EXPECT_GE(r.duplicated_tasks(), 0);
+  EXPECT_LE(m.speculative_attempts,
+            m.launched_map_attempts + m.launched_reduce_attempts);
+  EXPECT_LE(m.killed_map_attempts + m.failed_map_attempts,
+            m.launched_map_attempts);
+  EXPECT_LE(m.killed_reduce_attempts + m.failed_reduce_attempts,
+            m.launched_reduce_attempts);
+  // Exactly one attempt per task succeeded.
+  EXPECT_EQ(static_cast<int>(m.map_time_s.count()),
+            r.num_maps + m.map_reexecutions);
+  EXPECT_GT(m.map_time_s.mean(), 0.0);
+  EXPECT_GT(r.execution_time_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SweepInvariants,
+    ::testing::Combine(::testing::Values(PolicyKind::kHadoop10,
+                                         PolicyKind::kHadoop1,
+                                         PolicyKind::kLate, PolicyKind::kMoon,
+                                         PolicyKind::kMoonHybrid),
+                       ::testing::Values(0.0, 0.2, 0.4)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_rate" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+}  // namespace
+}  // namespace moon::experiment

@@ -1,0 +1,215 @@
+// End-to-end MapReduce behaviour under volatility: fetch-failure protocol,
+// shuffle resilience, trace-driven churn, and completion semantics.
+#include <gtest/gtest.h>
+
+#include "cluster/availability_driver.hpp"
+#include "mapred_fixture.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+TEST(MapRedIntegration, FetchFailureTriggersMapReexecution) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.fetch_failure_query_threshold = 1;  // re-run on first dead fetch
+  opt.sched.fetch_retry_interval = 10 * sim::kSecond;
+  opt.map_compute = 10 * sim::kSecond;
+  opt.reduce_compute = 10 * sim::kSecond;
+  // Intermediate data lives on exactly one volatile node (stock Hadoop).
+  opt.intermediate_kind = dfs::FileKind::kOpportunistic;
+  opt.intermediate_factor = {0, 1};
+  opt.intermediate_per_map = mib(4.0);
+  opt.volatile_nodes = 4;
+  opt.num_maps = 4;
+  opt.num_reduces = 2;
+  MapRedHarness h(opt);
+  h.submit();
+  // The instant map 0 first completes, take its output holder down so the
+  // partition becomes unfetchable before every reduce has copied it.
+  const TaskId m0 = h.job().tasks_of(TaskType::kMap)[0];
+  auto sabotage = std::make_shared<sim::PeriodicTask>(
+      h.sim(), 100 * sim::kMillisecond, [&h, m0] {
+        const FileId out = h.job().map_output(m0);
+        if (!out.valid()) return;
+        auto& nn = h.dfs().namenode();
+        for (BlockId b : nn.file(out).blocks) {
+          for (NodeId n : nn.block(b).replicas) {
+            h.set_node_available(n, false);
+          }
+        }
+      });
+  sabotage->start();
+  // Stop sabotaging once the map has been re-executed at least once, so the
+  // job can finish.
+  auto watchdog = std::make_shared<sim::PeriodicTask>(
+      h.sim(), sim::kSecond, [&h, sabotage, watch = false]() mutable {
+        if (h.job().metrics().map_reexecutions > 0 && sabotage->active()) {
+          sabotage->stop();
+        }
+      });
+  watchdog->start();
+  ASSERT_TRUE(h.run_to_completion());
+  EXPECT_GT(h.job().metrics().fetch_failures, 0);
+  EXPECT_GT(h.job().metrics().map_reexecutions, 0);
+}
+
+TEST(MapRedIntegration, ReducerKeepsFetchedPartitionsAcrossMapReversion) {
+  // A reducer that already fetched map M's output must not re-fetch after M
+  // is reverted and re-executed; only unfetched reducers wait.
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.fetch_failure_query_threshold = 1;
+  opt.map_compute = 10 * sim::kSecond;
+  opt.reduce_compute = 60 * sim::kSecond;
+  opt.intermediate_factor = {0, 1};
+  opt.intermediate_kind = dfs::FileKind::kOpportunistic;
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  EXPECT_TRUE(h.job().metrics().completed);
+}
+
+TEST(MapRedIntegration, SurvivesTraceDrivenChurn) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched(true);
+  opt.volatile_nodes = 8;
+  opt.dedicated_nodes = 2;
+  opt.num_maps = 16;
+  opt.num_reduces = 4;
+  opt.map_compute = 20 * sim::kSecond;
+  opt.reduce_compute = 30 * sim::kSecond;
+  opt.intermediate_kind = dfs::FileKind::kOpportunistic;
+  opt.intermediate_factor = {1, 1};
+  MapRedHarness h(opt);
+
+  // Drive the volatile nodes with a 0.4-unavailability synthetic trace.
+  trace::GeneratorConfig gen_cfg;
+  gen_cfg.unavailability_rate = 0.4;
+  gen_cfg.mean_outage_s = 120.0;
+  gen_cfg.stddev_outage_s = 60.0;
+  trace::TraceGenerator gen(gen_cfg);
+  Rng rng{17};
+  const auto fleet = gen.generate_fleet(rng, h.volatile_ids.size());
+  cluster::AvailabilityDriver driver(h.sim(), h.cluster());
+  driver.assign_fleet(h.volatile_ids, fleet);
+  driver.install(2);
+
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion(sim::hours(8)));
+  EXPECT_TRUE(h.job().metrics().completed);
+}
+
+TEST(MapRedIntegration, HadoopAlsoSurvivesModerateChurnWithReplication) {
+  FixtureOptions opt;
+  opt.sched = testing::hadoop_sched(60 * sim::kSecond);
+  opt.volatile_nodes = 8;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 8;
+  opt.num_reduces = 2;
+  opt.intermediate_kind = dfs::FileKind::kOpportunistic;
+  opt.intermediate_factor = {0, 3};
+  opt.input_factor = {0, 4};
+  opt.output_factor = {0, 3};
+  // Plain-Hadoop DFS behaviour.
+  opt.dfs.hibernate_enabled = false;
+  opt.dfs.adaptive_replication = false;
+  opt.dfs.throttling_enabled = false;
+  MapRedHarness h(opt);
+
+  trace::GeneratorConfig gen_cfg;
+  gen_cfg.unavailability_rate = 0.2;
+  gen_cfg.mean_outage_s = 100.0;
+  gen_cfg.stddev_outage_s = 40.0;
+  trace::TraceGenerator gen(gen_cfg);
+  Rng rng{23};
+  const auto fleet = gen.generate_fleet(rng, h.volatile_ids.size());
+  cluster::AvailabilityDriver driver(h.sim(), h.cluster());
+  driver.assign_fleet(h.volatile_ids, fleet);
+  driver.install(2);
+
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion(sim::hours(8)));
+}
+
+TEST(MapRedIntegration, JobCommitWaitsForOutputReplication) {
+  FixtureOptions opt;
+  opt.output_factor = {1, 2};
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  auto& nn = h.dfs().namenode();
+  for (TaskId r : h.job().tasks_of(TaskType::kReduce)) {
+    const FileId f = h.job().task(r).output_file;
+    EXPECT_TRUE(nn.file_meets_factor(f));
+  }
+}
+
+TEST(MapRedIntegration, MetricsDuplicatedTasksCountsExtraAttempts) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.homestretch_fraction = 0.9;
+  opt.map_compute = 60 * sim::kSecond;
+  opt.volatile_nodes = 6;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  const auto& m = h.job().metrics();
+  EXPECT_EQ(m.duplicated_tasks(2, 1),
+            m.launched_map_attempts + m.launched_reduce_attempts - 3);
+  EXPECT_GE(m.duplicated_tasks(2, 1), m.speculative_attempts > 0 ? 1 : 0);
+}
+
+TEST(MapRedIntegration, SuspendedReducerResumesShuffleAfterOutage) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.map_compute = 5 * sim::kSecond;
+  opt.reduce_compute = 20 * sim::kSecond;
+  opt.intermediate_per_map = mib(16.0);  // shuffle takes real time
+  opt.volatile_nodes = 3;
+  opt.dedicated_nodes = 1;
+  opt.num_maps = 6;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(30 * sim::kSecond);  // reduce mid-shuffle
+  // Suspend the reducer's node briefly; it must resume, not restart.
+  NodeId reducer_node = NodeId::invalid();
+  const TaskId r = h.job().tasks_of(TaskType::kReduce)[0];
+  for (AttemptId a : h.job().task(r).attempts) {
+    auto* attempt = h.job().attempt(a);
+    if (attempt != nullptr && !attempt->terminal()) {
+      reducer_node = attempt->tracker().node_id();
+    }
+  }
+  if (reducer_node.valid() && !h.cluster().node(reducer_node).dedicated()) {
+    h.set_node_available(reducer_node, false);
+    h.advance(45 * sim::kSecond);
+    h.set_node_available(reducer_node, true);
+  }
+  ASSERT_TRUE(h.run_to_completion());
+}
+
+TEST(MapRedIntegration, TwoJobsSequentially) {
+  // The JobTracker supports multiple jobs; run one to completion, then the
+  // next (paper studies single-job execution; this guards the plumbing).
+  FixtureOptions opt;
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  const JobId second = h.submit();
+  const sim::Time deadline = h.sim().now() + sim::hours(2);
+  auto& job2 = h.jobtracker().job(second);
+  while (!job2.finished() && h.sim().now() < deadline) {
+    if (!h.sim().step()) break;
+  }
+  EXPECT_TRUE(job2.metrics().completed);
+}
+
+}  // namespace
+}  // namespace moon::mapred

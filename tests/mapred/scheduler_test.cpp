@@ -1,0 +1,245 @@
+// Speculative-execution policy tests (§V): Hadoop straggler criteria, MOON
+// frozen/slow lists, the global cap, two-phase homestretch, and hybrid
+// dedicated-backup placement.
+#include "mapred/speculation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapred_fixture.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+TEST(HadoopSpeculation, NoStragglersOnHealthyCluster) {
+  FixtureOptions opt;
+  opt.sched = testing::hadoop_sched();
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  EXPECT_EQ(h.job().metrics().speculative_attempts, 0);
+}
+
+TEST(HadoopSpeculation, SuspendedTaskEventuallyGetsBackupViaExpiry) {
+  // Hadoop's only recourse for a suspended tracker is expiry: the attempt
+  // is killed and the task rescheduled (a "duplicate" in Fig. 5 terms).
+  FixtureOptions opt;
+  opt.sched = testing::hadoop_sched(60 * sim::kSecond);
+  opt.map_compute = 5 * sim::kMinute;
+  opt.volatile_nodes = 2;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 4;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(30 * sim::kSecond);  // maps running
+  h.set_node_available(h.volatile_ids[0], false);
+  h.advance(3 * sim::kMinute);   // expiry fires
+  EXPECT_EQ(h.jobtracker().tracker_state(h.volatile_ids[0]),
+            TrackerState::kDead);
+  EXPECT_GT(h.job().metrics().killed_map_attempts, 0);
+  h.set_node_available(h.volatile_ids[0], true);
+  ASSERT_TRUE(h.run_to_completion());
+  EXPECT_GT(h.job().metrics().launched_map_attempts, 4);
+}
+
+TEST(HadoopSpeculation, StragglerCriteriaRequireMinimumAge) {
+  FixtureOptions opt;
+  opt.sched = testing::hadoop_sched();
+  opt.sched.min_age_for_speculation = 60 * sim::kSecond;
+  opt.map_compute = 30 * sim::kSecond;  // tasks finish before aging in
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  EXPECT_EQ(h.job().metrics().speculative_attempts, 0);
+}
+
+TEST(MoonSpeculation, SuspensionMarksAttemptsInactiveWithoutKilling) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.map_compute = 10 * sim::kMinute;
+  opt.volatile_nodes = 3;
+  opt.num_maps = 6;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(30 * sim::kSecond);
+  const NodeId victim = h.volatile_ids[0];
+  h.set_node_available(victim, false);
+  h.advance(90 * sim::kSecond);  // > SuspensionInterval (30 s)
+  EXPECT_EQ(h.jobtracker().tracker_state(victim), TrackerState::kSuspended);
+  // Nothing was killed — the paper keeps inactive attempts alive.
+  EXPECT_EQ(h.job().metrics().killed_map_attempts, 0);
+}
+
+TEST(MoonSpeculation, FrozenTaskReceivesSpeculativeCopy) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.homestretch_fraction = 0.0;  // isolate the frozen-list path
+  opt.map_compute = 10 * sim::kMinute;
+  opt.volatile_nodes = 4;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 2;  // few tasks, plenty of slots elsewhere
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(20 * sim::kSecond);  // maps placed
+  // Find a node hosting a map attempt and suspend it.
+  NodeId victim = NodeId::invalid();
+  for (TaskId m : h.job().tasks_of(TaskType::kMap)) {
+    if (h.job().task(m).state == TaskState::kRunning) {
+      for (AttemptId a : h.job().task(m).attempts) {
+        victim = h.job().attempt(a)->tracker().node_id();
+        break;
+      }
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  const int before = h.job().metrics().speculative_attempts;
+  h.set_node_available(victim, false);
+  h.advance(3 * sim::kMinute);  // suspension detected, frozen rescue issued
+  EXPECT_GT(h.job().metrics().speculative_attempts, before);
+  ASSERT_TRUE(h.run_to_completion());
+}
+
+TEST(MoonSpeculation, ResumedOriginalOrBackupWinsAndLoserIsKilled) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.map_compute = 5 * sim::kMinute;
+  opt.volatile_nodes = 4;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(20 * sim::kSecond);
+  h.set_node_available(h.volatile_ids[0], false);
+  h.advance(2 * sim::kMinute);
+  h.set_node_available(h.volatile_ids[0], true);  // original resumes
+  ASSERT_TRUE(h.run_to_completion());
+  const auto& m = h.job().metrics();
+  // Both a speculative copy and a resumed original existed for some task;
+  // exactly one of them won, so something was killed as redundant.
+  if (m.speculative_attempts > 0) {
+    EXPECT_GT(m.killed_map_attempts + m.killed_reduce_attempts, 0);
+  }
+}
+
+TEST(MoonSpeculation, GlobalCapBoundsConcurrentSpeculation) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.speculative_slot_fraction = 0.0;  // cap = 0: no speculation at all
+  opt.map_compute = 5 * sim::kMinute;
+  opt.volatile_nodes = 4;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(20 * sim::kSecond);
+  h.set_node_available(h.volatile_ids[0], false);
+  h.advance(5 * sim::kMinute);
+  EXPECT_EQ(h.job().metrics().speculative_attempts, 0);
+}
+
+TEST(MoonSpeculation, HomestretchMaintainsExtraCopies) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.homestretch_fraction = 0.5;  // tiny job: homestretch from start
+  opt.sched.homestretch_copies = 2;
+  opt.map_compute = 2 * sim::kMinute;
+  opt.volatile_nodes = 6;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(90 * sim::kSecond);
+  // Remaining tasks (3) < 50% of available slots (24): every running task
+  // should have been topped up to R = 2 active copies.
+  EXPECT_GT(h.job().metrics().speculative_attempts, 0);
+  for (TaskId m : h.job().tasks_of(TaskType::kMap)) {
+    if (h.job().task(m).state == TaskState::kRunning) {
+      EXPECT_GE(h.job().active_attempts(m), 2);
+    }
+  }
+  ASSERT_TRUE(h.run_to_completion());
+}
+
+TEST(MoonSpeculation, HomestretchDisabledOutsideWindow) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched();
+  opt.sched.homestretch_fraction = 0.0;  // never in homestretch
+  opt.map_compute = 2 * sim::kMinute;
+  opt.volatile_nodes = 6;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(90 * sim::kSecond);
+  EXPECT_EQ(h.job().metrics().speculative_attempts, 0);
+}
+
+TEST(MoonSpeculation, HybridPlacesBackupsOnDedicatedNodes) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched(/*hybrid=*/true);
+  opt.map_compute = 10 * sim::kMinute;
+  opt.volatile_nodes = 2;
+  opt.dedicated_nodes = 1;
+  opt.num_maps = 2;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(20 * sim::kSecond);
+  // Suspend every volatile node: all map attempts freeze.
+  for (NodeId n : h.volatile_ids) h.set_node_available(n, false);
+  h.advance(3 * sim::kMinute);
+  // The dedicated node must be running backup copies.
+  int dedicated_attempts = 0;
+  for (TaskId m : h.job().tasks_of(TaskType::kMap)) {
+    if (h.job().has_active_dedicated_attempt(m)) ++dedicated_attempts;
+  }
+  EXPECT_GT(dedicated_attempts, 0);
+  // Output replication needs live volatile nodes ({1,1} factor); bring the
+  // fleet back so the commit can place the volatile copies.
+  h.advance(5 * sim::kMinute);
+  for (NodeId n : h.volatile_ids) h.set_node_available(n, true);
+  ASSERT_TRUE(h.run_to_completion());
+}
+
+TEST(MoonSpeculation, TaskWithDedicatedCopyGetsNoMoreReplicas) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched(/*hybrid=*/true);
+  opt.sched.homestretch_fraction = 0.9;  // homestretch from the start
+  opt.map_compute = 5 * sim::kMinute;
+  opt.volatile_nodes = 4;
+  opt.dedicated_nodes = 1;
+  opt.num_maps = 1;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(4 * sim::kMinute);
+  const TaskId m = h.job().tasks_of(TaskType::kMap)[0];
+  if (h.job().has_active_dedicated_attempt(m)) {
+    // "Tasks that already have a dedicated copy do not participate [in] the
+    // homestretch phase": at most the original + the dedicated backup.
+    EXPECT_LE(h.job().non_terminal_attempts(m), 2);
+  }
+}
+
+TEST(MoonSpeculation, NonHybridIgnoresDedicatedDistinction) {
+  FixtureOptions opt;
+  opt.sched = testing::moon_sched(/*hybrid=*/false);
+  opt.map_compute = 30 * sim::kSecond;
+  MapRedHarness h(opt);
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  // Sanity: job completes and the scheduler never crashes on mixed tiers.
+  EXPECT_TRUE(h.job().metrics().completed);
+}
+
+}  // namespace
+}  // namespace moon::mapred

@@ -1,0 +1,96 @@
+// TaskTracker slot accounting and heartbeat behaviour.
+#include "mapred/tasktracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapred_fixture.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+TEST(TaskTracker, SlotsMatchNodeConfig) {
+  MapRedHarness h;
+  auto trackers = h.jobtracker().trackers();
+  ASSERT_FALSE(trackers.empty());
+  TaskTracker* t = trackers.front();
+  EXPECT_EQ(t->map_slots(), 2);
+  EXPECT_EQ(t->reduce_slots(), 2);
+  EXPECT_EQ(t->free_slots(TaskType::kMap), 2);
+  EXPECT_EQ(t->free_slots(TaskType::kReduce), 2);
+  EXPECT_EQ(t->used_slots(TaskType::kMap), 0);
+}
+
+TEST(TaskTracker, OccupancyTracksRunningAttempts) {
+  FixtureOptions opt;
+  opt.map_compute = 5 * sim::kMinute;
+  opt.volatile_nodes = 1;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 4;
+  opt.num_reduces = 1;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(30 * sim::kSecond);
+  TaskTracker* t = h.jobtracker().trackers().front();
+  // Both map slots busy (4 maps, 2 slots); attempts registered.
+  EXPECT_EQ(t->used_slots(TaskType::kMap), 2);
+  EXPECT_EQ(t->free_slots(TaskType::kMap), 0);
+  EXPECT_EQ(t->attempts(TaskType::kMap).size(), 2u);
+  EXPECT_EQ(t->all_attempts().size(),
+            t->attempts(TaskType::kMap).size() +
+                t->attempts(TaskType::kReduce).size());
+}
+
+TEST(TaskTracker, SlotsFreedOnCompletion) {
+  MapRedHarness h;
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  for (TaskTracker* t : h.jobtracker().trackers()) {
+    EXPECT_EQ(t->used_slots(TaskType::kMap), 0);
+    EXPECT_EQ(t->used_slots(TaskType::kReduce), 0);
+  }
+}
+
+TEST(TaskTracker, OverOccupancyThrows) {
+  FixtureOptions opt;
+  opt.map_compute = 10 * sim::kMinute;
+  opt.volatile_nodes = 1;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 8;
+  MapRedHarness h(opt);
+  h.submit();
+  h.advance(30 * sim::kSecond);
+  TaskTracker* t = h.jobtracker().trackers().front();
+  ASSERT_EQ(t->free_slots(TaskType::kMap), 0);
+  EXPECT_THROW(t->occupy(TaskType::kMap, nullptr), std::logic_error);
+}
+
+TEST(TaskTracker, DedicatedFlagReflectsNodeType) {
+  MapRedHarness h;  // 4 volatile + 1 dedicated
+  int dedicated = 0;
+  for (TaskTracker* t : h.jobtracker().trackers()) {
+    if (t->dedicated()) ++dedicated;
+  }
+  EXPECT_EQ(dedicated, 1);
+}
+
+TEST(TaskTracker, SilentWhileHostDown) {
+  MapRedHarness h;
+  h.submit();
+  h.advance(10 * sim::kSecond);
+  const NodeId victim = h.volatile_ids[0];
+  h.set_node_available(victim, false);
+  h.advance(2 * sim::kMinute);
+  // No heartbeats delivered: the JobTracker's view goes stale (Live state
+  // only persists because plain schedulers have no suspension concept; the
+  // last_heartbeat gap is what the liveness scan consumes).
+  EXPECT_FALSE(h.cluster().node(victim).available());
+  h.set_node_available(victim, true);
+  h.advance(10 * sim::kSecond);
+  EXPECT_EQ(h.jobtracker().tracker_state(victim), TrackerState::kLive);
+}
+
+}  // namespace
+}  // namespace moon::mapred

@@ -1,0 +1,229 @@
+#include "simkit/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::sim {
+namespace {
+
+/// Runs both fairness models through the same scenarios where their
+/// behaviour must agree (single-bottleneck cases).
+class FlowModelTest : public ::testing::TestWithParam<FairnessModel> {
+ protected:
+  Simulation sim_;
+  FlowNetwork net_{sim_, GetParam()};
+};
+
+TEST_P(FlowModelTest, SingleFlowFinishesAtExpectedTime) {
+  const auto r = net_.add_resource(100.0);  // 100 B/s
+  Time done_at = -1;
+  net_.start_flow({r}, 1000, [&](FlowId) { done_at = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done_at, 10 * kSecond);
+}
+
+TEST_P(FlowModelTest, TwoFlowsShareACapacityEqually) {
+  const auto r = net_.add_resource(100.0);
+  std::vector<Time> done;
+  net_.start_flow({r}, 1000, [&](FlowId) { done.push_back(sim_.now()); });
+  net_.start_flow({r}, 1000, [&](FlowId) { done.push_back(sim_.now()); });
+  sim_.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Each gets 50 B/s -> both finish at ~20 s.
+  EXPECT_NEAR(to_seconds(done[0]), 20.0, 0.01);
+  EXPECT_NEAR(to_seconds(done[1]), 20.0, 0.01);
+}
+
+TEST_P(FlowModelTest, FlowCrossingTwoResourcesIsBottlenecked) {
+  const auto fast = net_.add_resource(1000.0);
+  const auto slow = net_.add_resource(10.0);
+  Time done_at = -1;
+  net_.start_flow({fast, slow}, 100, [&](FlowId) { done_at = sim_.now(); });
+  sim_.run();
+  EXPECT_NEAR(to_seconds(done_at), 10.0, 0.01);
+}
+
+TEST_P(FlowModelTest, EarlyFinisherReleasesCapacity) {
+  const auto r = net_.add_resource(100.0);
+  Time small_done = -1, large_done = -1;
+  net_.start_flow({r}, 500, [&](FlowId) { small_done = sim_.now(); });
+  net_.start_flow({r}, 1500, [&](FlowId) { large_done = sim_.now(); });
+  sim_.run();
+  // Shared at 50 B/s until t=10 (small ends); large then has 1000 B left at
+  // 100 B/s -> ends at 20.
+  EXPECT_NEAR(to_seconds(small_done), 10.0, 0.01);
+  EXPECT_NEAR(to_seconds(large_done), 20.0, 0.01);
+}
+
+TEST_P(FlowModelTest, ZeroCapacityStallsFlow) {
+  const auto r = net_.add_resource(100.0);
+  bool done = false;
+  const FlowId f = net_.start_flow({r}, 1000, [&](FlowId) { done = true; });
+  net_.set_capacity(r, 0.0);
+  sim_.run_until(1000 * kSecond);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(net_.rate(f), 0.0);
+  EXPECT_TRUE(net_.active(f));
+}
+
+TEST_P(FlowModelTest, StalledFlowResumesWhenCapacityReturns) {
+  const auto r = net_.add_resource(100.0);
+  Time done_at = -1;
+  net_.start_flow({r}, 1000, [&](FlowId) { done_at = sim_.now(); });
+  sim_.run_until(5 * kSecond);  // 500 bytes moved
+  net_.set_capacity(r, 0.0);
+  sim_.run_until(65 * kSecond);  // stalled for 60 s
+  net_.set_capacity(r, 100.0);
+  sim_.run();
+  EXPECT_NEAR(to_seconds(done_at), 70.0, 0.01);
+}
+
+TEST_P(FlowModelTest, StalledFlowDoesNotStealCapacityFromLiveFlows) {
+  // Two flows share resource r; one also crosses a dead resource and stalls.
+  // The live flow must receive the full capacity of r.
+  const auto r = net_.add_resource(100.0);
+  const auto dead = net_.add_resource(0.0);
+  Time live_done = -1;
+  net_.start_flow({r, dead}, 1000, [](FlowId) {});
+  net_.start_flow({r}, 1000, [&](FlowId) { live_done = sim_.now(); });
+  sim_.run_until(30 * kSecond);
+  EXPECT_NEAR(to_seconds(live_done), 10.0, 0.01);
+}
+
+TEST_P(FlowModelTest, AbortSuppressesCompletion) {
+  const auto r = net_.add_resource(100.0);
+  bool done = false;
+  const FlowId f = net_.start_flow({r}, 1000, [&](FlowId) { done = true; });
+  sim_.run_until(5 * kSecond);
+  net_.abort_flow(f);
+  sim_.run();
+  EXPECT_FALSE(done);
+  EXPECT_FALSE(net_.active(f));
+}
+
+TEST_P(FlowModelTest, AbortFreesCapacityForRemainingFlows) {
+  const auto r = net_.add_resource(100.0);
+  Time done_at = -1;
+  const FlowId victim = net_.start_flow({r}, 10000, [](FlowId) {});
+  net_.start_flow({r}, 1000, [&](FlowId) { done_at = sim_.now(); });
+  sim_.run_until(5 * kSecond);  // survivor moved 250 bytes
+  net_.abort_flow(victim);
+  sim_.run();
+  // 750 bytes left at 100 B/s -> total 12.5 s.
+  EXPECT_NEAR(to_seconds(done_at), 12.5, 0.01);
+}
+
+TEST_P(FlowModelTest, RemainingDecreasesMonotonically) {
+  const auto r = net_.add_resource(100.0);
+  const FlowId f = net_.start_flow({r}, 1000, [](FlowId) {});
+  Bytes prev = net_.remaining(f);
+  for (int i = 1; i <= 9; ++i) {
+    sim_.run_until(i * kSecond);
+    const Bytes now = net_.remaining(f);
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+}
+
+TEST_P(FlowModelTest, ZeroSizeFlowCompletesAsynchronously) {
+  const auto r = net_.add_resource(100.0);
+  bool done_in_start = false;
+  bool done = false;
+  net_.start_flow({r}, 0, [&](FlowId) { done = true; });
+  done_in_start = done;  // must not have completed synchronously
+  sim_.run();
+  EXPECT_FALSE(done_in_start);
+  EXPECT_TRUE(done);
+}
+
+TEST_P(FlowModelTest, CompletionCallbackMayStartNewFlow) {
+  const auto r = net_.add_resource(100.0);
+  Time second_done = -1;
+  net_.start_flow({r}, 100, [&](FlowId) {
+    net_.start_flow({r}, 100, [&](FlowId) { second_done = sim_.now(); });
+  });
+  sim_.run();
+  EXPECT_NEAR(to_seconds(second_done), 2.0, 0.01);
+}
+
+TEST_P(FlowModelTest, TransferredThroughAccumulates) {
+  const auto r = net_.add_resource(100.0);
+  net_.start_flow({r}, 500, [](FlowId) {});
+  sim_.run();
+  EXPECT_NEAR(net_.transferred_through(r), 500.0, 1.0);
+  net_.start_flow({r}, 300, [](FlowId) {});
+  sim_.run();
+  EXPECT_NEAR(net_.transferred_through(r), 800.0, 1.0);
+}
+
+TEST_P(FlowModelTest, ManyFlowsAllComplete) {
+  const auto a = net_.add_resource(1000.0);
+  const auto b = net_.add_resource(500.0);
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    net_.start_flow({i % 2 == 0 ? a : b, i % 3 == 0 ? b : a}, 100 + i * 10,
+                    [&](FlowId) { ++completed; });
+  }
+  sim_.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(net_.active_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, FlowModelTest,
+                         ::testing::Values(FairnessModel::kMaxMin,
+                                           FairnessModel::kBottleneckShare),
+                         [](const auto& param_info) {
+                           return param_info.param == FairnessModel::kMaxMin
+                                      ? "MaxMin"
+                                      : "BottleneckShare";
+                         });
+
+// ---- max-min-specific behaviour -------------------------------------------
+
+TEST(FlowMaxMin, ResidualCapacityIsRedistributed) {
+  Simulation sim;
+  FlowNetwork net(sim, FairnessModel::kMaxMin);
+  // Flow A crosses narrow (10 B/s) and wide (100 B/s); flow B crosses wide
+  // only. Max-min: A gets 10, B gets the residual 90.
+  const auto narrow = net.add_resource(10.0);
+  const auto wide = net.add_resource(100.0);
+  const FlowId a = net.start_flow({narrow, wide}, 1000000, [](FlowId) {});
+  const FlowId b = net.start_flow({wide}, 1000000, [](FlowId) {});
+  EXPECT_NEAR(net.rate(a), 10.0, 0.01);
+  EXPECT_NEAR(net.rate(b), 90.0, 0.01);
+}
+
+TEST(FlowBottleneckShare, ApproximationIsConservative) {
+  Simulation sim;
+  FlowNetwork net(sim, FairnessModel::kBottleneckShare);
+  const auto narrow = net.add_resource(10.0);
+  const auto wide = net.add_resource(100.0);
+  const FlowId a = net.start_flow({narrow, wide}, 1000000, [](FlowId) {});
+  const FlowId b = net.start_flow({wide}, 1000000, [](FlowId) {});
+  // A is bottlenecked at 10; B gets wide/2 = 50 (no residual redistribution),
+  // so the approximation never over-subscribes: 10 + 50 <= 100.
+  EXPECT_NEAR(net.rate(a), 10.0, 0.01);
+  EXPECT_NEAR(net.rate(b), 50.0, 0.01);
+}
+
+TEST(FlowNetwork, InvalidResourceThrows) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  EXPECT_THROW(net.start_flow({99}, 10, nullptr), std::out_of_range);
+  EXPECT_THROW(net.add_resource(-1.0), std::logic_error);
+}
+
+TEST(FlowNetwork, RateOfUnknownFlowIsZero) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  EXPECT_EQ(net.rate(FlowId{12345}), 0.0);
+  EXPECT_EQ(net.remaining(FlowId{12345}), 0);
+  EXPECT_FALSE(net.active(FlowId{12345}));
+}
+
+}  // namespace
+}  // namespace moon::sim

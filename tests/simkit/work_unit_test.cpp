@@ -1,0 +1,156 @@
+#include "simkit/work_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace moon::sim {
+namespace {
+
+TEST(WorkUnit, CompletesAfterTotalWork) {
+  Simulation sim;
+  Time done_at = -1;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done_at = sim.now(); });
+  unit.start();
+  sim.run();
+  EXPECT_EQ(done_at, 10 * kSecond);
+  EXPECT_TRUE(unit.finished());
+  EXPECT_DOUBLE_EQ(unit.progress(), 1.0);
+}
+
+TEST(WorkUnit, DoesNotRunUntilStarted) {
+  Simulation sim;
+  bool done = false;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done = true; });
+  sim.run_until(100 * kSecond);
+  EXPECT_FALSE(done);
+  EXPECT_DOUBLE_EQ(unit.progress(), 0.0);
+}
+
+TEST(WorkUnit, PauseFreezesProgress) {
+  Simulation sim;
+  Time done_at = -1;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done_at = sim.now(); });
+  unit.start();
+  sim.run_until(4 * kSecond);
+  unit.pause();
+  EXPECT_NEAR(unit.progress(), 0.4, 1e-9);
+  sim.run_until(100 * kSecond);
+  EXPECT_EQ(done_at, -1);
+  EXPECT_NEAR(unit.progress(), 0.4, 1e-9);  // unchanged while paused
+  unit.start();
+  sim.run();
+  EXPECT_EQ(done_at, 106 * kSecond);
+}
+
+TEST(WorkUnit, MultiplePauseResumeCycles) {
+  Simulation sim;
+  Time done_at = -1;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done_at = sim.now(); });
+  unit.start();
+  for (int i = 0; i < 4; ++i) {
+    sim.run_until(sim.now() + 2 * kSecond);
+    unit.pause();
+    sim.run_until(sim.now() + 5 * kSecond);
+    unit.start();
+  }
+  sim.run();
+  // 8 s of work done across cycles; 2 s left after the last resume.
+  EXPECT_EQ(done_at, (4 * (2 + 5) + 2) * kSecond);
+}
+
+TEST(WorkUnit, PauseWhileNotRunningIsNoOp) {
+  Simulation sim;
+  WorkUnit unit(sim, 10 * kSecond, [] {});
+  unit.pause();
+  EXPECT_FALSE(unit.running());
+  unit.start();
+  unit.pause();
+  unit.pause();
+  EXPECT_EQ(unit.work_done(), 0);
+}
+
+TEST(WorkUnit, DoubleStartIsNoOp) {
+  Simulation sim;
+  int fires = 0;
+  WorkUnit unit(sim, 5 * kSecond, [&] { ++fires; });
+  unit.start();
+  unit.start();
+  sim.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(WorkUnit, CancelSuppressesCompletion) {
+  Simulation sim;
+  bool done = false;
+  WorkUnit unit(sim, 5 * kSecond, [&] { done = true; });
+  unit.start();
+  sim.run_until(2 * kSecond);
+  unit.cancel();
+  sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_FALSE(unit.running());
+}
+
+TEST(WorkUnit, CancelledUnitCannotRestart) {
+  Simulation sim;
+  bool done = false;
+  WorkUnit unit(sim, 5 * kSecond, [&] { done = true; });
+  unit.cancel();
+  unit.start();
+  sim.run();
+  EXPECT_FALSE(done);
+}
+
+TEST(WorkUnit, ZeroWorkCompletesAsynchronously) {
+  Simulation sim;
+  bool done = false;
+  WorkUnit unit(sim, 0, [&] { done = true; });
+  unit.start();
+  EXPECT_FALSE(done);  // not synchronous from start()
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WorkUnit, ProgressIsMonotoneWhileRunning) {
+  Simulation sim;
+  WorkUnit unit(sim, 10 * kSecond, [] {});
+  unit.start();
+  double prev = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.run_until(i * kSecond);
+    EXPECT_GE(unit.progress(), prev);
+    prev = unit.progress();
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(WorkUnit, CallbackMayDestroyTheUnit) {
+  Simulation sim;
+  auto unit = std::make_unique<WorkUnit>(sim, kSecond, [] {});
+  auto* raw = unit.get();
+  bool destroyed = false;
+  // Replace with a self-destroying callback via a wrapper unit.
+  auto holder = std::make_unique<WorkUnit>(sim, kSecond, [&] {
+    unit.reset();  // destroys a different unit from within a callback
+    destroyed = true;
+  });
+  raw->start();
+  holder->start();
+  sim.run();
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(WorkUnit, WorkDoneTracksPartialThenTotal) {
+  Simulation sim;
+  WorkUnit unit(sim, 8 * kSecond, [] {});
+  unit.start();
+  sim.run_until(3 * kSecond);
+  EXPECT_EQ(unit.work_done(), 3 * kSecond);
+  sim.run();
+  EXPECT_EQ(unit.work_done(), 8 * kSecond);
+  EXPECT_EQ(unit.total_work(), 8 * kSecond);
+}
+
+}  // namespace
+}  // namespace moon::sim

@@ -1,0 +1,72 @@
+#include "trace/availability_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moon::trace {
+namespace {
+
+constexpr sim::Duration kHour8 = 8 * sim::kHour;
+
+TEST(AvailabilityTrace, AlwaysAvailableHasNoOutages) {
+  const auto t = AvailabilityTrace::always_available(kHour8);
+  EXPECT_EQ(t.outage_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.unavailability_fraction(), 0.0);
+  EXPECT_TRUE(t.available_at(0));
+  EXPECT_TRUE(t.available_at(kHour8 - 1));
+}
+
+TEST(AvailabilityTrace, AvailabilityLookupInsideAndOutsideIntervals) {
+  AvailabilityTrace t(kHour8, {{100, 200}, {500, 700}});
+  EXPECT_TRUE(t.available_at(0));
+  EXPECT_TRUE(t.available_at(99));
+  EXPECT_FALSE(t.available_at(100));  // [begin, end)
+  EXPECT_FALSE(t.available_at(199));
+  EXPECT_TRUE(t.available_at(200));
+  EXPECT_FALSE(t.available_at(600));
+  EXPECT_TRUE(t.available_at(700));
+}
+
+TEST(AvailabilityTrace, IntervalsAreSortedOnConstruction) {
+  AvailabilityTrace t(kHour8, {{500, 700}, {100, 200}});
+  ASSERT_EQ(t.outage_count(), 2u);
+  EXPECT_EQ(t.down_intervals()[0].begin, 100);
+  EXPECT_EQ(t.down_intervals()[1].begin, 500);
+}
+
+TEST(AvailabilityTrace, OverlappingIntervalsCoalesce) {
+  AvailabilityTrace t(kHour8, {{100, 300}, {200, 400}, {400, 500}});
+  ASSERT_EQ(t.outage_count(), 1u);
+  EXPECT_EQ(t.down_intervals()[0], (Interval{100, 500}));
+}
+
+TEST(AvailabilityTrace, TotalDownTimeAndFraction) {
+  AvailabilityTrace t(1000, {{0, 250}, {500, 750}});
+  EXPECT_EQ(t.total_down_time(), 500);
+  EXPECT_DOUBLE_EQ(t.unavailability_fraction(), 0.5);
+}
+
+TEST(AvailabilityTrace, WrapsCyclicallyBeyondHorizon) {
+  AvailabilityTrace t(1000, {{100, 200}});
+  EXPECT_FALSE(t.available_at(150));
+  EXPECT_FALSE(t.available_at(1150));  // next horizon repeat
+  EXPECT_TRUE(t.available_at(1050));
+  EXPECT_FALSE(t.available_at(10 * 1000 + 150));
+}
+
+TEST(AvailabilityTrace, RejectsBadIntervals) {
+  EXPECT_THROW(AvailabilityTrace(1000, {{-5, 10}}), std::logic_error);
+  EXPECT_THROW(AvailabilityTrace(1000, {{0, 1001}}), std::logic_error);
+  EXPECT_THROW(AvailabilityTrace(1000, {{50, 50}}), std::logic_error);
+  EXPECT_THROW(AvailabilityTrace(1000, {{60, 50}}), std::logic_error);
+  EXPECT_THROW(AvailabilityTrace(0, {}), std::logic_error);
+}
+
+TEST(AvailabilityTrace, NegativeTimeIsAvailable) {
+  AvailabilityTrace t(1000, {{0, 100}});
+  EXPECT_TRUE(t.available_at(-1));
+}
+
+}  // namespace
+}  // namespace moon::trace

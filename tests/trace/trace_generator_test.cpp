@@ -1,0 +1,118 @@
+#include "trace/trace_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace moon::trace {
+namespace {
+
+TEST(TraceGenerator, ZeroRateProducesEmptyTrace) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.0;
+  TraceGenerator gen(cfg);
+  Rng rng{1};
+  EXPECT_EQ(gen.generate(rng).outage_count(), 0u);
+}
+
+TEST(TraceGenerator, HitsTargetRateExactly) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.4;
+  TraceGenerator gen(cfg);
+  Rng rng{2};
+  const auto trace = gen.generate(rng);
+  // The final outage is trimmed, so total down time is within one µs-rounding
+  // of the target.
+  EXPECT_NEAR(trace.unavailability_fraction(), 0.4, 1e-3);
+}
+
+TEST(TraceGenerator, DeterministicForSameRngState) {
+  GeneratorConfig cfg;
+  TraceGenerator gen(cfg);
+  Rng a{7}, b{7};
+  const auto ta = gen.generate(a);
+  const auto tb = gen.generate(b);
+  EXPECT_EQ(ta.down_intervals(), tb.down_intervals());
+}
+
+TEST(TraceGenerator, FleetTracesAreIndependent) {
+  GeneratorConfig cfg;
+  TraceGenerator gen(cfg);
+  Rng rng{3};
+  const auto fleet = gen.generate_fleet(rng, 4);
+  ASSERT_EQ(fleet.size(), 4u);
+  EXPECT_NE(fleet[0].down_intervals(), fleet[1].down_intervals());
+  EXPECT_NE(fleet[1].down_intervals(), fleet[2].down_intervals());
+}
+
+TEST(TraceGenerator, OutagesRespectMinimumLength) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.3;
+  cfg.min_outage_s = 30.0;
+  TraceGenerator gen(cfg);
+  Rng rng{4};
+  const auto trace = gen.generate(rng);
+  // All but the trimmed last interval must be >= the minimum.
+  for (std::size_t i = 0; i + 1 < trace.down_intervals().size(); ++i) {
+    EXPECT_GE(trace.down_intervals()[i].length(), sim::seconds(30.0));
+  }
+}
+
+TEST(TraceGenerator, MeanOutageNearConfiguredMean) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.4;
+  TraceGenerator gen(cfg);
+  Rng rng{5};
+  const auto fleet = gen.generate_fleet(rng, 200);
+  const auto summary = summarize_outages(fleet);
+  // Truncation at min_outage_s biases the mean upward somewhat; accept a
+  // generous band around 409 s.
+  EXPECT_GT(summary.mean_seconds, 300.0);
+  EXPECT_LT(summary.mean_seconds, 650.0);
+  EXPECT_GE(summary.min_seconds, 0.0);
+}
+
+TEST(TraceGenerator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 1.0;
+  EXPECT_THROW(TraceGenerator{cfg}, std::logic_error);
+  cfg.unavailability_rate = -0.1;
+  EXPECT_THROW(TraceGenerator{cfg}, std::logic_error);
+  cfg = GeneratorConfig{};
+  cfg.horizon = 0;
+  EXPECT_THROW(TraceGenerator{cfg}, std::logic_error);
+  cfg = GeneratorConfig{};
+  cfg.mean_outage_s = -1;
+  EXPECT_THROW(TraceGenerator{cfg}, std::logic_error);
+}
+
+/// Property sweep: for every target rate and several seeds, the generated
+/// trace hits the rate and stays within the horizon.
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(GeneratorSweep, RateIsMetAndIntervalsAreWellFormed) {
+  const auto [rate, seed] = GetParam();
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = rate;
+  TraceGenerator gen(cfg);
+  Rng rng{seed};
+  const auto trace = gen.generate(rng);
+  EXPECT_NEAR(trace.unavailability_fraction(), rate, 1e-3);
+  sim::Time prev_end = 0;
+  for (const auto& iv : trace.down_intervals()) {
+    EXPECT_GE(iv.begin, prev_end);
+    EXPECT_GT(iv.end, iv.begin);
+    EXPECT_LE(iv.end, cfg.horizon);
+    prev_end = iv.end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndSeeds, GeneratorSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.4, 0.5, 0.7),
+                       ::testing::Values(1u, 99u, 777u)));
+
+}  // namespace
+}  // namespace moon::trace

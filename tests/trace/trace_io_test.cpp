@@ -1,0 +1,79 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace moon::trace {
+namespace {
+
+TEST(TraceIo, RoundTripsAFleet) {
+  TraceGenerator gen{GeneratorConfig{}};
+  Rng rng{11};
+  const auto fleet = gen.generate_fleet(rng, 5);
+
+  std::stringstream buffer;
+  write_fleet_csv(buffer, fleet);
+  const auto loaded = read_fleet_csv(buffer);
+
+  ASSERT_EQ(loaded.size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(loaded[i].horizon(), fleet[i].horizon());
+    EXPECT_EQ(loaded[i].down_intervals(), fleet[i].down_intervals());
+  }
+}
+
+TEST(TraceIo, PreservesNodesWithNoOutages) {
+  std::vector<AvailabilityTrace> fleet;
+  fleet.push_back(AvailabilityTrace::always_available(1000));
+  fleet.emplace_back(1000, std::vector<Interval>{{10, 20}});
+  fleet.push_back(AvailabilityTrace::always_available(1000));
+
+  std::stringstream buffer;
+  write_fleet_csv(buffer, fleet);
+  const auto loaded = read_fleet_csv(buffer);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].outage_count(), 0u);
+  EXPECT_EQ(loaded[1].outage_count(), 1u);
+  EXPECT_EQ(loaded[2].outage_count(), 0u);
+}
+
+TEST(TraceIo, HeaderCarriesHorizon) {
+  std::vector<AvailabilityTrace> fleet;
+  fleet.emplace_back(12345, std::vector<Interval>{});
+  std::stringstream buffer;
+  write_fleet_csv(buffer, fleet);
+  EXPECT_NE(buffer.str().find("horizon_us=12345"), std::string::npos);
+  EXPECT_NE(buffer.str().find("nodes=1"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buffer("node,begin_us,end_us\n0,1,2\n");
+  EXPECT_THROW(read_fleet_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream buffer("# horizon_us=1000 nodes=1\nnode,begin_us,end_us\n0,5\n");
+  EXPECT_THROW(read_fleet_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  TraceGenerator gen{GeneratorConfig{}};
+  Rng rng{12};
+  const auto fleet = gen.generate_fleet(rng, 3);
+  const std::string path = ::testing::TempDir() + "/moon_trace_io_test.csv";
+  save_fleet(path, fleet);
+  const auto loaded = load_fleet(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].down_intervals(), fleet[1].down_intervals());
+}
+
+TEST(TraceIo, LoadFromMissingPathThrows) {
+  EXPECT_THROW(load_fleet("/nonexistent/path/traces.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moon::trace

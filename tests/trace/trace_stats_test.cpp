@@ -1,0 +1,78 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace moon::trace {
+namespace {
+
+TEST(UnavailabilityProfile, EmptyFleet) {
+  EXPECT_TRUE(UnavailabilityProfile::compute({}).empty());
+  EXPECT_DOUBLE_EQ(UnavailabilityProfile::average_unavailability({}), 0.0);
+}
+
+TEST(UnavailabilityProfile, SamplesAtBinBoundaries) {
+  std::vector<AvailabilityTrace> fleet;
+  // Node down for the first half of the horizon.
+  fleet.emplace_back(100 * sim::kMinute,
+                     std::vector<Interval>{{0, 50 * sim::kMinute}});
+  const auto profile = UnavailabilityProfile::compute(fleet, 10 * sim::kMinute);
+  ASSERT_EQ(profile.size(), 10u);
+  EXPECT_DOUBLE_EQ(profile[0].percent_unavailable, 100.0);
+  EXPECT_DOUBLE_EQ(profile[4].percent_unavailable, 100.0);
+  EXPECT_DOUBLE_EQ(profile[5].percent_unavailable, 0.0);
+  EXPECT_DOUBLE_EQ(profile[9].percent_unavailable, 0.0);
+}
+
+TEST(UnavailabilityProfile, FleetFractionAtInstant) {
+  std::vector<AvailabilityTrace> fleet;
+  for (int i = 0; i < 4; ++i) {
+    if (i < 3) {
+      fleet.emplace_back(1000000, std::vector<Interval>{{0, 500000}});
+    } else {
+      fleet.push_back(AvailabilityTrace::always_available(1000000));
+    }
+  }
+  const auto profile = UnavailabilityProfile::compute(fleet, 250000);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_DOUBLE_EQ(profile[0].percent_unavailable, 75.0);
+}
+
+TEST(UnavailabilityProfile, AverageMatchesGeneratedRate) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.4;
+  TraceGenerator gen(cfg);
+  Rng rng{21};
+  const auto fleet = gen.generate_fleet(rng, 60);
+  EXPECT_NEAR(UnavailabilityProfile::average_unavailability(fleet), 0.4, 1e-3);
+}
+
+TEST(UnavailabilityProfile, PeakIsAtLeastAverage) {
+  GeneratorConfig cfg;
+  cfg.unavailability_rate = 0.3;
+  TraceGenerator gen(cfg);
+  Rng rng{22};
+  const auto fleet = gen.generate_fleet(rng, 40);
+  const double avg = UnavailabilityProfile::average_unavailability(fleet);
+  const double peak = UnavailabilityProfile::peak_unavailability(fleet);
+  EXPECT_GE(peak, avg * 0.9);
+  EXPECT_LE(peak, 1.0);
+}
+
+TEST(OutageSummary, CountsAndBounds) {
+  std::vector<AvailabilityTrace> fleet;
+  fleet.emplace_back(
+      sim::hours(8),
+      std::vector<Interval>{{0, sim::seconds(100)},
+                            {sim::seconds(200), sim::seconds(500)}});
+  const auto summary = summarize_outages(fleet);
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(summary.mean_seconds, 200.0);
+}
+
+}  // namespace
+}  // namespace moon::trace

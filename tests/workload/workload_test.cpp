@@ -1,0 +1,97 @@
+// Table I conformance and workload-model behaviour.
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon::workload {
+namespace {
+
+TEST(Workload, SortMatchesTableI) {
+  const auto m = sort_workload();
+  EXPECT_EQ(m.input_size, gib(24.0));
+  EXPECT_EQ(m.num_maps, 384);
+  EXPECT_EQ(m.fixed_reduces, 0);
+  EXPECT_DOUBLE_EQ(m.reduce_slot_fraction, 0.9);
+  EXPECT_EQ(m.input_block_bytes, mib(64.0));
+  // 384 x 64 MB == 24 GB: block layout covers the input exactly.
+  EXPECT_EQ(static_cast<Bytes>(m.num_maps) * m.input_block_bytes, m.input_size);
+  // Sort shuffles its whole input.
+  EXPECT_EQ(static_cast<Bytes>(m.num_maps) * m.intermediate_per_map,
+            m.input_size);
+}
+
+TEST(Workload, WordCountMatchesTableI) {
+  const auto m = wordcount_workload();
+  EXPECT_EQ(m.input_size, gib(20.0));
+  EXPECT_EQ(m.num_maps, 320);
+  EXPECT_EQ(m.fixed_reduces, 20);
+  EXPECT_EQ(static_cast<Bytes>(m.num_maps) * m.input_block_bytes, m.input_size);
+  // Word count's intermediate data is far smaller than its input.
+  EXPECT_LT(static_cast<Bytes>(m.num_maps) * m.intermediate_per_map,
+            m.input_size / 10);
+}
+
+TEST(Workload, SortReducesScaleWithSlots) {
+  const auto m = sort_workload();
+  EXPECT_EQ(m.reduces_for(120), 108);  // paper: 0.9 x AvailSlots
+  EXPECT_EQ(m.reduces_for(132), 118);
+  EXPECT_EQ(m.reduces_for(0), 1);  // never zero reduces
+}
+
+TEST(Workload, WordCountReducesAreFixed) {
+  const auto m = wordcount_workload();
+  EXPECT_EQ(m.reduces_for(120), 20);
+  EXPECT_EQ(m.reduces_for(2000), 20);
+}
+
+TEST(Workload, OutputPerReduceSplitsTotal) {
+  const auto m = sort_workload();
+  EXPECT_EQ(m.output_per_reduce(108), gib(24.0) / 108);
+  EXPECT_GE(m.output_per_reduce(1000000000), 1);  // never zero bytes
+}
+
+TEST(Workload, SleepKeepsTaskCountsButShedsData) {
+  const auto base = sort_workload();
+  const auto s = sleep_of(base);
+  EXPECT_EQ(s.num_maps, base.num_maps);
+  EXPECT_DOUBLE_EQ(s.reduce_slot_fraction, base.reduce_slot_fraction);
+  EXPECT_EQ(s.kind, AppKind::kSleepSort);
+  // "Insignificant amount of intermediate and output data."
+  EXPECT_LE(s.intermediate_per_map, 4 * kKiB);
+  EXPECT_LE(s.total_output, kKiB);
+  EXPECT_LE(s.input_block_bytes, 4 * kKiB);
+  // Faithful (non-trivial) task durations.
+  EXPECT_GT(s.map_compute, 0);
+  EXPECT_GT(s.reduce_compute, 0);
+}
+
+TEST(Workload, SleepOfWordCountUsesWordCountTimes) {
+  const auto s = sleep_of(wordcount_workload());
+  EXPECT_EQ(s.kind, AppKind::kSleepWordCount);
+  // wc maps are compute-heavy (~100 s); sleep reflects that.
+  EXPECT_GE(s.map_compute, 60 * sim::kSecond);
+}
+
+TEST(Workload, MakeJobSpecWiresEverything) {
+  const auto m = wordcount_workload();
+  const FileId input{3};
+  const auto spec = make_job_spec(m, input, 120, dfs::FileKind::kOpportunistic,
+                                  {1, 2}, {1, 3});
+  EXPECT_EQ(spec.num_maps, 320);
+  EXPECT_EQ(spec.num_reduces, 20);
+  EXPECT_EQ(spec.input_file, input);
+  EXPECT_EQ(spec.intermediate_factor, (dfs::ReplicationFactor{1, 2}));
+  EXPECT_EQ(spec.output_factor, (dfs::ReplicationFactor{1, 3}));
+  EXPECT_EQ(spec.map_compute, m.map_compute);
+  EXPECT_GT(spec.output_per_reduce, 0);
+}
+
+TEST(Workload, Names) {
+  EXPECT_STREQ(to_string(AppKind::kSort), "sort");
+  EXPECT_STREQ(to_string(AppKind::kWordCount), "word count");
+  EXPECT_STREQ(to_string(AppKind::kSleepSort), "sleep(sort)");
+  EXPECT_EQ(sleep_of(sort_workload()).name, "sleep(sort)");
+}
+
+}  // namespace
+}  // namespace moon::workload
