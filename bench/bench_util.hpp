@@ -7,14 +7,89 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/table.hpp"
 #include "experiment/scenario.hpp"
 
 namespace moon::bench {
+
+/// Machine-readable bench output: collects flat rows and writes
+/// `BENCH_<name>.json` (an array of objects) so the perf trajectory can
+/// accumulate across runs. Files land in $MOON_BENCH_JSON_DIR (default:
+/// current directory); MOON_BENCH_JSON=0 disables emission entirely.
+class JsonEmitter {
+ public:
+  using Value = std::variant<std::string, double, std::int64_t>;
+
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  JsonEmitter& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonEmitter& field(const std::string& key, Value value) {
+    if (rows_.empty()) begin_row();
+    rows_.back().emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "  {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        os << '"' << escape(rows_[r][f].first) << "\": ";
+        const Value& v = rows_[r][f].second;
+        if (const auto* s = std::get_if<std::string>(&v)) {
+          os << '"' << escape(*s) << '"';
+        } else if (const auto* d = std::get_if<double>(&v)) {
+          os << *d;
+        } else {
+          os << std::get<std::int64_t>(v);
+        }
+        if (f + 1 < rows_[r].size()) os << ", ";
+      }
+      os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+    return os.str();
+  }
+
+  /// Writes BENCH_<name>.json; returns the path, or "" when disabled.
+  std::string write() const {
+    if (const char* flag = std::getenv("MOON_BENCH_JSON")) {
+      if (std::string(flag) == "0") return {};
+    }
+    std::string dir = ".";
+    if (const char* env = std::getenv("MOON_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) return {};
+    out << to_json();
+    return path;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+};
 
 /// Repetitions per configuration; override with MOON_BENCH_REPS.
 inline int repetitions() {

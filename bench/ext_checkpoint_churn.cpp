@@ -1,0 +1,101 @@
+// Extension: reduce-task checkpointing under churn (not in the paper; see
+// DESIGN.md § checkpointing).
+//
+// MOON's answer to losing long-running reduces is pinning them on dedicated
+// nodes (§V-C hybrid mode). The checkpoint subsystem attacks the same
+// problem without dedicated-aware scheduling: running reduces persist
+// shuffle/compute progress into the DFS, and rescheduled attempts resume
+// from the latest live checkpoint. This bench sweeps unavailability with
+// hybrid awareness OFF and compares checkpointing on vs off — the win
+// should grow with the unavailability rate, since higher churn kills more
+// nearly-done reduces.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+namespace {
+
+/// Reduce-heavy workload scaled for bench runtime: long post-shuffle
+/// compute makes a killed reduce expensive, which is exactly the regime
+/// checkpointing targets.
+workload::WorkloadModel churn_workload() {
+  workload::WorkloadModel m;
+  m.name = "churn";
+  m.kind = workload::AppKind::kSort;
+  m.num_maps = 32;
+  m.fixed_reduces = 8;
+  m.map_compute = sim::seconds(5);
+  m.reduce_compute = sim::seconds(480);
+  m.intermediate_per_map = mib(8.0);
+  m.input_size = static_cast<Bytes>(m.num_maps) * mib(8.0);
+  m.total_output = mib(256.0);
+  m.input_block_bytes = mib(8.0);
+  return m;
+}
+
+experiment::ScenarioConfig base(double rate, bool checkpointing) {
+  auto cfg = bench::paper_testbed();
+  cfg.volatile_nodes = 20;
+  cfg.dedicated_nodes = 2;
+  cfg.app = churn_workload();
+  // Non-hybrid on purpose: no dedicated-aware placement to lean on.
+  cfg.sched = checkpointing ? experiment::moon_checkpoint_scheduler(false)
+                            : experiment::moon_scheduler(false);
+  cfg.unavailability_rate = rate;
+  cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
+  cfg.intermediate_factor = {1, 1};
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> rates{0.2, 0.3, 0.4, 0.5};
+  const int reps = bench::repetitions();
+  std::cout << "=== Extension: reduce checkpointing under churn ===\n"
+            << "(reduce-heavy workload, 20 volatile + 2 dedicated, non-hybrid "
+               "MOON scheduling, "
+            << reps << " repetitions)\n\n";
+
+  Table table("Checkpointing on/off vs unavailability (non-hybrid)");
+  table.columns({"rate", "variant", "time (s)", "speedup", "duplicated",
+                 "ckpts", "resumes", "salvaged"});
+  bench::JsonEmitter json("ext_checkpoint_churn");
+  for (double rate : rates) {
+    double off_time = 0.0;
+    for (bool checkpointing : {false, true}) {
+      const auto summary = experiment::run_repetitions(
+          base(rate, checkpointing), reps);
+      const double mean = summary.execution_time_s.mean();
+      if (!checkpointing) off_time = mean;
+      const std::string variant = checkpointing ? "MOON+ckpt" : "MOON";
+      table.add_row({Table::num(rate, 1), variant, bench::time_cell(summary),
+                     checkpointing && off_time > 0.0
+                         ? Table::num(off_time / mean, 2) + "x"
+                         : "-",
+                     Table::num(summary.duplicated_tasks.mean(), 1),
+                     Table::num(summary.checkpoints_written.mean(), 1),
+                     Table::num(summary.checkpoint_resumes.mean(), 1),
+                     Table::num(summary.checkpoint_salvaged.mean(), 2)});
+      json.begin_row()
+          .field("bench", std::string("ext_checkpoint_churn"))
+          .field("rate", rate)
+          .field("variant", variant)
+          .field("time_s", mean)
+          .field("completed_runs", std::int64_t{summary.completed_runs})
+          .field("total_runs", std::int64_t{summary.total_runs})
+          .field("duplicated_tasks", summary.duplicated_tasks.mean())
+          .field("checkpoints_written", summary.checkpoints_written.mean())
+          .field("checkpoint_resumes", summary.checkpoint_resumes.mean())
+          .field("progress_salvaged", summary.checkpoint_salvaged.mean());
+    }
+  }
+  table.print(std::cout);
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\n(json: " << path << ")\n";
+  std::cout << "\n(speedup >1.0x = checkpointing faster; the gap should widen\n"
+               "as the unavailability rate grows and more reduces die late.)\n";
+  return 0;
+}

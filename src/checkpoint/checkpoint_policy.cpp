@@ -1,0 +1,28 @@
+#include "checkpoint/checkpoint_policy.hpp"
+
+namespace moon::checkpoint {
+
+bool CheckpointPolicy::should_emit(const ReduceCheckpoint* last, double progress,
+                                   bool forced) const {
+  if (!config_.enabled) return false;
+  if (progress <= 0.0) return false;  // nothing to salvage yet
+  const double last_progress = last ? last->progress : 0.0;
+  if (progress <= last_progress) return false;  // no new state since last emit
+  if (forced) return true;
+  return progress - last_progress >= config_.min_progress_delta;
+}
+
+bool CheckpointPolicy::should_resume(const ReduceCheckpoint& ckpt,
+                                     bool speculative) const {
+  if (!config_.enabled) return false;
+  if (ckpt.progress <= 0.0) return false;
+  if (speculative && !config_.resume_speculative) return false;
+  return true;
+}
+
+bool CheckpointPolicy::shields_speculation(double progress) const {
+  if (!config_.enabled) return false;
+  return progress >= config_.speculation_shield;
+}
+
+}  // namespace moon::checkpoint

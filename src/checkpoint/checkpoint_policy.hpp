@@ -1,0 +1,35 @@
+// Decides *when* reduce attempts checkpoint and *whether* a rescheduled
+// attempt resumes; the mechanics live in CheckpointStore.
+#pragma once
+
+#include "checkpoint/types.hpp"
+
+namespace moon::checkpoint {
+
+class CheckpointPolicy {
+ public:
+  explicit CheckpointPolicy(CheckpointConfig config) : config_(config) {}
+
+  [[nodiscard]] const CheckpointConfig& config() const { return config_; }
+
+  /// Should an attempt at `progress` write a checkpoint now? `last` is the
+  /// latest committed checkpoint for the task (null if none). `forced`
+  /// bypasses the min-progress-delta gate (suspension emits) but never
+  /// writes a checkpoint that would salvage nothing new.
+  [[nodiscard]] bool should_emit(const ReduceCheckpoint* last, double progress,
+                                 bool forced) const;
+
+  /// Should a fresh attempt bootstrap from `ckpt`? (Liveness is the
+  /// store's job; this is pure policy.)
+  [[nodiscard]] bool should_resume(const ReduceCheckpoint& ckpt,
+                                   bool speculative) const;
+
+  /// True when a task resumed at `progress` should be exempt from backup
+  /// copies (§V speculation, homestretch included).
+  [[nodiscard]] bool shields_speculation(double progress) const;
+
+ private:
+  CheckpointConfig config_;
+};
+
+}  // namespace moon::checkpoint

@@ -1,0 +1,115 @@
+// CheckpointStore: persists reduce-attempt snapshots into the simulated DFS
+// and answers resume lookups.
+//
+// Every emit appends the incremental payload (newly fetched shuffle
+// partitions + compute state delta) to the task's append-only checkpoint
+// file as dfs::FileKind::kOpportunistic data, charged through the flow-
+// network I/O model like any other client write — checkpointing costs real
+// simulated bandwidth. The logical record (fetched set, compute progress)
+// only advances when the DFS write lands.
+//
+// Resume lookups respect DFS replica liveness: a checkpoint counts as live
+// only while *every* committed log segment still has a readable replica,
+// mirroring the dfs_aware_recovery check the JobTracker already runs for
+// completed maps.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/types.hpp"
+#include "common/ids.hpp"
+#include "dfs/dfs.hpp"
+
+namespace moon::checkpoint {
+
+class CheckpointStore {
+ public:
+  /// Aggregate counters (per-job accounting lives in mapred::JobMetrics).
+  struct Stats {
+    int emits_started = 0;
+    int emits_committed = 0;
+    int emits_failed = 0;
+    std::int64_t bytes_logged = 0;
+    int emits_aborted = 0;  ///< in-flight emits cancelled (writer died, GC)
+    int dropped = 0;       ///< records garbage-collected
+    int dropped_dead = 0;  ///< dropped because a log segment lost all replicas
+  };
+
+  /// Full logical state of one attempt at emit time. `delta_bytes` is the
+  /// incremental payload actually written; the fetched/compute fields are
+  /// the complete snapshot the record holds once the write lands.
+  struct Snapshot {
+    JobId job;
+    TaskId task;
+    std::string label;  ///< file name seed, e.g. "sort.r3"
+    std::vector<TaskId> fetched;
+    sim::Duration compute_total = 0;
+    sim::Duration compute_done = 0;
+    double progress = 0.0;
+    Bytes delta_bytes = 0;
+  };
+
+  CheckpointStore(dfs::Dfs& dfs, CheckpointConfig config);
+  ~CheckpointStore();
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Asynchronously appends `snap` to the task's checkpoint log from
+  /// `writer`. At most one emit per task may be in flight; a second call is
+  /// rejected (done(false)). `done` fires once the DFS write completes.
+  void emit(Snapshot snap, NodeId writer, std::function<void(bool)> done = {});
+
+  [[nodiscard]] bool emit_in_flight(JobId job, TaskId task) const;
+
+  /// Cancels the task's in-flight emit if it originated from `writer` —
+  /// called when the writing attempt dies, so a write stalled on a lost
+  /// node cannot block the relocated attempt's future emits forever.
+  void abort_emit_from(JobId job, TaskId task, NodeId writer);
+
+  /// Latest committed record, regardless of replica liveness.
+  [[nodiscard]] const ReduceCheckpoint* latest(JobId job, TaskId task) const;
+
+  /// Latest record whose every log segment is still readable; null if the
+  /// checkpoint is unusable right now.
+  [[nodiscard]] const ReduceCheckpoint* latest_live(JobId job, TaskId task) const;
+
+  /// True when the record exists but some committed segment has no readable
+  /// replica — the checkpoint can never be restored and should be dropped.
+  [[nodiscard]] bool is_dead(JobId job, TaskId task) const;
+
+  /// Garbage-collects one task's record: cancels any in-flight emit and
+  /// removes the DFS file. `dead` attributes the drop to replica loss.
+  void drop(JobId job, TaskId task, bool dead = false);
+  /// Drops every record of `job` (job finished or failed).
+  void drop_job(JobId job);
+
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const CheckpointConfig& config() const { return config_; }
+  [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
+
+ private:
+  using Key = std::pair<JobId, TaskId>;
+  struct Inflight {
+    dfs::OpId op;
+    NodeId writer;
+    FileId file;  ///< log being appended (fresh on a first emit)
+  };
+
+  /// Cancels one in-flight entry and GCs its file when no committed record
+  /// references it (a first emit's freshly created log).
+  void cancel_inflight(std::map<Key, Inflight>::iterator it);
+
+  dfs::Dfs& dfs_;
+  CheckpointConfig config_;
+  std::map<Key, ReduceCheckpoint> records_;
+  std::map<Key, Inflight> inflight_;
+  Stats stats_;
+};
+
+}  // namespace moon::checkpoint

@@ -139,6 +139,15 @@ mapred::SchedulerConfig moon_scheduler(bool hybrid) {
   return cfg;
 }
 
+mapred::SchedulerConfig moon_checkpoint_scheduler(bool hybrid) {
+  mapred::SchedulerConfig cfg = moon_scheduler(hybrid);
+  cfg.checkpoint.enabled = true;
+  cfg.checkpoint.scan_interval = 60 * sim::kSecond;
+  cfg.checkpoint.min_progress_delta = 0.05;
+  cfg.checkpoint.factor = {1, 1};
+  return cfg;
+}
+
 mapred::SchedulerConfig late_scheduler(sim::Duration tracker_expiry) {
   mapred::SchedulerConfig cfg = hadoop_scheduler(tracker_expiry);
   cfg.speculator = mapred::SchedulerConfig::Speculator::kLate;
@@ -195,6 +204,9 @@ Summary run_repetitions(ScenarioConfig config, int repetitions,
     summary.avg_shuffle_time_s.add(run.metrics.shuffle_time_s.mean());
     summary.avg_reduce_time_s.add(run.metrics.reduce_time_s.mean());
     summary.fetch_failures.add(run.metrics.fetch_failures);
+    summary.checkpoints_written.add(run.metrics.checkpoints_written);
+    summary.checkpoint_resumes.add(run.metrics.checkpoint_resumes);
+    summary.checkpoint_salvaged.add(run.metrics.checkpoint_progress_salvaged);
     if (run.finished) ++summary.completed_runs;
   }
   return summary;

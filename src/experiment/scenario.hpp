@@ -98,6 +98,13 @@ mapred::SchedulerConfig hadoop_scheduler(sim::Duration tracker_expiry);
 /// `hybrid` enables §V-C dedicated-resource awareness.
 mapred::SchedulerConfig moon_scheduler(bool hybrid);
 
+/// MOON plus the reduce-checkpoint subsystem (see DESIGN.md
+/// § checkpointing): running reduces persist shuffle/compute progress into
+/// the DFS and rescheduled attempts resume from the latest live checkpoint.
+/// Tolerates churn without relying on dedicated-node placement, so it is
+/// most interesting with `hybrid` off.
+mapred::SchedulerConfig moon_checkpoint_scheduler(bool hybrid = false);
+
 /// LATE (OSDI'08) on stock Hadoop fault-tolerance semantics.
 mapred::SchedulerConfig late_scheduler(sim::Duration tracker_expiry);
 
@@ -122,6 +129,9 @@ struct Summary {
   Accumulator avg_shuffle_time_s;
   Accumulator avg_reduce_time_s;
   Accumulator fetch_failures;
+  Accumulator checkpoints_written;
+  Accumulator checkpoint_resumes;
+  Accumulator checkpoint_salvaged;
   int completed_runs = 0;
   int total_runs = 0;
 };

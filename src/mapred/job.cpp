@@ -182,6 +182,21 @@ int Job::running_speculative() const {
   return n;
 }
 
+bool Job::checkpoint_shielded(TaskId id) const {
+  const auto& policy = jobtracker_.checkpoint_policy();
+  if (!policy.config().enabled) return false;
+  for (AttemptId a : task(id).attempts) {
+    auto it = attempts_.find(a);
+    if (it == attempts_.end()) continue;
+    const TaskAttempt& attempt = *it->second;
+    if (attempt.state() == AttemptState::kRunning && attempt.resumed() &&
+        policy.shields_speculation(attempt.progress())) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---- lifecycle -------------------------------------------------------------
 
 void Job::submit() { metrics_.submitted_at = jobtracker_.simulation().now(); }
@@ -193,6 +208,22 @@ TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
   auto attempt = std::make_unique<TaskAttempt>(*this, id, task_id, tracker,
                                                speculative);
   TaskAttempt* raw = attempt.get();
+  if (t.type == TaskType::kReduce &&
+      jobtracker_.config().checkpoint.enabled) {
+    // Resume from the latest live checkpoint (a prior attempt's salvaged
+    // shuffle/compute state) instead of starting cold. Mirrors the
+    // dfs_aware_recovery map path: the lookup trusts only checkpoints whose
+    // every log segment still has a readable replica, and drops ones whose
+    // segments are gone for good.
+    auto& store = jobtracker_.checkpoint_store();
+    const auto* ckpt = store.latest_live(id_, task_id);
+    if (ckpt != nullptr &&
+        jobtracker_.checkpoint_policy().should_resume(*ckpt, speculative)) {
+      raw->prime_resume(*ckpt);
+    } else if (ckpt == nullptr && store.is_dead(id_, task_id)) {
+      store.drop(id_, task_id, /*dead=*/true);
+    }
+  }
   attempts_.emplace(id, std::move(attempt));
   t.attempts.push_back(id);
   tracker.occupy(t.type, raw);
@@ -269,6 +300,9 @@ void Job::attempt_succeeded(TaskAttempt& attempt) {
 
   if (t.type == TaskType::kMap) {
     notify_reduces_of_map(t.id);
+  } else {
+    // The reduce is done; its checkpoint log is dead weight in the DFS.
+    jobtracker_.checkpoint_store().drop(id_, t.id);
   }
 }
 
@@ -295,6 +329,14 @@ void Job::attempt_failed(TaskAttempt& attempt) {
 void Job::finalize_attempt(TaskAttempt& attempt) {
   Task& t = task(attempt.task());
   attempt.tracker().release(t.type, &attempt);
+  // A killed/failed reduce must not leave its own (possibly stalled-on-a-
+  // dead-node) checkpoint emit in flight: it would block the relocated
+  // attempt's emits until the write resolves — potentially never.
+  if (t.type == TaskType::kReduce && attempt.state() != AttemptState::kSucceeded &&
+      jobtracker_.config().checkpoint.enabled) {
+    jobtracker_.checkpoint_store().abort_emit_from(
+        id_, t.id, attempt.tracker().node_id());
+  }
 }
 
 void Job::update_task_state(Task& t) {
@@ -309,6 +351,11 @@ FileId Job::map_output(TaskId map_task) const {
   const Task& t = task(map_task);
   if (t.state != TaskState::kCompleted) return FileId::invalid();
   return t.output_file;
+}
+
+Bytes Job::shuffle_partition_bytes() const {
+  return std::max<Bytes>(
+      1, spec_.intermediate_per_map / std::max(1, spec_.num_reduces));
 }
 
 FileId Job::create_intermediate_file(TaskId map_task, AttemptId attempt) {
@@ -448,6 +495,7 @@ void Job::try_commit() {
   if (!all_complete) return;
   metrics_.completed = true;
   metrics_.finished_at = jobtracker_.simulation().now();
+  jobtracker_.checkpoint_store().drop_job(id_);
   jobtracker_.notify_job_finished(*this);
 }
 
@@ -462,6 +510,7 @@ void Job::fail_job() {
       finalize_attempt(*attempt);
     }
   }
+  jobtracker_.checkpoint_store().drop_job(id_);
   jobtracker_.notify_job_finished(*this);
 }
 

@@ -62,6 +62,11 @@ class Job {
   /// Count of non-terminal speculative attempts across the job.
   [[nodiscard]] int running_speculative() const;
 
+  /// True when `id`'s live attempt resumed from a checkpoint with enough
+  /// salvaged progress that backup copies would only duplicate work the
+  /// checkpoint already saved (SpeculationPolicy consults this).
+  [[nodiscard]] bool checkpoint_shielded(TaskId id) const;
+
   // ---- lifecycle ---------------------------------------------------------
   void submit();
   [[nodiscard]] bool finished() const { return metrics_.completed || metrics_.failed; }
@@ -85,6 +90,10 @@ class Job {
   // ---- intermediate / output data -----------------------------------------
   /// Map-output file for a *completed* map task; invalid id otherwise.
   [[nodiscard]] FileId map_output(TaskId map_task) const;
+
+  /// Bytes of one map's output that belong to one reduce partition — the
+  /// unit both shuffle fetches and checkpoint payloads are sized in.
+  [[nodiscard]] Bytes shuffle_partition_bytes() const;
   FileId create_intermediate_file(TaskId map_task, AttemptId attempt);
   FileId create_output_file(TaskId reduce_task, AttemptId attempt);
 

@@ -14,6 +14,8 @@ JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
       dfs_(dfs),
       config_(config),
       rng_(Rng{seed}.fork("jobtracker")),
+      checkpoint_policy_(config.checkpoint),
+      checkpoint_store_(dfs, config.checkpoint),
       liveness_task_(sim, config.liveness_scan_interval, [this] { liveness_scan(); }),
       completion_task_(sim, config.completion_scan_interval,
                        [this] { completion_scan(); }) {
@@ -107,6 +109,15 @@ void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
       // that they may be resumed when the TaskTracker is returned".
       for (TaskAttempt* attempt : info.tracker->all_attempts()) {
         attempt->set_inactive(true);
+      }
+      // Best-effort checkpoint of hosted reduces: if the node never comes
+      // back, the tracker will eventually expire and the shuffle would
+      // otherwise be lost with it.
+      if (config_.checkpoint.enabled && config_.checkpoint.emit_on_suspension) {
+        for (TaskAttempt* attempt :
+             info.tracker->attempts(TaskType::kReduce)) {
+          attempt->maybe_checkpoint(/*forced=*/true);
+        }
       }
       break;
     case TrackerState::kDead:

@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/checkpoint_policy.hpp"
+#include "checkpoint/checkpoint_store.hpp"
 #include "cluster/cluster.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
@@ -60,6 +62,13 @@ class JobTracker {
   [[nodiscard]] int total_slots(TaskType type) const;
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// Reduce-checkpoint subsystem (inert unless config().checkpoint.enabled).
+  [[nodiscard]] checkpoint::CheckpointStore& checkpoint_store() {
+    return checkpoint_store_;
+  }
+  [[nodiscard]] const checkpoint::CheckpointPolicy& checkpoint_policy() const {
+    return checkpoint_policy_;
+  }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
   [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
@@ -90,6 +99,10 @@ class JobTracker {
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
   IdAllocator<JobId> job_ids_;
   std::unique_ptr<SpeculationPolicy> speculator_;
+  checkpoint::CheckpointPolicy checkpoint_policy_;
+  // Declared after jobs_: the store's destructor cancels in-flight DFS ops
+  // whose callbacks touch jobs, so it must go first.
+  checkpoint::CheckpointStore checkpoint_store_;
 
   std::vector<std::function<void(Job&)>> finished_callbacks_;
   sim::PeriodicTask liveness_task_;

@@ -28,6 +28,7 @@ bool HadoopSpeculator::is_straggler(Job& job, TaskId id, double average) const {
   if (jobtracker_.simulation().now() - *started < cfg.min_age_for_speculation) {
     return false;
   }
+  if (job.checkpoint_shielded(id)) return false;
   return job.task_progress(id) < average - cfg.straggler_gap;
 }
 
@@ -100,6 +101,7 @@ std::optional<TaskId> LateSpeculator::pick(Job& job, TaskType type,
     rates.push_back(progress_rate(job, id));
     if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) continue;
     if (job.has_attempt_on(id, tracker.node_id())) continue;
+    if (job.checkpoint_shielded(id)) continue;
     const auto started = job.oldest_attempt_start(id);
     if (!started || jobtracker_.simulation().now() - *started <
                         cfg.min_age_for_speculation) {
@@ -185,6 +187,9 @@ std::optional<TaskId> MoonSpeculator::pick_dedicated_backup(Job& job,
     if (job.has_active_dedicated_attempt(id)) continue;
 
     const bool frozen = job.active_attempts(id) == 0;
+    // A frozen task still deserves rescue, but one whose live attempt just
+    // resumed near-complete from a checkpoint does not need more copies.
+    if (!frozen && job.checkpoint_shielded(id)) continue;
     bool slow = false;
     if (!frozen) {
       const auto started = job.oldest_attempt_start(id);
@@ -238,6 +243,7 @@ std::optional<TaskId> MoonSpeculator::pick_slow(Job& job, TaskType type,
     if (job.active_attempts(id) == 0) continue;  // that's frozen, not slow
     if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) continue;
     if (job.has_attempt_on(id, tracker.node_id())) continue;
+    if (job.checkpoint_shielded(id)) continue;
     // Hybrid: a live dedicated copy is backup enough (§V-C).
     if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) continue;
     const auto started = job.oldest_attempt_start(id);
@@ -266,6 +272,7 @@ std::optional<TaskId> MoonSpeculator::pick_homestretch(Job& job, TaskType type,
     if (t.state != TaskState::kRunning) continue;
     if (job.active_attempts(id) >= cfg.homestretch_copies) continue;
     if (job.has_attempt_on(id, tracker.node_id())) continue;
+    if (job.checkpoint_shielded(id)) continue;
     // "Tasks that already have a dedicated copy do not participate [in] the
     // homestretch phase."
     if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) continue;

@@ -34,6 +34,12 @@ void TaskAttempt::start() {
   if (t.type == TaskType::kMap) {
     phase_ = Phase::kRead;
     map_read_input();
+  } else if (resume_) {
+    // Bootstrap from the checkpoint log before shuffling: reading the
+    // salvaged state back costs real I/O too.
+    phase_ = Phase::kRead;
+    restore_block_ = 0;
+    restore_read_next();
   } else {
     phase_ = Phase::kShuffle;
     shuffle_pump();
@@ -103,9 +109,7 @@ void TaskAttempt::start_fetch(TaskId map_task) {
   const Task& me = job_.task(task_);
   const BlockId block =
       meta.blocks[static_cast<std::size_t>(me.index) % meta.blocks.size()];
-  const Bytes partition = std::max<Bytes>(
-      1, job_.spec().intermediate_per_map /
-             std::max(1, job_.spec().num_reduces));
+  const Bytes partition = job_.shuffle_partition_bytes();
   const dfs::OpId op = dfs.read_partial(
       block, tracker_.node_id(), partition,
       [this, map_task](bool ok) { fetch_done(map_task, ok); });
@@ -145,6 +149,112 @@ void TaskAttempt::notify_map_completed(TaskId map_task) {
   shuffle_pump();
 }
 
+// ---- checkpoint restore ----------------------------------------------------
+
+void TaskAttempt::restore_read_next() {
+  if (terminal()) return;
+  const auto& ckpt = *resume_;
+  if (restore_block_ >= ckpt.blocks.size()) {
+    apply_restored_checkpoint();
+    return;
+  }
+  auto& dfs = job_.jobtracker().dfs();
+  if (!dfs.namenode().block_exists(ckpt.blocks[restore_block_])) {
+    // Log segment vanished between scheduling and the read: start cold.
+    resume_.reset();
+    phase_ = Phase::kShuffle;
+    shuffle_pump();
+    return;
+  }
+  io_op_ = dfs.read_block(
+      ckpt.blocks[restore_block_], tracker_.node_id(), [this](bool ok) {
+        io_op_.reset();
+        if (terminal()) return;
+        if (!ok) {
+          resume_.reset();
+          phase_ = Phase::kShuffle;
+          shuffle_pump();
+          return;
+        }
+        ++restore_block_;
+        restore_read_next();
+      });
+}
+
+void TaskAttempt::apply_restored_checkpoint() {
+  const checkpoint::ReduceCheckpoint ckpt = std::move(*resume_);
+  resume_.reset();
+  for (TaskId m : ckpt.fetched) fetched_.insert(m);
+  resume_compute_total_ = ckpt.compute_total;
+  resume_compute_done_ = ckpt.compute_done;
+  resumed_ = true;
+  salvaged_progress_ = ckpt.progress;
+  ++job_.metrics().checkpoint_resumes;
+  job_.metrics().checkpoint_progress_salvaged += ckpt.progress;
+  phase_ = Phase::kShuffle;
+  shuffle_pump();
+}
+
+void TaskAttempt::prime_resume(checkpoint::ReduceCheckpoint ckpt) {
+  resume_ = std::move(ckpt);
+}
+
+void TaskAttempt::maybe_checkpoint(bool forced) {
+  if (terminal()) return;
+  const Task& t = job_.task(task_);
+  if (t.type != TaskType::kReduce) return;
+  // Only phases with salvageable state; a writing attempt is nearly done.
+  if (phase_ != Phase::kShuffle && phase_ != Phase::kCompute) return;
+  auto& jobtracker = job_.jobtracker();
+  auto& store = jobtracker.checkpoint_store();
+  const auto& policy = jobtracker.checkpoint_policy();
+  if (store.emit_in_flight(job_.id(), task_)) return;
+  const checkpoint::ReduceCheckpoint* last = store.latest(job_.id(), task_);
+  const double score = progress();
+  if (!policy.should_emit(last, score, forced)) return;
+
+  checkpoint::CheckpointStore::Snapshot snap;
+  snap.job = job_.id();
+  snap.task = task_;
+  snap.label = job_.spec().name + ".r" + std::to_string(t.index);
+  snap.fetched.assign(fetched_.begin(), fetched_.end());
+  snap.compute_total = compute_total_;
+  snap.compute_done = compute_ ? compute_->work_done() : 0;
+  snap.progress = score;
+
+  // Incremental payload: newly fetched partitions + compute state delta.
+  const Bytes partition = job_.shuffle_partition_bytes();
+  Bytes delta = policy.config().state_overhead;
+  for (TaskId m : fetched_) {
+    if (last == nullptr ||
+        std::find(last->fetched.begin(), last->fetched.end(), m) ==
+            last->fetched.end()) {
+      delta += partition;
+    }
+  }
+  if (job_.spec().output_per_reduce > 0 && snap.compute_total > 0) {
+    const double frac = static_cast<double>(snap.compute_done) /
+                        static_cast<double>(snap.compute_total);
+    const double last_frac =
+        (last != nullptr && last->compute_total > 0)
+            ? static_cast<double>(last->compute_done) /
+                  static_cast<double>(last->compute_total)
+            : 0.0;
+    if (frac > last_frac) {
+      delta += static_cast<Bytes>(
+          static_cast<double>(job_.spec().output_per_reduce) * (frac - last_frac));
+    }
+  }
+  snap.delta_bytes = delta;
+
+  Job* job = &job_;
+  store.emit(std::move(snap), tracker_.node_id(), [job, delta](bool ok) {
+    if (!ok) return;
+    ++job->metrics().checkpoints_written;
+    job->metrics().checkpoint_bytes += delta;
+  });
+}
+
 void TaskAttempt::reduce_compute_done() {
   phase_ = Phase::kWrite;
   my_output_ = job_.create_output_file(task_, id_);
@@ -157,6 +267,16 @@ void TaskAttempt::reduce_compute_done() {
 // ---- shared ---------------------------------------------------------------
 
 void TaskAttempt::begin_compute(sim::Duration duration) {
+  // A resumed attempt inherits the checkpointing attempt's jittered total so
+  // the restored work fraction stays meaningful, and is credited the
+  // salvaged compute time.
+  sim::Duration credit = 0;
+  if (resume_compute_total_ > 0) {
+    duration = resume_compute_total_;
+    credit = resume_compute_done_;
+    resume_compute_total_ = 0;
+    resume_compute_done_ = 0;
+  }
   compute_total_ = duration;
   auto& sim = job_.jobtracker().simulation();
   compute_ = std::make_unique<sim::WorkUnit>(sim, duration, [this] {
@@ -168,6 +288,7 @@ void TaskAttempt::begin_compute(sim::Duration duration) {
     }
   });
   compute_->start();
+  if (credit > 0) compute_->credit(credit);
   if (!tracker_.host_available()) compute_->pause();
 }
 
@@ -207,6 +328,7 @@ double TaskAttempt::progress() const {
   const double shuffled =
       num_maps == 0.0 ? 1.0 : static_cast<double>(fetched_.size()) / num_maps;
   switch (phase_) {
+    case Phase::kRead: return 0.0;  // restoring a checkpoint; nothing yet
     case Phase::kShuffle: return shuffled / 3.0;
     case Phase::kCompute:
       return (1.0 + 2.0 * (compute_ ? compute_->progress() : 0.0)) / 3.0;

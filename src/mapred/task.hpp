@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "checkpoint/types.hpp"
 #include "common/ids.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/types.hpp"
@@ -95,6 +96,21 @@ class TaskAttempt {
   /// Shuffle bookkeeping: a map completed (fresh output available).
   void notify_map_completed(TaskId map_task);
 
+  // ---- checkpointing (reduces only) ---------------------------------------
+  /// Offers this attempt a checkpoint (TaskTracker scan / suspension hook).
+  /// Policy-gated; `forced` bypasses the min-progress-delta.
+  void maybe_checkpoint(bool forced = false);
+
+  /// Arms the restore path: start() will read `ckpt`'s log from the DFS and
+  /// bootstrap shuffle/compute state from it before running. Must be called
+  /// before start().
+  void prime_resume(checkpoint::ReduceCheckpoint ckpt);
+
+  /// True once this attempt successfully restored a checkpoint.
+  [[nodiscard]] bool resumed() const { return resumed_; }
+  /// Progress score the restored checkpoint carried (0 if none).
+  [[nodiscard]] double salvaged_progress() const { return salvaged_progress_; }
+
   /// Maps whose partitions this (reduce) attempt has not yet fetched.
   [[nodiscard]] std::vector<TaskId> unfetched_maps() const;
   [[nodiscard]] std::size_t fetched_count() const { return fetched_.size(); }
@@ -111,6 +127,10 @@ class TaskAttempt {
   void start_fetch(TaskId map_task);
   void fetch_done(TaskId map_task, bool ok);
   void reduce_compute_done();
+
+  // --- checkpoint restore ---
+  void restore_read_next();
+  void apply_restored_checkpoint();
 
   void begin_compute(sim::Duration duration);
   void write_output(Bytes size, dfs::FileKind kind, dfs::ReplicationFactor factor,
@@ -134,6 +154,14 @@ class TaskAttempt {
   std::unique_ptr<sim::WorkUnit> compute_;
   sim::Duration compute_total_ = 0;
   FileId my_output_;                       ///< file this attempt is writing
+
+  // Checkpoint restore state.
+  std::optional<checkpoint::ReduceCheckpoint> resume_;  ///< armed before start
+  std::size_t restore_block_ = 0;  ///< next log segment to read back
+  sim::Duration resume_compute_total_ = 0;
+  sim::Duration resume_compute_done_ = 0;
+  bool resumed_ = false;
+  double salvaged_progress_ = 0.0;
 
   // Reduce/shuffle state.
   std::unordered_set<TaskId> fetched_;

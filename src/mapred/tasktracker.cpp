@@ -1,5 +1,6 @@
 #include "mapred/tasktracker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mapred/jobtracker.hpp"
@@ -12,7 +13,12 @@ TaskTracker::TaskTracker(sim::Simulation& sim, cluster::Node& host,
     : sim_(sim),
       host_(host),
       jobtracker_(jobtracker),
-      heartbeat_(sim, heartbeat_interval, [this] { beat(); }) {
+      heartbeat_(sim, heartbeat_interval, [this] { beat(); }),
+      checkpoint_task_(
+          sim,
+          std::max<sim::Duration>(jobtracker.config().checkpoint.scan_interval,
+                                  sim::kSecond),
+          [this] { checkpoint_scan(); }) {
   host_.subscribe([this](bool up) {
     for (TaskAttempt* attempt : all_attempts()) attempt->on_node_availability(up);
   });
@@ -51,7 +57,17 @@ std::vector<TaskAttempt*> TaskTracker::all_attempts() const {
   return out;
 }
 
-void TaskTracker::start() { heartbeat_.start(); }
+void TaskTracker::start() {
+  heartbeat_.start();
+  if (jobtracker_.config().checkpoint.enabled) checkpoint_task_.start();
+}
+
+void TaskTracker::checkpoint_scan() {
+  // A suspended host can't write; the suspension hook in the JobTracker
+  // covers the best-effort goodbye checkpoint.
+  if (!host_.available()) return;
+  for (TaskAttempt* attempt : reduce_attempts_) attempt->maybe_checkpoint();
+}
 
 void TaskTracker::beat() {
   // A suspended host is silent; the JobTracker infers suspension/death from

@@ -50,6 +50,7 @@ class TaskTracker {
 
  private:
   void beat();
+  void checkpoint_scan();
 
   sim::Simulation& sim_;
   cluster::Node& host_;
@@ -57,6 +58,9 @@ class TaskTracker {
   std::unordered_set<TaskAttempt*> map_attempts_;
   std::unordered_set<TaskAttempt*> reduce_attempts_;
   sim::PeriodicTask heartbeat_;
+  /// Offers hosted reduce attempts a checkpoint every
+  /// checkpoint.scan_interval (started only when checkpointing is enabled).
+  sim::PeriodicTask checkpoint_task_;
 };
 
 }  // namespace moon::mapred

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "checkpoint/types.hpp"
 #include "common/ids.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
@@ -114,6 +115,10 @@ struct SchedulerConfig {
   int max_task_failures = 4;
 
   sim::Duration completion_scan_interval = 5 * sim::kSecond;
+
+  /// Reduce-task checkpoint/resume subsystem (src/checkpoint/); disabled by
+  /// default — enabling it is what moon_checkpoint_scheduler() does.
+  checkpoint::CheckpointConfig checkpoint;
 };
 
 /// Everything the paper's evaluation reports, collected per job run.
@@ -132,6 +137,14 @@ struct JobMetrics {
   int failed_reduce_attempts = 0;
   int map_reexecutions = 0;  ///< completed maps reverted (lost output)
   int fetch_failures = 0;
+
+  // --- checkpoint subsystem ---
+  int checkpoints_written = 0;          ///< committed checkpoint emits
+  std::int64_t checkpoint_bytes = 0;    ///< payload bytes logged to the DFS
+  int checkpoint_resumes = 0;           ///< attempts bootstrapped from a checkpoint
+  /// Sum of the progress scores restored by resumes — the work the
+  /// checkpoints salvaged from killed/expired attempts.
+  double checkpoint_progress_salvaged = 0.0;
 
   Accumulator map_time_s;      ///< successful map attempt durations
   Accumulator shuffle_time_s;  ///< reduce start -> last fetch done

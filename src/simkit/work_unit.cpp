@@ -39,6 +39,14 @@ void WorkUnit::pause() {
   }
 }
 
+void WorkUnit::credit(Duration work) {
+  if (finished_ || work <= 0) return;
+  const bool was_running = running_;
+  pause();
+  done_ = std::min(done_ + work, total_work_);
+  if (was_running) start();
+}
+
 void WorkUnit::cancel() {
   pause();
   finished_ = true;  // prevents restart; callback already dropped below

@@ -34,6 +34,11 @@ class WorkUnit {
   /// Abandons the work; the completion callback never fires.
   void cancel();
 
+  /// Credits `work` as already done (e.g. progress restored from a
+  /// checkpoint). Completion is rescheduled if currently running; crediting
+  /// past `total_work` completes on the next tick.
+  void credit(Duration work);
+
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] bool finished() const { return finished_; }
 

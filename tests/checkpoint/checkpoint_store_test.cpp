@@ -1,0 +1,253 @@
+// CheckpointStore: emit/append mechanics, replica-liveness-aware lookup,
+// garbage collection under replica loss.
+#include "checkpoint/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checkpoint/checkpoint_policy.hpp"
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+
+namespace moon::checkpoint {
+namespace {
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void build(CheckpointConfig config = {}, std::size_t volatiles = 4,
+             std::size_t dedicated = 0) {
+    config.enabled = true;
+    if (dedicated == 0) config.factor.dedicated = 0;
+    cluster_ = std::make_unique<cluster::Cluster>(sim_);
+    cluster::NodeConfig vcfg;
+    vcfg.type = cluster::NodeType::kVolatile;
+    volatile_ids_ = cluster_->add_nodes(volatiles, vcfg);
+    cluster::NodeConfig dcfg = vcfg;
+    dcfg.type = cluster::NodeType::kDedicated;
+    dedicated_ids_ = cluster_->add_nodes(dedicated, dcfg);
+    dfs::DfsConfig dfs_cfg;
+    if (dedicated == 0) dfs_cfg.adaptive_replication = false;
+    dfs_ = std::make_unique<dfs::Dfs>(sim_, *cluster_, dfs_cfg, 17);
+    dfs_->start();
+    store_ = std::make_unique<CheckpointStore>(*dfs_, config);
+  }
+
+  CheckpointStore::Snapshot snapshot(double progress, Bytes delta,
+                                     int fetched = 1) const {
+    CheckpointStore::Snapshot snap;
+    snap.job = JobId{1};
+    snap.task = TaskId{7};
+    snap.label = "t.r0";
+    for (int i = 0; i < fetched; ++i) snap.fetched.push_back(TaskId{10 + i});
+    snap.compute_total = 100 * sim::kSecond;
+    snap.compute_done =
+        static_cast<sim::Duration>(progress * 100.0) * sim::kSecond;
+    snap.progress = progress;
+    snap.delta_bytes = delta;
+    return snap;
+  }
+
+  void advance(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulation sim_{3};
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<dfs::Dfs> dfs_;
+  std::unique_ptr<CheckpointStore> store_;
+  std::vector<NodeId> volatile_ids_;
+  std::vector<NodeId> dedicated_ids_;
+};
+
+TEST_F(CheckpointStoreTest, EmitCommitsAsynchronouslyAndChargesBandwidth) {
+  build();
+  bool committed = false;
+  store_->emit(snapshot(0.3, 2 * kMiB), volatile_ids_[0],
+               [&](bool ok) { committed = ok; });
+  // The record only advances once the DFS write lands.
+  EXPECT_EQ(store_->latest(JobId{1}, TaskId{7}), nullptr);
+  EXPECT_TRUE(store_->emit_in_flight(JobId{1}, TaskId{7}));
+  advance(5 * sim::kMinute);
+  ASSERT_TRUE(committed);
+  const ReduceCheckpoint* rec = store_->latest(JobId{1}, TaskId{7});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->progress, 0.3);
+  EXPECT_EQ(rec->bytes_logged, 2 * kMiB);
+  ASSERT_FALSE(rec->blocks.empty());
+  // Checkpoint bytes flowed through the normal client write path (x replica
+  // count for the {0,2} opportunistic factor).
+  EXPECT_GE(dfs_->stats().bytes_written, 2 * kMiB);
+  // Live: every segment readable.
+  EXPECT_NE(store_->latest_live(JobId{1}, TaskId{7}), nullptr);
+}
+
+TEST_F(CheckpointStoreTest, SecondEmitAppendsToTheSameLog) {
+  build();
+  store_->emit(snapshot(0.2, kMiB), volatile_ids_[0]);
+  advance(5 * sim::kMinute);
+  const FileId first_file = store_->latest(JobId{1}, TaskId{7})->file;
+  const std::size_t first_segments =
+      store_->latest(JobId{1}, TaskId{7})->blocks.size();
+  store_->emit(snapshot(0.5, kMiB, 2), volatile_ids_[1]);
+  advance(5 * sim::kMinute);
+  const ReduceCheckpoint* rec = store_->latest(JobId{1}, TaskId{7});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->file, first_file);
+  EXPECT_GT(rec->blocks.size(), first_segments);
+  EXPECT_EQ(rec->bytes_logged, 2 * kMiB);
+  EXPECT_EQ(rec->progress, 0.5);
+  EXPECT_EQ(rec->fetched.size(), 2u);
+  EXPECT_EQ(store_->stats().emits_committed, 2);
+}
+
+TEST_F(CheckpointStoreTest, RejectsOverlappingEmitForSameTask) {
+  build();
+  store_->emit(snapshot(0.2, kMiB), volatile_ids_[0]);
+  bool second_ok = true;
+  store_->emit(snapshot(0.3, kMiB), volatile_ids_[0],
+               [&](bool ok) { second_ok = ok; });
+  EXPECT_FALSE(second_ok);  // rejected synchronously
+  advance(5 * sim::kMinute);
+  EXPECT_EQ(store_->stats().emits_committed, 1);
+}
+
+TEST_F(CheckpointStoreTest, AbortEmitFromCancelsOnlyTheDyingWritersEmit) {
+  build();
+  bool called = false;
+  store_->emit(snapshot(0.2, kMiB), volatile_ids_[0],
+               [&](bool) { called = true; });
+  // Wrong writer: no-op.
+  store_->abort_emit_from(JobId{1}, TaskId{7}, volatile_ids_[3]);
+  EXPECT_TRUE(store_->emit_in_flight(JobId{1}, TaskId{7}));
+  // The writer died: the emit is cancelled, its callback never fires, and
+  // the task can emit again immediately (from its relocated attempt).
+  store_->abort_emit_from(JobId{1}, TaskId{7}, volatile_ids_[0]);
+  EXPECT_FALSE(store_->emit_in_flight(JobId{1}, TaskId{7}));
+  EXPECT_EQ(store_->stats().emits_aborted, 1);
+  advance(5 * sim::kMinute);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(store_->latest(JobId{1}, TaskId{7}), nullptr);
+  store_->emit(snapshot(0.3, kMiB), volatile_ids_[1]);
+  advance(5 * sim::kMinute);
+  EXPECT_NE(store_->latest(JobId{1}, TaskId{7}), nullptr);
+}
+
+TEST_F(CheckpointStoreTest, DropJobCancelsRecordlessInflightEmits) {
+  build();
+  store_->emit(snapshot(0.2, kMiB), volatile_ids_[0]);
+  ASSERT_TRUE(store_->emit_in_flight(JobId{1}, TaskId{7}));
+  store_->drop_job(JobId{1});  // job failed before the first emit landed
+  EXPECT_FALSE(store_->emit_in_flight(JobId{1}, TaskId{7}));
+  advance(5 * sim::kMinute);
+  // The write never commits a record or leaks a checkpoint file.
+  EXPECT_EQ(store_->latest(JobId{1}, TaskId{7}), nullptr);
+  EXPECT_EQ(store_->record_count(), 0u);
+  EXPECT_EQ(store_->stats().emits_committed, 0);
+}
+
+TEST_F(CheckpointStoreTest, LookupRespectsReplicaLiveness) {
+  build();
+  store_->emit(snapshot(0.4, kMiB), volatile_ids_[0]);
+  advance(5 * sim::kMinute);
+  const ReduceCheckpoint* rec = store_->latest_live(JobId{1}, TaskId{7});
+  ASSERT_NE(rec, nullptr);
+
+  // Take down every replica holder: the checkpoint goes non-live once the
+  // NameNode notices (hibernate), but it is not dead — holders may return.
+  const auto& nn = dfs_->namenode();
+  std::vector<NodeId> holders;
+  for (BlockId b : rec->blocks) {
+    for (NodeId n : nn.block(b).replicas) holders.push_back(n);
+  }
+  ASSERT_FALSE(holders.empty());
+  for (NodeId n : holders) cluster_->node(n).set_available(false);
+  advance(3 * sim::kMinute);  // > hibernate_interval (90 s)
+  EXPECT_EQ(store_->latest_live(JobId{1}, TaskId{7}), nullptr);
+  EXPECT_FALSE(store_->is_dead(JobId{1}, TaskId{7}));
+
+  // Holders return: the checkpoint is live again.
+  for (NodeId n : holders) cluster_->node(n).set_available(true);
+  advance(1 * sim::kMinute);
+  EXPECT_NE(store_->latest_live(JobId{1}, TaskId{7}), nullptr);
+
+  // Holders expire for good: the log is unrecoverable.
+  for (NodeId n : holders) cluster_->node(n).set_available(false);
+  advance(11 * sim::kMinute);  // > expiry_interval (600 s)
+  EXPECT_EQ(store_->latest_live(JobId{1}, TaskId{7}), nullptr);
+  EXPECT_TRUE(store_->is_dead(JobId{1}, TaskId{7}));
+
+  store_->drop(JobId{1}, TaskId{7}, /*dead=*/true);
+  EXPECT_EQ(store_->latest(JobId{1}, TaskId{7}), nullptr);
+  EXPECT_EQ(store_->stats().dropped_dead, 1);
+}
+
+TEST_F(CheckpointStoreTest, DropGarbageCollectsTheDfsFile) {
+  build();
+  store_->emit(snapshot(0.4, kMiB), volatile_ids_[0]);
+  advance(5 * sim::kMinute);
+  const FileId file = store_->latest(JobId{1}, TaskId{7})->file;
+  ASSERT_TRUE(dfs_->namenode().file_exists(file));
+  store_->drop(JobId{1}, TaskId{7});
+  EXPECT_FALSE(dfs_->namenode().file_exists(file));
+  EXPECT_EQ(store_->record_count(), 0u);
+  EXPECT_EQ(store_->stats().dropped, 1);
+
+  // A later emit starts a fresh log.
+  store_->emit(snapshot(0.1, kMiB), volatile_ids_[2]);
+  advance(5 * sim::kMinute);
+  const ReduceCheckpoint* rec = store_->latest(JobId{1}, TaskId{7});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_NE(rec->file, file);
+  EXPECT_EQ(rec->bytes_logged, kMiB);
+}
+
+TEST_F(CheckpointStoreTest, DropJobClearsEveryTaskOfThatJob) {
+  build();
+  auto snap_a = snapshot(0.2, kMiB);
+  auto snap_b = snapshot(0.2, kMiB);
+  snap_b.task = TaskId{8};
+  auto snap_other = snapshot(0.2, kMiB);
+  snap_other.job = JobId{2};
+  store_->emit(snap_a, volatile_ids_[0]);
+  store_->emit(snap_b, volatile_ids_[1]);
+  store_->emit(snap_other, volatile_ids_[2]);
+  advance(5 * sim::kMinute);
+  ASSERT_EQ(store_->record_count(), 3u);
+  store_->drop_job(JobId{1});
+  EXPECT_EQ(store_->record_count(), 1u);
+  EXPECT_NE(store_->latest(JobId{2}, TaskId{7}), nullptr);
+}
+
+TEST(CheckpointPolicyTest, EmitGates) {
+  CheckpointConfig cfg;
+  cfg.enabled = true;
+  cfg.min_progress_delta = 0.1;
+  CheckpointPolicy policy(cfg);
+  EXPECT_FALSE(policy.should_emit(nullptr, 0.0, false));  // nothing to save
+  EXPECT_TRUE(policy.should_emit(nullptr, 0.15, false));
+  ReduceCheckpoint last;
+  last.progress = 0.3;
+  EXPECT_FALSE(policy.should_emit(&last, 0.35, false));  // below delta
+  EXPECT_TRUE(policy.should_emit(&last, 0.35, true));    // forced (suspension)
+  EXPECT_FALSE(policy.should_emit(&last, 0.3, true));    // nothing new
+  EXPECT_TRUE(policy.should_emit(&last, 0.41, false));
+
+  CheckpointConfig off;
+  EXPECT_FALSE(CheckpointPolicy(off).should_emit(nullptr, 0.5, true));
+}
+
+TEST(CheckpointPolicyTest, ResumeAndShieldGates) {
+  CheckpointConfig cfg;
+  cfg.enabled = true;
+  cfg.resume_speculative = false;
+  cfg.speculation_shield = 0.7;
+  CheckpointPolicy policy(cfg);
+  ReduceCheckpoint ckpt;
+  ckpt.progress = 0.5;
+  EXPECT_TRUE(policy.should_resume(ckpt, /*speculative=*/false));
+  EXPECT_FALSE(policy.should_resume(ckpt, /*speculative=*/true));
+  EXPECT_FALSE(policy.shields_speculation(0.69));
+  EXPECT_TRUE(policy.shields_speculation(0.7));
+}
+
+}  // namespace
+}  // namespace moon::checkpoint

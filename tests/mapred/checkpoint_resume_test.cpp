@@ -1,0 +1,106 @@
+// Integration: a reduce whose tracker expires resumes from its checkpoint
+// instead of restarting cold, finishes sooner, and the metrics count it.
+#include <gtest/gtest.h>
+
+#include "mapred_fixture.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+FixtureOptions churn_options(bool checkpointing) {
+  FixtureOptions opt;
+  opt.volatile_nodes = 3;
+  opt.dedicated_nodes = 0;
+  opt.num_maps = 1;
+  opt.num_reduces = 1;
+  opt.map_compute = 5 * sim::kSecond;
+  opt.reduce_compute = 10 * sim::kMinute;  // long post-shuffle compute
+  opt.intermediate_per_map = kMiB;
+  opt.output_per_reduce = kMiB;
+  opt.input_factor = {0, 3};
+  opt.sched = testing::hadoop_sched(/*expiry=*/60 * sim::kSecond);
+  opt.sched.checkpoint.enabled = checkpointing;
+  opt.sched.checkpoint.scan_interval = 30 * sim::kSecond;
+  opt.sched.checkpoint.min_progress_delta = 0.02;
+  opt.sched.checkpoint.factor = {0, 2};
+  return opt;
+}
+
+/// Runs the scripted outage: wait until the reduce is mid-compute, kill its
+/// host for good, let the job finish elsewhere. Returns execution time (s).
+double run_churn(MapRedHarness& h) {
+  h.submit();
+  // Maps (5 s) and the tiny shuffle are long done by t=180 s; the reduce is
+  // ~25-30 % through its 600 s compute and has committed checkpoints.
+  h.advance(3 * sim::kMinute);
+  Job& job = h.job();
+  const TaskId reduce = job.tasks_of(TaskType::kReduce).front();
+  TaskAttempt* attempt = nullptr;
+  for (AttemptId a : job.task(reduce).attempts) {
+    if (job.attempt(a) != nullptr && !job.attempt(a)->terminal()) {
+      attempt = job.attempt(a);
+    }
+  }
+  EXPECT_NE(attempt, nullptr);
+  if (attempt != nullptr) {
+    h.set_node_available(attempt->tracker().node_id(), false);
+  }
+  EXPECT_TRUE(h.run_to_completion(sim::hours(4)));
+  return job.metrics().execution_time_s();
+}
+
+TEST(CheckpointResume, KilledReduceResumesAndIsCounted) {
+  MapRedHarness h(churn_options(/*checkpointing=*/true));
+  run_churn(h);
+  const JobMetrics& m = h.job().metrics();
+  ASSERT_TRUE(m.completed);
+  EXPECT_GE(m.checkpoints_written, 1);
+  EXPECT_GT(m.checkpoint_bytes, 0);
+  EXPECT_GE(m.checkpoint_resumes, 1);
+  EXPECT_GT(m.checkpoint_progress_salvaged, 0.0);
+  // The replacement attempt really did skip work: two reduce attempts ran
+  // (original + resumed), one was killed with the tracker.
+  EXPECT_GE(m.launched_reduce_attempts, 2);
+  EXPECT_GE(m.killed_reduce_attempts, 1);
+}
+
+TEST(CheckpointResume, ResumeBeatsColdRerun) {
+  MapRedHarness cold(churn_options(/*checkpointing=*/false));
+  const double cold_time = run_churn(cold);
+  ASSERT_TRUE(cold.job().metrics().completed);
+  EXPECT_EQ(cold.job().metrics().checkpoint_resumes, 0);
+
+  MapRedHarness warm(churn_options(/*checkpointing=*/true));
+  const double warm_time = run_churn(warm);
+  ASSERT_TRUE(warm.job().metrics().completed);
+  EXPECT_GE(warm.job().metrics().checkpoint_resumes, 1);
+
+  // The checkpoint salvaged a large slice of the 600 s compute; demand a
+  // comfortably faster finish, not a tie-breaker.
+  EXPECT_LT(warm_time, cold_time - 60.0);
+}
+
+TEST(CheckpointResume, CheckpointingOffWritesNothing) {
+  MapRedHarness h(churn_options(/*checkpointing=*/false));
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  const JobMetrics& m = h.job().metrics();
+  EXPECT_EQ(m.checkpoints_written, 0);
+  EXPECT_EQ(m.checkpoint_bytes, 0);
+  EXPECT_EQ(m.checkpoint_resumes, 0);
+  EXPECT_EQ(h.jobtracker().checkpoint_store().stats().emits_started, 0);
+}
+
+TEST(CheckpointResume, CompletedReduceGarbageCollectsItsLog) {
+  MapRedHarness h(churn_options(/*checkpointing=*/true));
+  h.submit();
+  ASSERT_TRUE(h.run_to_completion());
+  // Every record was dropped when its reduce completed / the job committed.
+  EXPECT_EQ(h.jobtracker().checkpoint_store().record_count(), 0u);
+}
+
+}  // namespace
+}  // namespace moon::mapred

@@ -141,6 +141,31 @@ TEST(WorkUnit, CallbackMayDestroyTheUnit) {
   EXPECT_TRUE(destroyed);
 }
 
+TEST(WorkUnit, CreditAdvancesProgressAndReschedulesCompletion) {
+  Simulation sim;
+  Time done_at = -1;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done_at = sim.now(); });
+  unit.start();
+  sim.run_until(2 * kSecond);
+  unit.credit(5 * kSecond);  // restored from a checkpoint mid-run
+  EXPECT_NEAR(unit.progress(), 0.7, 1e-9);
+  sim.run();
+  EXPECT_EQ(done_at, 5 * kSecond);  // 2 s elapsed + 3 s remaining
+}
+
+TEST(WorkUnit, CreditWhilePausedAndOvershootCompletesOnStart) {
+  Simulation sim;
+  Time done_at = -1;
+  WorkUnit unit(sim, 10 * kSecond, [&] { done_at = sim.now(); });
+  unit.credit(20 * kSecond);  // clamp to total; not running yet
+  EXPECT_DOUBLE_EQ(unit.progress(), 1.0);
+  sim.run_until(4 * kSecond);
+  EXPECT_EQ(done_at, -1);  // completion still requires start()
+  unit.start();
+  sim.run();
+  EXPECT_EQ(done_at, 4 * kSecond);
+}
+
 TEST(WorkUnit, WorkDoneTracksPartialThenTotal) {
   Simulation sim;
   WorkUnit unit(sim, 8 * kSecond, [] {});
