@@ -44,13 +44,42 @@ void BM_EventCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancelHalf)->Arg(100000);
 
+// Cancel-and-rearm churn: each live event is rescheduled `rearms` times, the
+// pattern the flow network's completion event produces. Exercises tombstone
+// compaction — without it the heap holds rearms+1 entries per event.
+void BM_EventCancelRearm(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  const auto rearms = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::vector<EventId> ids;
+    ids.reserve(static_cast<std::size_t>(events));
+    for (int i = 0; i < events; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+    for (int round = 0; round < rearms; ++round) {
+      for (int i = 0; i < events; ++i) {
+        auto& id = ids[static_cast<std::size_t>(i)];
+        sim.cancel(id);
+        id = sim.schedule_at(i + round + 1, [] {});
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * events * (rearms + 1));
+}
+BENCHMARK(BM_EventCancelRearm)
+    ->ArgsProduct({{10000}, {4, 16}})
+    ->ArgNames({"events", "rearms"});
+
 void BM_FlowChurn(benchmark::State& state) {
   const auto model = state.range(1) == 0 ? sim::FairnessModel::kMaxMin
                                          : sim::FairnessModel::kBottleneckShare;
+  const auto solver = state.range(2) == 0 ? sim::SolverMode::kIncremental
+                                          : sim::SolverMode::kDense;
   const auto concurrent = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     sim::Simulation sim;
-    sim::FlowNetwork net(sim, model);
+    sim::FlowNetwork net(sim, model, solver);
     // A 64-node cluster's worth of resources.
     std::vector<sim::FlowNetwork::ResourceId> resources;
     for (int i = 0; i < 192; ++i) {
@@ -76,8 +105,8 @@ void BM_FlowChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_FlowChurn)
-    ->ArgsProduct({{64, 256}, {0, 1}})
-    ->ArgNames({"flows", "bshare"});
+    ->ArgsProduct({{64, 256}, {0, 1}, {0, 1}})
+    ->ArgNames({"flows", "bshare", "dense"});
 
 void BM_TraceGeneration(benchmark::State& state) {
   trace::GeneratorConfig cfg;

@@ -119,10 +119,13 @@ struct Dfs::WriteOp final : Dfs::Op {
         stalled.push_back(i);
       }
     }
-    for (const auto& i : stalled) {
-      net.abort_flow(i.flow);
-      std::erase_if(inflight_,
-                    [&i](const InFlight& x) { return x.flow == i.flow; });
+    {
+      sim::FlowNetwork::CapacityBatch batch(net);
+      for (const auto& i : stalled) {
+        net.abort_flow(i.flow);
+        std::erase_if(inflight_,
+                      [&i](const InFlight& x) { return x.flow == i.flow; });
+      }
     }
     if (!inflight_.empty()) return;  // others still moving
     if (committed_ > 0) {
@@ -145,6 +148,7 @@ struct Dfs::WriteOp final : Dfs::Op {
 
   void abort() override {
     auto& net = dfs_.cluster_.network();
+    sim::FlowNetwork::CapacityBatch batch(net);
     for (const auto& i : inflight_) net.abort_flow(i.flow);
     inflight_.clear();
   }
@@ -463,11 +467,14 @@ void Dfs::replication_scan() {
   for (const auto& [flow, repair] : repairs_) {
     if (net.rate(flow) == 0.0) stalled.push_back(flow);
   }
-  for (FlowId flow : stalled) {
-    const Repair repair = repairs_.at(flow);
-    net.abort_flow(flow);
-    repairs_.erase(flow);
-    namenode_.enqueue_replication(repair.block);
+  {
+    sim::FlowNetwork::CapacityBatch batch(net);
+    for (FlowId flow : stalled) {
+      const Repair repair = repairs_.at(flow);
+      net.abort_flow(flow);
+      repairs_.erase(flow);
+      namenode_.enqueue_replication(repair.block);
+    }
   }
   // 2. Launch new streams up to the cap.
   start_repair_streams();

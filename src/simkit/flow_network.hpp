@@ -13,9 +13,18 @@
 // flows through it stall at rate 0 (they do not abort — mirroring the
 // paper's emulation, which SIGSTOPs Hadoop processes). Failure semantics
 // (timeouts, fetch failures) belong to the layers above.
+//
+// The solver is incremental (see DESIGN.md §8): churn re-rates only the
+// dirty region of the flow graph, completions pop from a lazy min-heap of
+// projected deadlines, and `CapacityBatch` coalesces multi-resource churn
+// (a node availability flip) into a single settle. The pre-incremental
+// dense solver is retained behind `SolverMode::kDense` as the equivalence
+// oracle and the benchmark baseline; both modes produce bit-identical
+// simulated outcomes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <string>
@@ -30,14 +39,26 @@ namespace moon::sim {
 
 /// Rate-allocation strategy.
 enum class FairnessModel {
-  /// Exact max-min fairness via progressive filling. O(bottlenecks × flows)
-  /// per churn; use for correctness-sensitive small scenarios and tests.
+  /// Exact max-min fairness via progressive filling. Churn costs
+  /// O(dirty component); use for correctness-sensitive scenarios and tests.
   kMaxMin,
   /// Bottleneck-share approximation: rate = min over the flow's resources of
   /// capacity / flow-count. Never over-subscribes a resource, but forgoes
-  /// redistributing residual capacity. O(flow degree) per flow per churn;
+  /// redistributing residual capacity. Churn costs O(affected neighborhood);
   /// use for large experiment sweeps.
   kBottleneckShare,
+};
+
+/// Rate-recompute strategy. Both modes produce bit-identical simulated
+/// outcomes (completion order and times, rates at any sample point,
+/// transferred bytes); they differ only in how much work churn costs.
+enum class SolverMode {
+  /// Incremental: recompute only flows whose allocation can have changed,
+  /// schedule completions through a lazily-invalidated min-heap.
+  kIncremental,
+  /// Dense: recompute every flow on every churn event. Retained as the
+  /// oracle for the equivalence test and as the benchmark baseline.
+  kDense,
 };
 
 class FlowNetwork {
@@ -47,11 +68,41 @@ class FlowNetwork {
   using CompletionFn = std::function<void(FlowId)>;
 
   explicit FlowNetwork(Simulation& sim,
-                       FairnessModel model = FairnessModel::kMaxMin);
+                       FairnessModel model = FairnessModel::kMaxMin,
+                       SolverMode solver = SolverMode::kIncremental);
 
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
   ~FlowNetwork();
+
+  /// RAII churn scope: while at least one batch is open, flow/capacity
+  /// mutations accrue progress and queue dirty work but defer the rate
+  /// recompute; the outermost batch's close runs one settle for the whole
+  /// group. `Node::set_available` uses this to apply its three capacity
+  /// changes in a single settle. Nestable. While a batch is open, `rate()`
+  /// returns pre-batch rates. A batch groups same-instant churn only: do
+  /// not run the simulation while one is open (completions would be
+  /// deferred past their true timestamps; asserted in debug builds).
+  class CapacityBatch {
+   public:
+    explicit CapacityBatch(FlowNetwork& net) : net_(net) { ++net_.batch_depth_; }
+    ~CapacityBatch() { close(); }
+    CapacityBatch(const CapacityBatch&) = delete;
+    CapacityBatch& operator=(const CapacityBatch&) = delete;
+
+    /// Ends the scope early (idempotent): the outermost close settles. Call
+    /// explicitly when completion callbacks may throw — the destructor
+    /// settles too, but from a noexcept context.
+    void close() {
+      if (closed_) return;
+      closed_ = true;
+      if (--net_.batch_depth_ == 0) net_.settle();
+    }
+
+   private:
+    FlowNetwork& net_;
+    bool closed_ = false;
+  };
 
   /// Registers a capacity-limited resource (bytes/second).
   ResourceId add_resource(BytesPerSecond capacity, std::string name = {});
@@ -72,43 +123,137 @@ class FlowNetwork {
   [[nodiscard]] bool active(FlowId id) const;
   [[nodiscard]] Bytes remaining(FlowId id) const;
   [[nodiscard]] double rate(FlowId id) const;  ///< bytes/second right now
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return active_count_; }
 
   /// Bytes moved through `resource` since construction (for throttling
   /// telemetry: dedicated DataNodes report consumed bandwidth upstream).
   [[nodiscard]] double transferred_through(ResourceId resource) const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
   struct Flow {
+    FlowId id;  // invalid() while the slot is on the free list
     std::vector<ResourceId> resources;
-    double remaining;  // bytes
-    double rate = 0.0;  // bytes/second, assigned by the allocator
+    // resources_[resources[k]].flows[link_pos[k]] is this flow's entry;
+    // duplicate path entries get independent links.
+    std::vector<std::uint32_t> link_pos;
+    double remaining = 0.0;  // bytes, accrued up to last_update_
+    double rate = 0.0;       // bytes/second, assigned by the allocator
+    Time deadline = kTimeMax;  // projected completion; kTimeMax = stalled
+    std::uint64_t epoch = 0;   // bumped per deadline refresh; stale-marks heap entries
     CompletionFn on_complete;
+    // Intrusive live list in start order: keeps per-settle scans bounded by
+    // the *current* flow count, not the historical peak slot count.
+    std::uint32_t live_prev = kNoSlot;
+    std::uint32_t live_next = kNoSlot;
+    std::uint64_t visit_stamp = 0;  // dirty-region traversal
+    bool in_heap = false;           // has a live completion-heap entry
+    bool fill_mark = false;         // scratch: frozen/stalled during a recompute
+    bool share_counted = false;     // bottleneck-share: contributes to share_load
+  };
+
+  /// Back-reference stored in a resource's flow index: `slot` is the flow,
+  /// `ridx` the index of this resource inside the flow's own path.
+  struct Link {
+    std::uint32_t slot;
+    std::uint32_t ridx;
   };
 
   struct Resource {
     BytesPerSecond cap = 0.0;
     std::string name;
     double transferred = 0.0;  // lifetime bytes through this resource
+    std::vector<Link> flows;   // active flows crossing this resource
+    std::uint32_t share_load = 0;  // bottleneck-share: live-flow count (maintained)
+    bool seed_dirty = false;       // queued in dirty_resources_
+    bool cap_dirty = false;        // capacity changed since last recompute
+    std::uint64_t visit_stamp = 0;  // dirty-region traversal
+    // Progressive-filling scratch (valid only mid-recompute):
+    double residual = 0.0;
+    std::uint32_t load = 0;
   };
 
-  /// Accrues progress for all flows since `last_update_`, retiring finished
-  /// flows, then recomputes rates and re-schedules the completion event.
+  /// Completion-heap entry; stale when the flow is gone or its epoch moved.
+  struct CompletionEntry {
+    Time deadline;
+    FlowId flow;
+    std::uint32_t slot;
+    std::uint64_t epoch;
+  };
+
+  /// Share-heap entry for bottleneck selection inside max-min filling;
+  /// stale when the resource's residual/load no longer reproduce `share`.
+  struct ShareEntry {
+    double share;
+    ResourceId resource;
+  };
+
+  // Completion heap: min by (deadline, flow id) — the id tie-break keeps the
+  // retire order of simultaneous completions deterministic and identical
+  // across solver modes.
+  static bool completion_later(const CompletionEntry& a, const CompletionEntry& b);
+
+  [[nodiscard]] const Flow* find_flow(FlowId id) const;
+
+  /// Accrues progress for all flows since `last_update_`, retires due
+  /// flows, recomputes dirty rates, and re-arms the completion event.
   void settle();
   void advance_progress();
-  void recompute_rates();
-  void recompute_rates_maxmin();
-  void recompute_rates_bottleneck_share();
-  void schedule_next_completion();
+  std::uint32_t next_due(Time now);  // kNoSlot when nothing is due
+  void retire(std::uint32_t slot);
+  void remove_flow(std::uint32_t slot);
+  void mark_resource_dirty(ResourceId r, bool cap_changed);
+  [[nodiscard]] bool has_dirty() const {
+    return !dirty_resources_.empty() || !dirty_flows_.empty();
+  }
+  void recompute();
+  void recompute_dense_maxmin();
+  void recompute_dense_bottleneck_share();
+  void recompute_region_maxmin();
+  void recompute_incremental_bottleneck_share();
+  void update_share_status(std::uint32_t slot);
+  void assign_rate(std::uint32_t slot, double rate);
+  void refresh_deadline(std::uint32_t slot);
+  void push_completion_entry(std::uint32_t slot);
+  void compact_completion_heap();
+  [[nodiscard]] bool heap_entry_valid(const CompletionEntry& e) const;
+  Time next_deadline();
+  void reschedule_completion_event();
 
   Simulation& sim_;
   FairnessModel model_;
+  SolverMode solver_;
   IdAllocator<FlowId> ids_;
   std::vector<Resource> resources_;
-  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;  // LIFO keeps slot reuse deterministic
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+  std::uint32_t live_head_ = kNoSlot;
+  std::uint32_t live_tail_ = kNoSlot;
+  std::size_t active_count_ = 0;
   Time last_update_ = 0;
   EventId completion_event_ = EventId::invalid();
+  Time scheduled_for_ = kTimeMax;
   bool settling_ = false;
+  int batch_depth_ = 0;
+
+  // Dirty seeds queued between churn and the next recompute.
+  std::vector<ResourceId> dirty_resources_;
+  std::vector<std::uint32_t> dirty_flows_;
+
+  // Completion min-heap by (deadline, flow id); entries invalidate lazily.
+  std::vector<CompletionEntry> heap_;
+  std::size_t heap_live_ = 0;
+
+  // Recompute scratch, reused across settles to avoid reallocation.
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint32_t> region_flows_;
+  std::vector<ResourceId> region_resources_;
+  std::vector<ShareEntry> share_heap_;
+  std::vector<ResourceId> round_touched_;
+  std::vector<std::uint32_t> rate_set_;
+  std::vector<std::uint32_t> dense_unfrozen_;
 };
 
 }  // namespace moon::sim

@@ -1,17 +1,23 @@
 #include "simkit/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace moon::sim {
+namespace {
+// Below this heap size tombstones are too cheap to be worth compacting.
+constexpr std::size_t kCompactMin = 64;
+}  // namespace
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
 EventId Simulation::schedule_at(Time t, Callback cb) {
   if (t < now_) throw std::logic_error("Simulation: scheduling into the past");
   const EventId id = ids_.next();
-  queue_.push(Entry{t, seq_++, id});
+  queue_.push_back(Entry{t, seq_++, id});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
@@ -21,19 +27,39 @@ EventId Simulation::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+void Simulation::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return;
+  // The heap entry stays behind as a tombstone. When tombstones outnumber
+  // live events, rebuild the heap from the live set so pop cost tracks what
+  // is actually pending, not historical cancellation churn (heavy under the
+  // flow network's cancel-and-rearm completion event).
+  if (queue_.size() >= kCompactMin && queue_.size() > 2 * callbacks_.size()) {
+    compact();
+  }
+}
+
+void Simulation::compact() {
+  std::erase_if(queue_,
+                [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  std::make_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+void Simulation::pop_top() {
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  queue_.pop_back();
+}
 
 bool Simulation::is_pending(EventId id) const { return callbacks_.contains(id); }
 
 bool Simulation::step() {
   while (!queue_.empty()) {
-    const Entry top = queue_.top();
+    const Entry top = queue_.front();
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) {
-      queue_.pop();  // tombstone from cancel()
+      pop_top();  // tombstone from cancel()
       continue;
     }
-    queue_.pop();
+    pop_top();
     assert(top.time >= now_);
     now_ = top.time;
     // Move the callback out before invoking: it may schedule/cancel events,
@@ -49,9 +75,9 @@ bool Simulation::step() {
 
 void Simulation::run_until(Time t) {
   while (!queue_.empty()) {
-    const Entry top = queue_.top();
+    const Entry top = queue_.front();
     if (!callbacks_.contains(top.id)) {
-      queue_.pop();
+      pop_top();
       continue;
     }
     if (top.time > t) break;

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +53,10 @@ class Simulation {
   [[nodiscard]] std::size_t pending_events() const { return callbacks_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Heap entries including cancelled tombstones (telemetry; bounded at
+  /// roughly 2× pending_events() by tombstone compaction).
+  [[nodiscard]] std::size_t queued_entries() const { return queue_.size(); }
+
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
@@ -67,11 +70,17 @@ class Simulation {
     }
   };
 
+  /// Drops cancelled tombstones and re-heapifies; called when tombstones
+  /// outnumber live entries so cancel() stays O(1) amortised without the
+  /// heap growing past ~2× the live set.
+  void compact();
+  void pop_top();
+
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   IdAllocator<EventId> ids_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<Entry> queue_;  // binary min-heap by (time, seq)
   std::unordered_map<EventId, Callback> callbacks_;
   Rng rng_;
 };

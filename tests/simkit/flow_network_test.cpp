@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/units.hpp"
@@ -10,12 +12,14 @@
 namespace moon::sim {
 namespace {
 
-/// Runs both fairness models through the same scenarios where their
-/// behaviour must agree (single-bottleneck cases).
-class FlowModelTest : public ::testing::TestWithParam<FairnessModel> {
+/// Runs both fairness models × both solver modes through the same scenarios
+/// where their behaviour must agree (single-bottleneck cases). Covering the
+/// dense oracle here keeps the equivalence test's reference trustworthy.
+class FlowModelTest
+    : public ::testing::TestWithParam<std::tuple<FairnessModel, SolverMode>> {
  protected:
   Simulation sim_;
-  FlowNetwork net_{sim_, GetParam()};
+  FlowNetwork net_{sim_, std::get<0>(GetParam()), std::get<1>(GetParam())};
 };
 
 TEST_P(FlowModelTest, SingleFlowFinishesAtExpectedTime) {
@@ -160,6 +164,100 @@ TEST_P(FlowModelTest, TransferredThroughAccumulates) {
   EXPECT_NEAR(net_.transferred_through(r), 800.0, 1.0);
 }
 
+TEST_P(FlowModelTest, StalledFlowsDoNotPinLoadCounts) {
+  // Regression for the bottleneck-share stalled-flow exclusion: flows with a
+  // zero-capacity resource on their path must not be counted in the load of
+  // the live resources they cross (without the exclusion the live flow below
+  // would be pinned to a third of the capacity it can actually use).
+  const auto r = net_.add_resource(100.0);
+  const auto down1 = net_.add_resource(100.0);
+  const auto down2 = net_.add_resource(100.0);
+  const FlowId stalled1 = net_.start_flow({r, down1}, 1'000'000, [](FlowId) {});
+  const FlowId stalled2 = net_.start_flow({r, down2}, 1'000'000, [](FlowId) {});
+  const FlowId live = net_.start_flow({r}, 1'000'000, [](FlowId) {});
+  net_.set_capacity(down1, 0.0);
+  net_.set_capacity(down2, 0.0);
+  EXPECT_EQ(net_.rate(stalled1), 0.0);
+  EXPECT_EQ(net_.rate(stalled2), 0.0);
+  EXPECT_NEAR(net_.rate(live), 100.0, 0.01);
+  // Reviving one endpoint re-admits exactly that flow to the shared count.
+  net_.set_capacity(down1, 100.0);
+  EXPECT_NEAR(net_.rate(stalled1), 50.0, 0.01);
+  EXPECT_NEAR(net_.rate(live), 50.0, 0.01);
+  EXPECT_EQ(net_.rate(stalled2), 0.0);
+}
+
+TEST_P(FlowModelTest, CompletionCallbackMayAbortFlowsMidSettle) {
+  const auto r = net_.add_resource(100.0);
+  bool victim_done = false;
+  Time third_done = -1;
+  const FlowId victim =
+      net_.start_flow({r}, 100000, [&](FlowId) { victim_done = true; });
+  // The short flow finishes first and kills the victim from inside the
+  // settle's retire cascade.
+  net_.start_flow({r}, 500, [&](FlowId) { net_.abort_flow(victim); });
+  net_.start_flow({r}, 2000, [&](FlowId) { third_done = sim_.now(); });
+  sim_.run();
+  EXPECT_FALSE(victim_done);
+  // Three-way share (33.3 B/s) until t=15 (short flow ends, victim dies);
+  // the survivor then has 1500 bytes left at the full 100 B/s -> t=30.
+  EXPECT_NEAR(to_seconds(third_done), 30.0, 0.01);
+}
+
+TEST_P(FlowModelTest, CompletionCallbackMayChangeCapacityMidSettle) {
+  const auto r = net_.add_resource(100.0);
+  Time done_at = -1;
+  net_.start_flow({r}, 400, [&](FlowId) { net_.set_capacity(r, 25.0); });
+  net_.start_flow({r}, 1000, [&](FlowId) { done_at = sim_.now(); });
+  sim_.run();
+  // Shared at 50 B/s until t=8 (first ends and shrinks the capacity); the
+  // survivor's 600 remaining bytes then move at 25 B/s -> t=32.
+  EXPECT_NEAR(to_seconds(done_at), 32.0, 0.01);
+}
+
+TEST_P(FlowModelTest, ResourcelessFlowCompletesImmediately) {
+  bool done = false;
+  net_.start_flow({}, 1000, [&](FlowId) { done = true; });
+  EXPECT_FALSE(done);  // still asynchronous
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim_.now(), 0);
+}
+
+TEST_P(FlowModelTest, CapacityBatchAppliesChurnInOneSettle) {
+  const auto a = net_.add_resource(100.0);
+  const auto b = net_.add_resource(100.0);
+  const FlowId f = net_.start_flow({a, b}, 100000, [](FlowId) {});
+  {
+    FlowNetwork::CapacityBatch batch(net_);
+    net_.set_capacity(a, 0.0);
+    net_.set_capacity(b, 40.0);
+    // While the batch is open rates are the pre-batch allocation.
+    EXPECT_NEAR(net_.rate(f), 100.0, 0.01);
+    batch.close();  // explicit close settles; the destructor becomes a no-op
+    EXPECT_EQ(net_.rate(f), 0.0);
+  }
+  EXPECT_EQ(net_.rate(f), 0.0);  // a is down
+  net_.set_capacity(a, 80.0);
+  EXPECT_NEAR(net_.rate(f), 40.0, 0.01);
+}
+
+TEST_P(FlowModelTest, NestedCapacityBatchesSettleOnce) {
+  const auto a = net_.add_resource(100.0);
+  const FlowId f = net_.start_flow({a}, 100000, [](FlowId) {});
+  {
+    FlowNetwork::CapacityBatch outer(net_);
+    net_.set_capacity(a, 10.0);
+    {
+      FlowNetwork::CapacityBatch inner(net_);
+      net_.set_capacity(a, 20.0);
+    }
+    // The inner batch close must not settle while the outer one is open.
+    EXPECT_NEAR(net_.rate(f), 100.0, 0.01);
+  }
+  EXPECT_NEAR(net_.rate(f), 20.0, 0.01);
+}
+
 TEST_P(FlowModelTest, ManyFlowsAllComplete) {
   const auto a = net_.add_resource(1000.0);
   const auto b = net_.add_resource(500.0);
@@ -173,14 +271,21 @@ TEST_P(FlowModelTest, ManyFlowsAllComplete) {
   EXPECT_EQ(net_.active_flows(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Models, FlowModelTest,
-                         ::testing::Values(FairnessModel::kMaxMin,
-                                           FairnessModel::kBottleneckShare),
-                         [](const auto& param_info) {
-                           return param_info.param == FairnessModel::kMaxMin
-                                      ? "MaxMin"
-                                      : "BottleneckShare";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Models, FlowModelTest,
+    ::testing::Combine(::testing::Values(FairnessModel::kMaxMin,
+                                         FairnessModel::kBottleneckShare),
+                       ::testing::Values(SolverMode::kIncremental,
+                                         SolverMode::kDense)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param) == FairnessModel::kMaxMin
+                             ? "MaxMin"
+                             : "BottleneckShare";
+      name += std::get<1>(param_info.param) == SolverMode::kIncremental
+                  ? "Incremental"
+                  : "Dense";
+      return name;
+    });
 
 // ---- max-min-specific behaviour -------------------------------------------
 

@@ -151,6 +151,61 @@ TEST(Simulation, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_EQ(fired_at, 5);
 }
 
+TEST(Simulation, TombstoneCompactionBoundsQueueDepth) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+  // Cancel 90%: tombstones dominate, so the heap must have been rebuilt to
+  // roughly the live set rather than retaining all 10000 entries.
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 10 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(sim.pending_events(), 1000u);
+  EXPECT_LE(sim.queued_entries(), 2001u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1000u);
+}
+
+TEST(Simulation, CompactionPreservesOrderAndFifoTies) {
+  Simulation sim;
+  std::vector<int> fired;
+  std::vector<EventId> cancels;
+  // Interleave survivors with victims, including FIFO ties at equal times.
+  for (int i = 0; i < 200; ++i) {
+    const Time t = i / 2;  // pairs share a timestamp
+    if (i % 2 == 0) {
+      sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+    } else {
+      cancels.push_back(sim.schedule_at(t, [&fired, i] { fired.push_back(i); }));
+    }
+  }
+  // Force several compactions under kCompactMin-sized churn.
+  for (int round = 0; round < 5; ++round) {
+    std::vector<EventId> extra;
+    for (int i = 0; i < 400; ++i) extra.push_back(sim.schedule_at(1000, [] {}));
+    for (EventId id : extra) sim.cancel(id);
+  }
+  for (EventId id : cancels) sim.cancel(id);
+  sim.run();
+  ASSERT_EQ(fired.size(), 100u);
+  for (std::size_t i = 0; i + 1 < fired.size(); ++i) {
+    EXPECT_LT(fired[i], fired[i + 1]);  // time order with FIFO ties intact
+  }
+}
+
+TEST(Simulation, CancelAllThenReschedule) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+  for (EventId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  bool ran = false;
+  sim.schedule_at(7, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 7);
+}
+
 TEST(TimeHelpers, Conversions) {
   EXPECT_EQ(seconds(1.5), 1'500'000);
   EXPECT_EQ(minutes(2.0), 120 * kSecond);
