@@ -1,0 +1,265 @@
+// Scheduler hot-path microbenchmark: indexed vs scan control plane.
+//
+// Sweeps {64, 256, 1024}-node clusters x {Hadoop, LATE, MOON} speculators
+// and runs the identical seeded workload (2 maps/node + n/2 reduces, sleep-
+// sized data, scripted availability churn) in both scheduler index modes:
+//
+//   scan     — SchedulerConfig::IndexMode::kScan: every heartbeat re-scans
+//              all jobs x tasks with per-task attempt walks — the
+//              pre-index cost profile.
+//   indexed  — IndexMode::kIndexed: pending/locality bucket lookups,
+//              running-set enumeration, counter aggregates — the shipping
+//              configuration.
+//
+// The two modes are bit-identical in simulated outcomes (enforced by
+// tests/mapred/sched_equivalence_test.cpp; re-asserted here on completion
+// counts, attempt counts, and finish times), so the wall-clock gap is pure
+// control-plane cost — the paper's Figure 4 "scheduling time" axis. Emits
+// BENCH_sched_hotpath.json. MOON_BENCH_REPS controls repetitions (best-of);
+// MOON_SCHED_NODES ("64,256") trims the sweep for smoke runs.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/jobtracker.hpp"
+#include "simkit/simulation.hpp"
+
+using namespace moon;
+
+namespace {
+
+struct Flip {
+  sim::Time at;
+  std::size_t node_index;
+  sim::Duration down_for;
+};
+
+std::vector<Flip> make_churn(std::uint64_t seed, std::size_t nodes,
+                             sim::Duration horizon) {
+  Rng rng{seed};
+  std::vector<Flip> script;
+  sim::Time t = 30 * sim::kSecond;
+  // ~1 outage per 8 nodes per minute: enough churn to keep the frozen/slow
+  // lists and failed-task buckets busy without stalling the job.
+  const auto step = std::max<sim::Duration>(
+      sim::kSecond, 480 * sim::kSecond / static_cast<sim::Duration>(nodes));
+  while (t < horizon) {
+    t += step + rng.uniform_int(0, static_cast<std::int64_t>(step));
+    const auto n = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    script.push_back(Flip{t, n, rng.uniform_int(20, 90) * sim::kSecond});
+  }
+  return script;
+}
+
+struct ArmResult {
+  double wall_ms = 0.0;   ///< whole run (setup + sim + control plane)
+  double sched_ms = 0.0;  ///< JobTracker::scheduling_wall_ns — the hot path
+  std::uint64_t heartbeats = 0;
+  bool completed = false;
+  sim::Time finished_at = 0;
+  int launched = 0;
+  int speculative = 0;
+  std::uint64_t events = 0;
+};
+
+ArmResult run_arm(int nodes, mapred::SchedulerConfig sched,
+                  mapred::SchedulerConfig::IndexMode mode) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  sched.index_mode = mode;
+
+  sim::Simulation simu(7);
+  cluster::Cluster cluster(simu);
+  cluster::NodeConfig vcfg;
+  vcfg.type = cluster::NodeType::kVolatile;
+  const auto volatile_ids =
+      cluster.add_nodes(static_cast<std::size_t>(nodes), vcfg);
+  cluster::NodeConfig dcfg;
+  dcfg.type = cluster::NodeType::kDedicated;
+  cluster.add_nodes(static_cast<std::size_t>(std::max(1, nodes / 16)), dcfg);
+
+  dfs::DfsConfig dfs_cfg;
+  dfs::Dfs dfs(simu, cluster, dfs_cfg, 5);
+  dfs.start();
+  mapred::JobTracker jobtracker(simu, cluster, dfs, sched, 5);
+  jobtracker.add_all_trackers();
+  jobtracker.start();
+
+  const int num_maps = nodes * 2;
+  const int num_reduces = nodes / 2;
+  const FileId input = dfs.stage_blocks("in", dfs::FileKind::kReliable, {1, 2},
+                                        num_maps, kKiB);
+  mapred::JobSpec spec;
+  spec.name = "sched_hotpath";
+  spec.num_maps = num_maps;
+  spec.num_reduces = num_reduces;
+  spec.input_file = input;
+  spec.intermediate_per_map = kKiB;
+  spec.output_per_reduce = kKiB;
+  spec.map_compute = 100 * sim::kSecond;
+  spec.reduce_compute = 60 * sim::kSecond;
+  spec.intermediate_kind = dfs::FileKind::kReliable;
+  spec.intermediate_factor = {1, 1};
+  spec.output_factor = {1, 2};
+  const JobId job_id = jobtracker.submit(spec);
+  mapred::Job& job = jobtracker.job(job_id);
+
+  const sim::Duration horizon = 15 * sim::kMinute;
+  for (const Flip& f :
+       make_churn(20100621, static_cast<std::size_t>(nodes), horizon)) {
+    if (job.finished()) break;
+    if (simu.now() < f.at) simu.run_until(f.at);
+    const NodeId victim = volatile_ids[f.node_index];
+    if (!cluster.node(victim).available()) continue;
+    cluster.node(victim).set_available(false);
+    simu.schedule_after(f.down_for, [&cluster, victim] {
+      if (!cluster.node(victim).available()) {
+        cluster.node(victim).set_available(true);
+      }
+    });
+  }
+  const sim::Time deadline = simu.now() + 4 * sim::kHour;
+  while (!job.finished() && simu.now() < deadline) {
+    if (!simu.step()) break;
+  }
+
+  ArmResult r;
+  r.completed = job.metrics().completed;
+  r.finished_at = job.metrics().finished_at;
+  r.launched = job.metrics().launched_map_attempts +
+               job.metrics().launched_reduce_attempts;
+  r.speculative = job.metrics().speculative_attempts;
+  r.events = simu.executed_events();
+  r.sched_ms =
+      static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
+  r.heartbeats = jobtracker.heartbeats_served();
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  return r;
+}
+
+ArmResult best_of(int reps, int nodes, const mapred::SchedulerConfig& sched,
+                  mapred::SchedulerConfig::IndexMode mode) {
+  ArmResult best;
+  for (int i = 0; i < reps; ++i) {
+    ArmResult r = run_arm(nodes, sched, mode);
+    if (i == 0 || r.sched_ms < best.sched_ms) best = r;
+  }
+  return best;
+}
+
+std::vector<int> node_sweep() {
+  std::vector<int> nodes;
+  if (const char* env = std::getenv("MOON_SCHED_NODES")) {
+    std::stringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const int n = std::atoi(item.c_str());
+      if (n > 0) nodes.push_back(n);
+    }
+  }
+  if (nodes.empty()) nodes = {64, 256, 1024};
+  return nodes;
+}
+
+mapred::SchedulerConfig hadoop_cfg() {
+  mapred::SchedulerConfig cfg;
+  cfg.tracker_expiry = 60 * sim::kSecond;
+  return cfg;
+}
+
+mapred::SchedulerConfig late_cfg() {
+  mapred::SchedulerConfig cfg = hadoop_cfg();
+  cfg.speculator = mapred::SchedulerConfig::Speculator::kLate;
+  return cfg;
+}
+
+mapred::SchedulerConfig moon_cfg() {
+  mapred::SchedulerConfig cfg;
+  cfg.tracker_expiry = 30 * sim::kMinute;
+  cfg.suspension_interval = 30 * sim::kSecond;
+  cfg.moon_scheduling = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::repetitions();
+  bench::JsonEmitter json("sched_hotpath");
+  Table table("sched_hotpath");
+  table.columns({"nodes", "speculator", "scan sched ms", "indexed sched ms",
+                 "sched speedup", "scan total ms", "indexed total ms",
+                 "launches"});
+
+  struct Policy {
+    const char* name;
+    mapred::SchedulerConfig sched;
+  };
+  const std::vector<Policy> policies{
+      {"Hadoop", hadoop_cfg()}, {"LATE", late_cfg()}, {"MOON", moon_cfg()}};
+
+  for (const int nodes : node_sweep()) {
+    for (const Policy& policy : policies) {
+      const ArmResult scan = best_of(reps, nodes, policy.sched,
+                                     mapred::SchedulerConfig::IndexMode::kScan);
+      const ArmResult indexed =
+          best_of(reps, nodes, policy.sched,
+                  mapred::SchedulerConfig::IndexMode::kIndexed);
+      if (scan.completed != indexed.completed ||
+          scan.finished_at != indexed.finished_at ||
+          scan.launched != indexed.launched ||
+          scan.speculative != indexed.speculative ||
+          scan.events != indexed.events ||
+          scan.heartbeats != indexed.heartbeats) {
+        std::cerr << "FATAL: index modes diverged at " << nodes << " nodes ("
+                  << policy.name << "): scan " << scan.launched
+                  << " launches/finish " << scan.finished_at << " vs indexed "
+                  << indexed.launched << "/" << indexed.finished_at << "\n";
+        return 1;
+      }
+      const double speedup = scan.sched_ms / indexed.sched_ms;
+      table.add_row({std::to_string(nodes), policy.name,
+                     Table::num(scan.sched_ms, 1),
+                     Table::num(indexed.sched_ms, 1), Table::num(speedup, 1),
+                     Table::num(scan.wall_ms, 1), Table::num(indexed.wall_ms, 1),
+                     std::to_string(scan.launched)});
+      for (const auto* arm : {&scan, &indexed}) {
+        json.begin_row()
+            .field("nodes", static_cast<std::int64_t>(nodes))
+            .field("speculator", policy.name)
+            .field("mode", arm == &scan ? "scan" : "indexed")
+            .field("sched_wall_ms", arm->sched_ms)
+            .field("total_wall_ms", arm->wall_ms)
+            .field("heartbeats", static_cast<std::int64_t>(arm->heartbeats))
+            .field("completed", static_cast<std::int64_t>(arm->completed ? 1 : 0))
+            .field("finished_at_s", sim::to_seconds(arm->finished_at))
+            .field("launched_attempts", static_cast<std::int64_t>(arm->launched))
+            .field("speculative_attempts",
+                   static_cast<std::int64_t>(arm->speculative))
+            .field("sim_events", static_cast<std::int64_t>(arm->events))
+            .field("speedup", arm == &scan ? 1.0 : speedup);
+      }
+    }
+  }
+
+  std::cout << "Scheduler hot path under availability churn: scan "
+               "(pre-index cost profile) vs indexed; identical simulated "
+               "schedules, best of "
+            << reps << " rep(s).\n\n";
+  table.print(std::cout);
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
+  return 0;
+}

@@ -31,8 +31,20 @@ void NameNode::register_datanode(NodeId node) {
   DataNodeInfo info{DataNodeState::kLive, sim_.now(),
                     ThrottleState{config_.throttle_window, config_.throttle_threshold},
                     cluster_.node(node).dedicated()};
+  if (!datanodes_.contains(node) && !info.dedicated) ++volatile_registered_;
   datanodes_.insert_or_assign(node, std::move(info));
   node_blocks_.try_emplace(node);
+  update_live_partition(node);
+}
+
+void NameNode::update_live_partition(NodeId node) {
+  const auto& info = datanodes_.at(node);
+  auto& mine = info.dedicated ? live_dedicated_ : live_volatile_;
+  if (info.state == DataNodeState::kLive) {
+    mine.insert(node);
+  } else {
+    mine.erase(node);
+  }
 }
 
 void NameNode::heartbeat(NodeId node, double reported_bandwidth) {
@@ -61,8 +73,8 @@ bool NameNode::is_saturated(NodeId dedicated_node) const {
 }
 
 bool NameNode::all_dedicated_saturated() const {
-  for (const auto& [id, info] : datanodes_) {
-    if (!info.dedicated || info.state != DataNodeState::kLive) continue;
+  for (NodeId id : live_dedicated_) {
+    const auto& info = datanodes_.at(id);
     if (!config_.throttling_enabled || !info.throttle.throttled()) return false;
   }
   // Either every live dedicated node is throttled, or none is live at all;
@@ -85,13 +97,8 @@ void NameNode::liveness_scan() {
 }
 
 void NameNode::estimate_scan() {
-  std::size_t volatile_total = 0;
-  std::size_t volatile_down = 0;
-  for (const auto& [id, info] : datanodes_) {
-    if (info.dedicated) continue;
-    ++volatile_total;
-    if (info.state != DataNodeState::kLive) ++volatile_down;
-  }
+  const std::size_t volatile_total = volatile_registered_;
+  const std::size_t volatile_down = volatile_total - live_volatile_.size();
   if (volatile_total == 0) return;
   const double sample =
       static_cast<double>(volatile_down) / static_cast<double>(volatile_total);
@@ -109,6 +116,7 @@ void NameNode::set_state(NodeId node, DataNodeState next) {
   const DataNodeState prev = info.state;
   if (prev == next) return;
   info.state = next;
+  update_live_partition(node);
   if (next == DataNodeState::kDead) {
     ++stats_.dead_transitions;
     on_node_dead(node);
@@ -176,8 +184,17 @@ bool NameNode::file_exists(FileId id) const { return files_.contains(id); }
 
 void NameNode::convert_to_reliable(FileId id) {
   auto& meta = file_mutable(id);
+  const bool was_opportunistic = meta.kind == FileKind::kOpportunistic;
   meta.kind = FileKind::kReliable;
   meta.adaptive_volatile = 0;
+  // Promote already-queued blocks into the reliable-priority view under
+  // their original sequence numbers (the queue serves reliable files first).
+  if (was_opportunistic) {
+    for (BlockId b : meta.blocks) {
+      auto it = queued_.find(b);
+      if (it != queued_.end()) reliable_queue_.emplace(it->second, b);
+    }
+  }
   // Reliable files carry a dedicated copy — but only when the deployment
   // actually manages a dedicated tier (plain Hadoop mode has none, and an
   // unsatisfiable requirement would wedge job commit forever).
@@ -206,10 +223,11 @@ void NameNode::remove_file(FileId id) {
       for (NodeId n : bit->second.replicas) {
         auto nb = node_blocks_.find(n);
         if (nb != node_blocks_.end()) nb->second.erase(b);
+        notify_replica(b, n, /*added=*/false);
       }
       blocks_.erase(bit);
     }
-    queued_.erase(b);
+    queued_.erase(b);  // queue/heap entries go stale and skip at pop
   }
   files_.erase(it);
 }
@@ -242,15 +260,10 @@ NameNode::WriteTargets NameNode::pick_write_targets(FileId file_id, NodeId write
   const auto& meta = file(file_id);
   WriteTargets out;
 
-  // Gather live candidates.
-  std::vector<NodeId> live_dedicated;
-  std::vector<NodeId> live_volatile;
-  for (const auto& [id, info] : datanodes_) {
-    if (info.state != DataNodeState::kLive) continue;
-    (info.dedicated ? live_dedicated : live_volatile).push_back(id);
-  }
-  std::sort(live_dedicated.begin(), live_dedicated.end());
-  std::sort(live_volatile.begin(), live_volatile.end());
+  // Live candidates come straight from the maintained partitions; the sets
+  // iterate in the id order the old gather-then-sort produced.
+  const std::set<NodeId>& live_dedicated = live_dedicated_;
+  const std::set<NodeId>& live_volatile = live_volatile_;
 
   // --- dedicated replicas (Figure 3) ---
   int want_dedicated = meta.factor.dedicated;
@@ -272,7 +285,7 @@ NameNode::WriteTargets NameNode::pick_write_targets(FileId file_id, NodeId write
       if (!is_saturated(n)) preferred.push_back(n);
     }
     if (preferred.empty() && meta.kind == FileKind::kReliable) {
-      preferred = live_dedicated;
+      preferred.assign(live_dedicated.begin(), live_dedicated.end());
     }
     rng.shuffle(preferred);
     for (NodeId n : preferred) {
@@ -297,9 +310,7 @@ NameNode::WriteTargets NameNode::pick_write_targets(FileId file_id, NodeId write
 
   // Hadoop-style: first volatile replica lands on the writer if possible.
   std::vector<NodeId> chosen_volatile;
-  const bool writer_is_volatile =
-      std::find(live_volatile.begin(), live_volatile.end(), writer) !=
-      live_volatile.end();
+  const bool writer_is_volatile = live_volatile.contains(writer);
   if (want_volatile > 0 && writer_is_volatile) {
     chosen_volatile.push_back(writer);
     --want_volatile;
@@ -325,6 +336,7 @@ void NameNode::commit_replica(BlockId block_id, NodeId node) {
   if (!meta.has_replica_on(node)) {
     meta.replicas.push_back(node);
     node_blocks_[node].insert(block_id);
+    notify_replica(block_id, node, /*added=*/true);
   }
 }
 
@@ -332,9 +344,15 @@ void NameNode::drop_replica(BlockId block_id, NodeId node) {
   auto it = blocks_.find(block_id);
   if (it == blocks_.end()) return;
   auto& reps = it->second.replicas;
+  const auto held = reps.size();
   reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
   auto nb = node_blocks_.find(node);
   if (nb != node_blocks_.end()) nb->second.erase(block_id);
+  if (reps.size() != held) notify_replica(block_id, node, /*added=*/false);
+}
+
+void NameNode::notify_replica(BlockId block_id, NodeId node, bool added) {
+  for (const auto& listener : replica_listeners_) listener(block_id, node, added);
 }
 
 std::vector<NodeId> NameNode::read_order(BlockId block_id, NodeId reader) const {
@@ -433,44 +451,51 @@ bool NameNode::file_meets_factor(FileId file_id) const {
 
 void NameNode::enqueue_replication(BlockId block_id) {
   if (queued_.contains(block_id)) return;
-  if (!blocks_.contains(block_id)) return;
-  queued_.insert(block_id);
-  replication_queue_.push_back(block_id);
+  auto bit = blocks_.find(block_id);
+  if (bit == blocks_.end()) return;
+  const std::uint64_t seq = queue_seq_++;
+  queued_.emplace(block_id, seq);
+  replication_queue_.push_back(QueueEntry{seq, block_id});
+  if (files_.at(bit->second.file).kind == FileKind::kReliable) {
+    reliable_queue_.emplace(seq, block_id);
+  }
   ++stats_.re_replications;
 }
 
 std::optional<NameNode::ReplicationRequest> NameNode::next_replication_request() {
-  // Reliable files first: scan for a reliable entry before falling back.
-  auto take = [this](bool reliable_only) -> std::optional<ReplicationRequest> {
-    for (std::size_t i = 0; i < replication_queue_.size();) {
-      const BlockId id = replication_queue_[i];
-      auto bit = blocks_.find(id);
-      if (bit == blocks_.end()) {  // file removed meanwhile
-        queued_.erase(id);
-        replication_queue_.erase(replication_queue_.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
-      const bool reliable = files_.at(bit->second.file).kind == FileKind::kReliable;
-      if (reliable_only && !reliable) {
-        ++i;
-        continue;
-      }
-      replication_queue_.erase(replication_queue_.begin() +
-                               static_cast<std::ptrdiff_t>(i));
-      queued_.erase(id);
-      if (block_meets_factor(id)) continue;  // repaired in the meantime
-      return ReplicationRequest{id, reliable};
-    }
-    return std::nullopt;
+  // Reliable files first (served in enqueue order from the seq-ordered
+  // heap), then the FIFO fallback. Entries whose seq no longer matches
+  // `queued_` were already served, promoted, or belonged to a removed file:
+  // tombstones, dropped on sight — amortized O(log n) per request instead of
+  // the old middle-of-the-deque erase compaction.
+  const auto stale = [this](std::uint64_t seq, BlockId id) {
+    auto it = queued_.find(id);
+    return it == queued_.end() || it->second != seq;
   };
-  if (auto req = take(true)) return req;
-  return take(false);
+  while (!reliable_queue_.empty()) {
+    const auto [seq, id] = reliable_queue_.top();
+    reliable_queue_.pop();
+    if (stale(seq, id)) continue;
+    queued_.erase(id);
+    if (!blocks_.contains(id)) continue;   // file removed meanwhile
+    if (block_meets_factor(id)) continue;  // repaired in the meantime
+    return ReplicationRequest{id, true};
+  }
+  while (!replication_queue_.empty()) {
+    const auto [seq, id] = replication_queue_.front();
+    replication_queue_.pop_front();
+    if (stale(seq, id)) continue;
+    queued_.erase(id);
+    auto bit = blocks_.find(id);
+    if (bit == blocks_.end()) continue;
+    if (block_meets_factor(id)) continue;
+    return ReplicationRequest{
+        id, files_.at(bit->second.file).kind == FileKind::kReliable};
+  }
+  return std::nullopt;
 }
 
-std::size_t NameNode::replication_queue_depth() const {
-  return replication_queue_.size();
-}
+std::size_t NameNode::replication_queue_depth() const { return queued_.size(); }
 
 std::optional<NameNode::RepairPlan> NameNode::plan_repair(BlockId block_id,
                                                           Rng& rng) {
@@ -493,18 +518,20 @@ std::optional<NameNode::RepairPlan> NameNode::plan_repair(BlockId block_id,
   const LiveReplicas live = live_replicas(block_id);
   const bool need_dedicated = live.dedicated < fm.factor.dedicated;
 
+  // Targets come from the live partition matching the missing dimension;
+  // the sets iterate in sorted id order, so candidate order is unchanged.
   std::vector<NodeId> candidates;
-  for (const auto& [id, info] : datanodes_) {
-    if (info.state != DataNodeState::kLive) continue;
-    if (meta.has_replica_on(id)) continue;
-    if (need_dedicated) {
-      if (!info.dedicated) continue;
+  if (need_dedicated) {
+    for (NodeId id : live_dedicated_) {
+      if (meta.has_replica_on(id)) continue;
       // Opportunistic repairs respect saturation; reliable ones do not.
       if (fm.kind == FileKind::kOpportunistic && is_saturated(id)) continue;
-    } else {
-      if (info.dedicated) continue;
+      candidates.push_back(id);
     }
-    candidates.push_back(id);
+  } else {
+    for (NodeId id : live_volatile_) {
+      if (!meta.has_replica_on(id)) candidates.push_back(id);
+    }
   }
   if (candidates.empty()) {
     if (!need_dedicated) return std::nullopt;
@@ -512,14 +539,11 @@ std::optional<NameNode::RepairPlan> NameNode::plan_repair(BlockId block_id,
     // opportunistic files fall back to adding a volatile copy if the
     // adaptive requirement is unmet.
     if (fm.kind == FileKind::kReliable) return std::nullopt;
-    for (const auto& [id, info] : datanodes_) {
-      if (info.state != DataNodeState::kLive || info.dedicated) continue;
-      if (meta.has_replica_on(id)) continue;
-      candidates.push_back(id);
+    for (NodeId id : live_volatile_) {
+      if (!meta.has_replica_on(id)) candidates.push_back(id);
     }
     if (candidates.empty()) return std::nullopt;
   }
-  std::sort(candidates.begin(), candidates.end());
 
   RepairPlan plan;
   plan.source = sources[static_cast<std::size_t>(
@@ -579,6 +603,10 @@ void NameNode::refresh_adaptive_requirements() {
 
 void NameNode::subscribe_state_changes(StateListener listener) {
   state_listeners_.push_back(std::move(listener));
+}
+
+void NameNode::subscribe_replica_events(ReplicaListener listener) {
+  replica_listeners_.push_back(std::move(listener));
 }
 
 std::vector<NodeId> NameNode::datanodes() const {

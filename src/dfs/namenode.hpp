@@ -7,6 +7,8 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <queue>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -141,6 +143,12 @@ class NameNode {
       std::function<void(NodeId, DataNodeState, DataNodeState)>;
   void subscribe_state_changes(StateListener listener);
 
+  /// Fires whenever a replica enters (`added`) or leaves the replica list of
+  /// a block — commit_replica, drop_replica, and remove_file teardown. The
+  /// scheduler's per-job locality indices hang off this hook.
+  using ReplicaListener = std::function<void(BlockId, NodeId, bool added)>;
+  void subscribe_replica_events(ReplicaListener listener);
+
   [[nodiscard]] const DfsStats& stats() const { return stats_; }
   [[nodiscard]] DfsStats& stats_mutable() { return stats_; }
   [[nodiscard]] const DfsConfig& config() const { return config_; }
@@ -162,6 +170,8 @@ class NameNode {
   void set_state(NodeId node, DataNodeState next);
   void on_node_dead(NodeId node);
   void on_node_hibernated(NodeId node);
+  void update_live_partition(NodeId node);
+  void notify_replica(BlockId block, NodeId node, bool added);
 
   /// Blocks stored per node (reverse index for death handling).
   std::unordered_map<NodeId, std::unordered_set<BlockId>> node_blocks_;
@@ -176,14 +186,35 @@ class NameNode {
   IdAllocator<FileId> file_ids_;
   IdAllocator<BlockId> block_ids_;
 
-  std::deque<BlockId> replication_queue_;
-  std::unordered_set<BlockId> queued_;
+  /// Live-node partitions, maintained on registration and every state
+  /// transition so placement never rescans the full datanode map. Ordered
+  /// sets: iteration order must reproduce the old gather-then-sort path.
+  std::set<NodeId> live_dedicated_;
+  std::set<NodeId> live_volatile_;
+  std::size_t volatile_registered_ = 0;
+
+  /// Replication queue: FIFO deque of (seq, block) with lazy tombstones plus
+  /// a seq-ordered min-heap view of the entries whose file is reliable
+  /// (populated at enqueue and at convert_to_reliable). `queued_` maps a
+  /// block to its live seq; entries whose seq no longer matches are stale.
+  struct QueueEntry {
+    std::uint64_t seq;
+    BlockId block;
+  };
+  std::deque<QueueEntry> replication_queue_;
+  std::priority_queue<std::pair<std::uint64_t, BlockId>,
+                      std::vector<std::pair<std::uint64_t, BlockId>>,
+                      std::greater<>>
+      reliable_queue_;
+  std::unordered_map<BlockId, std::uint64_t> queued_;
+  std::uint64_t queue_seq_ = 0;
 
   double estimate_p_ = 0.0;
   double estimate_accum_ = 0.0;
   int estimate_samples_ = 0;
 
   std::vector<StateListener> state_listeners_;
+  std::vector<ReplicaListener> replica_listeners_;
   sim::PeriodicTask liveness_task_;
   sim::PeriodicTask estimate_task_;
   bool started_ = false;

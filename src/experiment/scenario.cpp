@@ -115,6 +115,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
         the_job->all_maps_done() && the_job->all_reduces_done();
   }
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
+  result.scheduling_wall_ms =
+      static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
   result.dfs_stats = dfs.stats();
   return result;
 }
@@ -207,6 +209,7 @@ Summary run_repetitions(ScenarioConfig config, int repetitions,
     summary.checkpoints_written.add(run.metrics.checkpoints_written);
     summary.checkpoint_resumes.add(run.metrics.checkpoint_resumes);
     summary.checkpoint_salvaged.add(run.metrics.checkpoint_progress_salvaged);
+    summary.scheduling_wall_ms.add(run.scheduling_wall_ms);
     if (run.finished) ++summary.completed_runs;
   }
   return summary;

@@ -75,6 +75,9 @@ struct RunResult {
   int num_reduces = 0;
   bool finished = false;  ///< completed within the horizon
   double execution_time_s = 0.0;  ///< horizon time if DNF
+  /// Wall-clock ms the JobTracker spent making heartbeat assignment
+  /// decisions (the measured Figure-4 "scheduling time").
+  double scheduling_wall_ms = 0.0;
   // End-of-run progress snapshot (diagnoses DNF runs).
   int completed_maps = 0;
   int completed_reduces = 0;
@@ -132,6 +135,7 @@ struct Summary {
   Accumulator checkpoints_written;
   Accumulator checkpoint_resumes;
   Accumulator checkpoint_salvaged;
+  Accumulator scheduling_wall_ms;  ///< control-plane cost per run (measured)
   int completed_runs = 0;
   int total_runs = 0;
 };

@@ -11,7 +11,11 @@
 namespace moon::mapred {
 
 Job::Job(JobTracker& jobtracker, JobId id, JobSpec spec)
-    : jobtracker_(jobtracker), id_(id), spec_(std::move(spec)) {
+    : jobtracker_(jobtracker),
+      id_(id),
+      spec_(std::move(spec)),
+      use_index_(jobtracker.config().index_mode ==
+                 SchedulerConfig::IndexMode::kIndexed) {
   build_tasks();
 }
 
@@ -31,6 +35,7 @@ void Job::build_tasks() {
     t.schedule_order = order++;
     tasks_.emplace(id, std::move(t));
     map_tasks_.push_back(id);
+    order_to_task_.push_back(id);
   }
   for (int i = 0; i < spec_.num_reduces; ++i) {
     const TaskId id = task_ids_.next();
@@ -41,7 +46,142 @@ void Job::build_tasks() {
     t.schedule_order = order++;
     tasks_.emplace(id, std::move(t));
     reduce_tasks_.push_back(id);
+    order_to_task_.push_back(id);
   }
+  for (auto& [tid, t] : tasks_) pending_insert(t);
+}
+
+// ---- scheduling indices -----------------------------------------------------
+
+void Job::set_task_state(Task& t, TaskState next) {
+  const TaskState prev = t.state;
+  if (prev == next) return;
+  bump_sched_epoch();
+  t.state = next;
+  const int ti = type_index(t.type);
+  switch (prev) {
+    case TaskState::kPending: pending_remove(t); break;
+    case TaskState::kRunning: running_[ti].erase(t.schedule_order); break;
+    case TaskState::kCompleted: --completed_count_[ti]; break;
+  }
+  switch (next) {
+    case TaskState::kPending: pending_insert(t); break;
+    case TaskState::kRunning: running_[ti].insert(t.schedule_order); break;
+    case TaskState::kCompleted: ++completed_count_[ti]; break;
+  }
+}
+
+void Job::pending_insert(Task& t) {
+  const PendingKey key = pending_key(t);
+  pending_[type_index(t.type)].insert(key);
+  if (t.type != TaskType::kMap) return;
+  const auto& nn = jobtracker_.dfs().namenode();
+  if (!nn.block_exists(t.input_block)) return;
+  block_to_pending_map_[t.input_block] = t.id;
+  for (NodeId n : nn.block(t.input_block).replicas) {
+    pending_local_[n].insert(key);
+  }
+}
+
+void Job::pending_remove(Task& t) {
+  const PendingKey key = pending_key(t);
+  pending_[type_index(t.type)].erase(key);
+  if (t.type != TaskType::kMap) return;
+  block_to_pending_map_.erase(t.input_block);
+  const auto& nn = jobtracker_.dfs().namenode();
+  if (!nn.block_exists(t.input_block)) return;
+  for (NodeId n : nn.block(t.input_block).replicas) {
+    auto it = pending_local_.find(n);
+    if (it != pending_local_.end()) it->second.erase(key);
+  }
+}
+
+void Job::on_replica_event(BlockId block, NodeId node, bool added) {
+  auto it = block_to_pending_map_.find(block);
+  if (it == block_to_pending_map_.end()) return;  // not a pending map's input
+  const PendingKey key = pending_key(task(it->second));
+  if (added) {
+    pending_local_[node].insert(key);
+  } else {
+    auto bucket = pending_local_.find(node);
+    if (bucket != pending_local_.end()) bucket->second.erase(key);
+  }
+}
+
+void Job::note_attempt_state(TaskAttempt& attempt, AttemptState prev,
+                             AttemptState next) {
+  bump_sched_epoch();
+  if (!attempt.speculative()) return;
+  if (prev == AttemptState::kRunning) --running_speculative_count_;
+  if (next == AttemptState::kRunning) ++running_speculative_count_;
+}
+
+std::size_t Job::locality_bucket_size(NodeId node) const {
+  auto it = pending_local_.find(node);
+  return it == pending_local_.end() ? 0 : it->second.size();
+}
+
+std::optional<TaskId> Job::pick_pending(TaskType type,
+                                        TaskTracker& tracker) const {
+  return use_index_ ? pick_pending_indexed(type, tracker)
+                    : pick_pending_scan(type, tracker);
+}
+
+std::optional<TaskId> Job::pick_pending_scan(TaskType type,
+                                             TaskTracker& tracker) const {
+  // "The JobTracker first tries to schedule a non-running task, giving high
+  // priority to the recently failed tasks"; map input locality preferred.
+  const auto& nn = jobtracker_.dfs().namenode();
+  TaskId best = TaskId::invalid();
+  // Rank: (failures > 0, locality, schedule order).
+  int best_key_failed = -1;
+  int best_key_local = -1;
+  int best_key_order = 0;
+  for (TaskId id : tasks_of(type)) {
+    const Task& t = task(id);
+    if (t.state != TaskState::kPending) continue;
+    const int failed = t.failures > 0 ? 1 : 0;
+    int local = 0;
+    if (type == TaskType::kMap && nn.block_exists(t.input_block) &&
+        nn.block(t.input_block).has_replica_on(tracker.node_id())) {
+      local = 1;
+    }
+    const bool better =
+        !best.valid() || failed > best_key_failed ||
+        (failed == best_key_failed && local > best_key_local) ||
+        (failed == best_key_failed && local == best_key_local &&
+         t.schedule_order < best_key_order);
+    if (better) {
+      best = id;
+      best_key_failed = failed;
+      best_key_local = local;
+      best_key_order = t.schedule_order;
+    }
+  }
+  if (!best.valid()) return std::nullopt;
+  return best;
+}
+
+std::optional<TaskId> Job::pick_pending_indexed(TaskType type,
+                                                TaskTracker& tracker) const {
+  // Bucket lookups reproduce the scan ranking: the global pending set's
+  // begin() is the best (failed-class, order) candidate overall; the
+  // tracker's locality bucket begin() is the best local one. A local
+  // candidate wins its failed class; a failed non-local outranks a fresh
+  // local.
+  const auto& pending = pending_[type_index(type)];
+  if (pending.empty()) return std::nullopt;
+  const PendingKey global_best = *pending.begin();
+  if (type == TaskType::kMap) {
+    auto it = pending_local_.find(tracker.node_id());
+    if (it != pending_local_.end() && !it->second.empty()) {
+      const PendingKey local_best = *it->second.begin();
+      const PendingKey chosen =
+          local_best.first <= global_best.first ? local_best : global_best;
+      return order_to_task_[static_cast<std::size_t>(chosen.second)];
+    }
+  }
+  return order_to_task_[static_cast<std::size_t>(global_best.second)];
 }
 
 Task& Job::task(TaskId id) {
@@ -66,6 +206,10 @@ TaskAttempt* Job::attempt(AttemptId id) {
 }
 
 int Job::remaining_tasks() const {
+  if (use_index_) {
+    return static_cast<int>(tasks_.size()) - completed_count_[0] -
+           completed_count_[1];
+  }
   int remaining = 0;
   for (const auto& [id, t] : tasks_) {
     if (t.state != TaskState::kCompleted) ++remaining;
@@ -74,6 +218,7 @@ int Job::remaining_tasks() const {
 }
 
 int Job::completed_tasks(TaskType type) const {
+  if (use_index_) return completed_count_[type_index(type)];
   int done = 0;
   for (TaskId id : tasks_of(type)) {
     if (tasks_.at(id).state == TaskState::kCompleted) ++done;
@@ -93,6 +238,13 @@ double Job::task_progress(TaskId id) const {
   const Task& t = task(id);
   if (t.state == TaskState::kCompleted) return 1.0;
   double best = 0.0;
+  if (use_index_) {
+    // max() over the same live set the scan filters down to: exact.
+    for (const TaskAttempt* a : t.live_attempts) {
+      best = std::max(best, a->progress());
+    }
+    return best;
+  }
   for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() && !it->second->terminal()) {
@@ -103,20 +255,53 @@ double Job::task_progress(TaskId id) const {
 }
 
 double Job::average_progress(TaskType type) const {
-  double sum = 0.0;
+  // Canonical form shared by both modes so the doubles match bit for bit:
+  // completed tasks contribute an exact integer, running-task fractions are
+  // summed in schedule order, started-but-frozen pending tasks contribute
+  // 0.0 (they only widen the denominator).
+  int completed = 0;
   int counted = 0;
-  for (TaskId id : tasks_of(type)) {
-    const Task& t = task(id);
-    if (t.state == TaskState::kPending && t.attempts.empty()) continue;
-    sum += task_progress(id);
-    ++counted;
+  double fractions = 0.0;
+  if (use_index_) {
+    const int ti = type_index(type);
+    AverageCache& cache = average_cache_[ti];
+    const sim::Time now = jobtracker_.simulation().now();
+    if (cache.valid && cache.time == now && cache.epoch == sched_epoch_) {
+      return cache.value;
+    }
+    completed = completed_count_[ti];
+    counted = ever_started_[ti];
+    for (const int order : running_[ti]) {
+      fractions +=
+          task_progress(order_to_task_[static_cast<std::size_t>(order)]);
+    }
+    const double value =
+        counted == 0 ? 0.0
+                     : (static_cast<double>(completed) + fractions) / counted;
+    cache = AverageCache{true, now, sched_epoch_, value};
+    return value;
   }
-  return counted == 0 ? 0.0 : sum / counted;
+  {
+    for (TaskId id : tasks_of(type)) {
+      const Task& t = task(id);
+      if (t.state == TaskState::kPending && t.attempts.empty()) continue;
+      ++counted;
+      if (t.state == TaskState::kCompleted) {
+        ++completed;
+      } else if (t.state == TaskState::kRunning) {
+        fractions += task_progress(id);
+      }
+    }
+  }
+  if (counted == 0) return 0.0;
+  return (static_cast<double>(completed) + fractions) / counted;
 }
 
 int Job::non_terminal_attempts(TaskId id) const {
+  const Task& t = task(id);
+  if (use_index_) return static_cast<int>(t.live_attempts.size());
   int n = 0;
-  for (AttemptId a : task(id).attempts) {
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() && !it->second->terminal()) ++n;
   }
@@ -124,8 +309,15 @@ int Job::non_terminal_attempts(TaskId id) const {
 }
 
 int Job::active_attempts(TaskId id) const {
+  const Task& t = task(id);
   int n = 0;
-  for (AttemptId a : task(id).attempts) {
+  if (use_index_) {
+    for (const TaskAttempt* a : t.live_attempts) {
+      if (a->state() == AttemptState::kRunning) ++n;
+    }
+    return n;
+  }
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() &&
         it->second->state() == AttemptState::kRunning) {
@@ -136,7 +328,14 @@ int Job::active_attempts(TaskId id) const {
 }
 
 bool Job::has_attempt_on(TaskId id, NodeId node) const {
-  for (AttemptId a : task(id).attempts) {
+  const Task& t = task(id);
+  if (use_index_) {
+    for (const TaskAttempt* a : t.live_attempts) {
+      if (a->tracker().node_id() == node) return true;
+    }
+    return false;
+  }
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() && !it->second->terminal() &&
         it->second->tracker().node_id() == node) {
@@ -147,7 +346,14 @@ bool Job::has_attempt_on(TaskId id, NodeId node) const {
 }
 
 bool Job::has_active_dedicated_attempt(TaskId id) const {
-  for (AttemptId a : task(id).attempts) {
+  const Task& t = task(id);
+  if (use_index_) {
+    for (const TaskAttempt* a : t.live_attempts) {
+      if (a->state() == AttemptState::kRunning && a->on_dedicated()) return true;
+    }
+    return false;
+  }
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() &&
         it->second->state() == AttemptState::kRunning &&
@@ -159,8 +365,16 @@ bool Job::has_active_dedicated_attempt(TaskId id) const {
 }
 
 std::optional<sim::Time> Job::oldest_attempt_start(TaskId id) const {
+  const Task& t = task(id);
   std::optional<sim::Time> oldest;
-  for (AttemptId a : task(id).attempts) {
+  if (use_index_) {
+    for (const TaskAttempt* a : t.live_attempts) {
+      const sim::Time s = a->started_at();
+      if (!oldest || s < *oldest) oldest = s;
+    }
+    return oldest;
+  }
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it != attempts_.end() && !it->second->terminal()) {
       const sim::Time s = it->second->started_at();
@@ -175,6 +389,7 @@ int Job::running_speculative() const {
   // attempts marooned on suspended trackers don't hold back the cap, or a
   // burst of suspensions would starve frozen-task rescue precisely when it
   // is needed.
+  if (use_index_) return running_speculative_count_;
   int n = 0;
   for (const auto& [id, attempt] : attempts_) {
     if (attempt->state() == AttemptState::kRunning && attempt->speculative()) ++n;
@@ -185,7 +400,17 @@ int Job::running_speculative() const {
 bool Job::checkpoint_shielded(TaskId id) const {
   const auto& policy = jobtracker_.checkpoint_policy();
   if (!policy.config().enabled) return false;
-  for (AttemptId a : task(id).attempts) {
+  const Task& t = task(id);
+  if (use_index_) {
+    for (const TaskAttempt* a : t.live_attempts) {
+      if (a->state() == AttemptState::kRunning && a->resumed() &&
+          policy.shields_speculation(a->progress())) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (AttemptId a : t.attempts) {
     auto it = attempts_.find(a);
     if (it == attempts_.end()) continue;
     const TaskAttempt& attempt = *it->second;
@@ -208,6 +433,9 @@ TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
   auto attempt = std::make_unique<TaskAttempt>(*this, id, task_id, tracker,
                                                speculative);
   TaskAttempt* raw = attempt.get();
+  bump_sched_epoch();
+  if (t.attempts.empty()) ++ever_started_[type_index(t.type)];
+  if (speculative) ++running_speculative_count_;  // born AttemptState::kRunning
   if (t.type == TaskType::kReduce &&
       jobtracker_.config().checkpoint.enabled) {
     // Resume from the latest live checkpoint (a prior attempt's salvaged
@@ -226,6 +454,7 @@ TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
   }
   attempts_.emplace(id, std::move(attempt));
   t.attempts.push_back(id);
+  t.live_attempts.push_back(raw);
   tracker.occupy(t.type, raw);
   if (t.type == TaskType::kMap) {
     ++metrics_.launched_map_attempts;
@@ -276,7 +505,7 @@ void Job::attempt_succeeded(TaskAttempt& attempt) {
     return;
   }
 
-  t.state = TaskState::kCompleted;
+  set_task_state(t, TaskState::kCompleted);
   t.output_file = attempt.output_file();
   t.completed_on = attempt.tracker().node_id();
   fetch_failures_.erase(t.id);
@@ -328,6 +557,13 @@ void Job::attempt_failed(TaskAttempt& attempt) {
 
 void Job::finalize_attempt(TaskAttempt& attempt) {
   Task& t = task(attempt.task());
+  bump_sched_epoch();
+  auto& live = t.live_attempts;
+  auto it = std::find(live.begin(), live.end(), &attempt);
+  if (it != live.end()) {
+    *it = live.back();
+    live.pop_back();
+  }
   attempt.tracker().release(t.type, &attempt);
   // A killed/failed reduce must not leave its own (possibly stalled-on-a-
   // dead-node) checkpoint emit in flight: it would block the relocated
@@ -341,8 +577,8 @@ void Job::finalize_attempt(TaskAttempt& attempt) {
 
 void Job::update_task_state(Task& t) {
   if (t.state == TaskState::kCompleted) return;
-  t.state = non_terminal_attempts(t.id) > 0 ? TaskState::kRunning
-                                            : TaskState::kPending;
+  set_task_state(t, non_terminal_attempts(t.id) > 0 ? TaskState::kRunning
+                                                    : TaskState::kPending);
 }
 
 // ---- intermediate / output data ---------------------------------------------
@@ -427,8 +663,8 @@ void Job::revert_map(TaskId map_task) {
     t.output_file = FileId::invalid();
   }
   t.completed_on = NodeId::invalid();
-  t.state = TaskState::kPending;
   ++t.failures;  // "recently failed" priority boost for rescheduling
+  set_task_state(t, TaskState::kPending);
 }
 
 void Job::handle_tracker_death(TaskTracker& tracker) {

@@ -10,9 +10,11 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -22,6 +24,7 @@
 namespace moon::mapred {
 
 class JobTracker;
+class TaskTracker;
 
 class Job {
  public:
@@ -66,6 +69,62 @@ class Job {
   /// salvaged progress that backup copies would only duplicate work the
   /// checkpoint already saved (SpeculationPolicy consults this).
   [[nodiscard]] bool checkpoint_shielded(TaskId id) const;
+
+  // ---- scheduling indices (hot path) --------------------------------------
+  /// The non-running task the Hadoop ranking — failed tasks first, then map
+  /// input locality on `tracker`, then original schedule order — selects;
+  /// nullopt when nothing is pending. kIndexed answers from the pending /
+  /// locality buckets in O(log n); kScan replays the original full scan.
+  [[nodiscard]] std::optional<TaskId> pick_pending(TaskType type,
+                                                   TaskTracker& tracker) const;
+
+  /// Invokes `fn(TaskId)` on every TaskState::kRunning task of `type` in
+  /// schedule order; `fn` returns false to stop early. Index-backed under
+  /// kIndexed, a filtered scan under kScan — identical visit sequences.
+  template <typename Fn>
+  void for_each_running(TaskType type, Fn&& fn) const {
+    if (use_index_) {
+      for (const int order : running_[type_index(type)]) {
+        if (!fn(order_to_task_[static_cast<std::size_t>(order)])) return;
+      }
+    } else {
+      for (TaskId id : tasks_of(type)) {
+        if (task(id).state != TaskState::kRunning) continue;
+        if (!fn(id)) return;
+      }
+    }
+  }
+
+  /// NameNode replica add/remove, routed here by the JobTracker's
+  /// subscription: keeps the per-node locality buckets of pending maps fresh.
+  void on_replica_event(BlockId block, NodeId node, bool added);
+
+  /// TaskAttempt state-transition hook (maintains the running-speculative
+  /// counter the speculation caps read).
+  void note_attempt_state(TaskAttempt& attempt, AttemptState prev,
+                          AttemptState next);
+
+  /// True when this job runs the kIndexed hot path (latched at submit).
+  [[nodiscard]] bool indexed() const { return use_index_; }
+
+  /// Monotonic stamp of the job's discrete scheduling state: task/attempt
+  /// transitions, launches, shuffle-fetch completions, phase changes,
+  /// checkpoint restores. Within one (sim time, epoch) pair every
+  /// scheduling-relevant quantity — progress scores, candidate sets,
+  /// averages — is constant, so heartbeat bursts landing on the same tick
+  /// can share one enumeration (the speculators' candidate memos key on
+  /// it). Attempts bump it as their discrete state advances.
+  [[nodiscard]] std::uint64_t sched_epoch() const { return sched_epoch_; }
+  void bump_sched_epoch() { ++sched_epoch_; }
+
+  // Index introspection (tests).
+  [[nodiscard]] std::size_t pending_index_size(TaskType type) const {
+    return pending_[type_index(type)].size();
+  }
+  [[nodiscard]] std::size_t locality_bucket_size(NodeId node) const;
+  [[nodiscard]] std::size_t running_index_size(TaskType type) const {
+    return running_[type_index(type)].size();
+  }
 
   // ---- lifecycle ---------------------------------------------------------
   void submit();
@@ -117,15 +176,33 @@ class Job {
   [[nodiscard]] JobTracker& jobtracker() { return jobtracker_; }
 
  private:
+  /// (priority class, schedule order): class 0 = recently failed, 1 = fresh.
+  /// begin() of an ordered bucket is the scan winner within that bucket.
+  using PendingKey = std::pair<int, int>;
+
   void build_tasks();
   void update_task_state(Task& t);
+  void set_task_state(Task& t, TaskState next);
+  void pending_insert(Task& t);
+  void pending_remove(Task& t);
   void finalize_attempt(TaskAttempt& attempt);
   void notify_reduces_of_map(TaskId map_task);
+  [[nodiscard]] std::optional<TaskId> pick_pending_scan(
+      TaskType type, TaskTracker& tracker) const;
+  [[nodiscard]] std::optional<TaskId> pick_pending_indexed(
+      TaskType type, TaskTracker& tracker) const;
+  [[nodiscard]] static int type_index(TaskType type) {
+    return type == TaskType::kMap ? 0 : 1;
+  }
+  [[nodiscard]] static PendingKey pending_key(const Task& t) {
+    return {t.failures > 0 ? 0 : 1, t.schedule_order};
+  }
 
   JobTracker& jobtracker_;
   JobId id_;
   JobSpec spec_;
   JobMetrics metrics_;
+  const bool use_index_;  ///< SchedulerConfig::index_mode, latched at birth
 
   std::unordered_map<TaskId, Task> tasks_;
   std::vector<TaskId> map_tasks_;
@@ -133,6 +210,30 @@ class Job {
   std::unordered_map<AttemptId, std::unique_ptr<TaskAttempt>> attempts_;
   IdAllocator<TaskId> task_ids_;
   IdAllocator<AttemptId> attempt_ids_;
+
+  // ---- scheduling indices, maintained on every task/attempt transition ----
+  std::vector<TaskId> order_to_task_;   ///< schedule_order -> task (dense)
+  std::set<PendingKey> pending_[2];     ///< pending tasks, per type
+  std::set<int> running_[2];            ///< schedule orders of running tasks
+  /// Pending *map* tasks with an input replica on the node — the locality
+  /// join, fed by NameNode replica events + pending transitions.
+  std::unordered_map<NodeId, std::set<PendingKey>> pending_local_;
+  /// Input block -> pending map task (locality-event routing).
+  std::unordered_map<BlockId, TaskId> block_to_pending_map_;
+  int completed_count_[2] = {0, 0};     ///< per-type completed tasks
+  int ever_started_[2] = {0, 0};        ///< tasks that ever launched an attempt
+  int running_speculative_count_ = 0;   ///< attempts running && speculative
+  std::uint64_t sched_epoch_ = 0;       ///< discrete-state stamp (see getter)
+
+  /// Memo for average_progress under kIndexed: constant within one
+  /// (time, epoch) pair, so a same-tick heartbeat burst pays once.
+  struct AverageCache {
+    bool valid = false;
+    sim::Time time = 0;
+    std::uint64_t epoch = 0;
+    double value = 0.0;
+  };
+  mutable AverageCache average_cache_[2];
 
   /// Distinct reduce tasks reporting fetch failure per map (Hadoop rule
   /// counts reduces, not individual retries).

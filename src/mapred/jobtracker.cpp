@@ -1,6 +1,7 @@
 #include "mapred/jobtracker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/log.hpp"
@@ -29,6 +30,17 @@ JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
   } else {
     speculator_ = std::make_unique<HadoopSpeculator>(*this);
   }
+  // Replica add/remove feeds each live job's pending-map locality buckets.
+  // The NameNode has no unsubscribe, so the listener guards against this
+  // JobTracker being gone while the DFS lives on.
+  dfs_.namenode().subscribe_replica_events(
+      [this, weak = std::weak_ptr<void>(listener_guard_)](
+          BlockId block, NodeId node, bool added) {
+        if (weak.expired()) return;
+        for (Job* job : jobs_by_order_) {
+          if (!job->finished()) job->on_replica_event(block, node, added);
+        }
+      });
 }
 
 TaskTracker& JobTracker::add_tracker(NodeId node) {
@@ -36,7 +48,10 @@ TaskTracker& JobTracker::add_tracker(NodeId node) {
                                                config_.heartbeat_interval);
   TaskTracker* raw = tracker.get();
   trackers_.push_back(std::move(tracker));
+  tracker_ptrs_.push_back(raw);
   tracker_info_.emplace(node, TrackerInfo{raw, TrackerState::kLive, sim_.now()});
+  live_map_slots_ += raw->map_slots();
+  live_reduce_slots_ += raw->reduce_slots();
   return *raw;
 }
 
@@ -56,6 +71,7 @@ JobId JobTracker::submit(JobSpec spec) {
   const JobId id = job_ids_.next();
   auto job = std::make_unique<Job>(*this, id, std::move(spec));
   job->submit();
+  jobs_by_order_.push_back(job.get());
   jobs_.emplace(id, std::move(job));
   return id;
 }
@@ -90,13 +106,28 @@ void JobTracker::heartbeat(TaskTracker& tracker) {
   if (info.state != TrackerState::kLive) {
     set_tracker_state(info, TrackerState::kLive);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   assign_work(tracker);
+  sched_wall_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ++heartbeats_;
 }
 
 void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
   const TrackerState prev = info.state;
   if (prev == next) return;
   info.state = next;
+  // Slot aggregates follow the live partition.
+  if (prev == TrackerState::kLive) {
+    live_map_slots_ -= info.tracker->map_slots();
+    live_reduce_slots_ -= info.tracker->reduce_slots();
+  }
+  if (next == TrackerState::kLive) {
+    live_map_slots_ += info.tracker->map_slots();
+    live_reduce_slots_ += info.tracker->reduce_slots();
+  }
   switch (next) {
     case TrackerState::kLive:
       // Back from suspension: reactivate surviving attempts.
@@ -124,7 +155,7 @@ void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
       // Hadoop semantics: every attempt on a dead tracker is killed, its
       // tasks become schedulable elsewhere, and completed maps that lived
       // there are re-executed (unless MOON finds surviving replicas).
-      for (auto& [job_id, job] : jobs_) {
+      for (Job* job : jobs_by_order_) {
         if (!job->finished()) job->handle_tracker_death(*info.tracker);
       }
       break;
@@ -147,7 +178,7 @@ void JobTracker::liveness_scan() {
 }
 
 void JobTracker::completion_scan() {
-  for (auto& [id, job] : jobs_) {
+  for (Job* job : jobs_by_order_) {
     if (!job->finished()) job->try_commit();
   }
 }
@@ -156,12 +187,14 @@ void JobTracker::completion_scan() {
 
 void JobTracker::assign_work(TaskTracker& tracker) {
   // One task per heartbeat, like Hadoop 0.17. Maps get priority when both
-  // slot types are open (they gate the reducers' shuffle).
-  for (auto& [job_id, job] : jobs_) {
+  // slot types are open (they gate the reducers' shuffle). Pending picks are
+  // bucket lookups on the job's indices (kIndexed) or the original scan
+  // (kScan); speculative picks enumerate only running tasks.
+  for (Job* job : jobs_by_order_) {
     if (job->finished()) continue;
     for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
       if (tracker.free_slots(type) <= 0) continue;
-      std::optional<TaskId> choice = pick_pending(*job, type, tracker);
+      std::optional<TaskId> choice = job->pick_pending(type, tracker);
       bool speculative = false;
       if (!choice) {
         choice = speculator_->pick(*job, type, tracker);
@@ -175,41 +208,6 @@ void JobTracker::assign_work(TaskTracker& tracker) {
   }
 }
 
-std::optional<TaskId> JobTracker::pick_pending(Job& job, TaskType type,
-                                               TaskTracker& tracker) {
-  // "The JobTracker first tries to schedule a non-running task, giving high
-  // priority to the recently failed tasks"; map input locality preferred.
-  const auto& nn = dfs_.namenode();
-  TaskId best = TaskId::invalid();
-  // Rank: (failures > 0, locality, schedule order).
-  int best_key_failed = -1;
-  int best_key_local = -1;
-  int best_key_order = 0;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kPending) continue;
-    const int failed = t.failures > 0 ? 1 : 0;
-    int local = 0;
-    if (type == TaskType::kMap && nn.block_exists(t.input_block) &&
-        nn.block(t.input_block).has_replica_on(tracker.node_id())) {
-      local = 1;
-    }
-    const bool better =
-        !best.valid() || failed > best_key_failed ||
-        (failed == best_key_failed && local > best_key_local) ||
-        (failed == best_key_failed && local == best_key_local &&
-         t.schedule_order < best_key_order);
-    if (better) {
-      best = id;
-      best_key_failed = failed;
-      best_key_local = local;
-      best_key_order = t.schedule_order;
-    }
-  }
-  if (!best.valid()) return std::nullopt;
-  return best;
-}
-
 // ---- observations ---------------------------------------------------------
 
 TrackerState JobTracker::tracker_state(NodeId node) const {
@@ -219,6 +217,9 @@ TrackerState JobTracker::tracker_state(NodeId node) const {
 }
 
 int JobTracker::available_execution_slots() const {
+  if (config_.index_mode == SchedulerConfig::IndexMode::kIndexed) {
+    return live_map_slots_ + live_reduce_slots_;
+  }
   int slots = 0;
   for (const auto& [node, info] : tracker_info_) {
     if (info.state != TrackerState::kLive) continue;
@@ -228,6 +229,9 @@ int JobTracker::available_execution_slots() const {
 }
 
 int JobTracker::total_slots(TaskType type) const {
+  if (config_.index_mode == SchedulerConfig::IndexMode::kIndexed) {
+    return type == TaskType::kMap ? live_map_slots_ : live_reduce_slots_;
+  }
   int slots = 0;
   for (const auto& [node, info] : tracker_info_) {
     if (info.state != TrackerState::kLive) continue;
@@ -235,13 +239,6 @@ int JobTracker::total_slots(TaskType type) const {
                                     : info.tracker->reduce_slots();
   }
   return slots;
-}
-
-std::vector<TaskTracker*> JobTracker::trackers() {
-  std::vector<TaskTracker*> out;
-  out.reserve(trackers_.size());
-  for (auto& t : trackers_) out.push_back(t.get());
-  return out;
 }
 
 }  // namespace moon::mapred

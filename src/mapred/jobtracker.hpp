@@ -61,6 +61,14 @@ class JobTracker {
   [[nodiscard]] int available_execution_slots() const;
   [[nodiscard]] int total_slots(TaskType type) const;
 
+  /// Wall-clock nanoseconds spent making heartbeat assignment decisions
+  /// (pending picks + speculation) — the measured "scheduling time" axis of
+  /// the paper's Figure 4. Purely observational; never feeds the sim.
+  [[nodiscard]] std::uint64_t scheduling_wall_ns() const {
+    return sched_wall_ns_;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_served() const { return heartbeats_; }
+
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   /// Reduce-checkpoint subsystem (inert unless config().checkpoint.enabled).
   [[nodiscard]] checkpoint::CheckpointStore& checkpoint_store() {
@@ -73,7 +81,10 @@ class JobTracker {
   [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
   [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] std::vector<TaskTracker*> trackers();
+  /// Registered trackers in creation order — a cached view, not a copy.
+  [[nodiscard]] const std::vector<TaskTracker*>& trackers() const {
+    return tracker_ptrs_;
+  }
 
  private:
   struct TrackerInfo {
@@ -85,7 +96,6 @@ class JobTracker {
   void liveness_scan();
   void completion_scan();
   void assign_work(TaskTracker& tracker);
-  std::optional<TaskId> pick_pending(Job& job, TaskType type, TaskTracker& tracker);
   void set_tracker_state(TrackerInfo& info, TrackerState next);
 
   sim::Simulation& sim_;
@@ -95,9 +105,20 @@ class JobTracker {
   Rng rng_;
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  std::vector<TaskTracker*> tracker_ptrs_;  ///< cached trackers() view
   std::unordered_map<NodeId, TrackerInfo> tracker_info_;
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+  /// Submission-order view of jobs_: the heartbeat loop and completion scan
+  /// iterate this instead of the unordered map, so multi-job assignment
+  /// order is deterministic (and index/scan modes stay in lockstep).
+  std::vector<Job*> jobs_by_order_;
   IdAllocator<JobId> job_ids_;
+  /// Live-tracker slot aggregates, updated on tracker add and every state
+  /// transition (kIndexed reads these; kScan recounts).
+  int live_map_slots_ = 0;
+  int live_reduce_slots_ = 0;
+  std::uint64_t sched_wall_ns_ = 0;  ///< accumulated assign_work wall time
+  std::uint64_t heartbeats_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
   checkpoint::CheckpointPolicy checkpoint_policy_;
   // Declared after jobs_: the store's destructor cancels in-flight DFS ops
@@ -108,6 +129,9 @@ class JobTracker {
   sim::PeriodicTask liveness_task_;
   sim::PeriodicTask completion_task_;
   bool started_ = false;
+  /// Lifetime token for the NameNode replica listener (declared last so it
+  /// expires before any member teardown can trigger DFS activity).
+  std::shared_ptr<void> listener_guard_ = std::make_shared<int>(0);
 };
 
 }  // namespace moon::mapred

@@ -13,6 +13,17 @@
 
 namespace moon::mapred {
 
+bool SpeculationPolicy::fresh(const MemoKey& key, const Job& job, sim::Time now,
+                              std::uint64_t epoch, int slots) {
+  return key.valid && key.job == job.id() && key.time == now &&
+         key.epoch == epoch && key.slots == slots;
+}
+
+void SpeculationPolicy::stamp(MemoKey& key, const Job& job, sim::Time now,
+                              std::uint64_t epoch, int slots) {
+  key = MemoKey{true, job.id(), now, epoch, slots};
+}
+
 // ---- Hadoop baseline ----------------------------------------------------
 
 bool HadoopSpeculator::is_straggler(Job& job, TaskId id, double average) const {
@@ -38,10 +49,33 @@ std::optional<TaskId> HadoopSpeculator::pick(Job& job, TaskType type,
   // "Stragglers [are selected] according to the order in which they were
   // originally scheduled, except that for Map stragglers, priority will be
   // given to the ones with input data local to the requesting TaskTracker."
+  //
+  // Straggler status is tracker-independent, so under kIndexed the
+  // enumeration is memoized per tick and only the per-tracker filters
+  // (placement, locality) run per heartbeat. kScan re-enumerates every call.
   const auto& nn = jobtracker_.dfs().namenode();
+  const sim::Time now = jobtracker_.simulation().now();
+  std::vector<TaskId> scan_stragglers;
+  const std::vector<TaskId>* stragglers = &scan_stragglers;
+  if (job.indexed()) {
+    Memo& memo = memo_[type_slot(type)][job.id()];
+    if (!fresh(memo.key, job, now, job.sched_epoch())) {
+      memo.stragglers.clear();
+      job.for_each_running(type, [&](TaskId id) {
+        if (is_straggler(job, id, average)) memo.stragglers.push_back(id);
+        return true;
+      });
+      stamp(memo.key, job, now, job.sched_epoch());
+    }
+    stragglers = &memo.stragglers;
+  } else {
+    job.for_each_running(type, [&](TaskId id) {
+      if (is_straggler(job, id, average)) scan_stragglers.push_back(id);
+      return true;
+    });
+  }
   const auto try_pass = [&](bool require_local) -> std::optional<TaskId> {
-    for (TaskId id : job.tasks_of(type)) {
-      if (!is_straggler(job, id, average)) continue;
+    for (TaskId id : *stragglers) {
       if (job.has_attempt_on(id, tracker.node_id())) continue;
       if (require_local) {
         const Task& t = job.task(id);
@@ -87,33 +121,57 @@ std::optional<TaskId> LateSpeculator::pick(Job& job, TaskType type,
                  static_cast<double>(jobtracker_.available_execution_slots())));
   if (job.running_speculative() >= cap) return std::nullopt;
 
-  // Collect running candidates and their progress rates.
-  struct Candidate {
-    TaskId id;
-    double rate;
-    double time_left;
+  // Collect running candidates and their progress rates. Rates and every
+  // tracker-independent filter are memoized per tick under kIndexed; the
+  // placement filter below runs per pick.
+  using Candidate = Memo::Candidate;
+  const auto enumerate = [&](std::vector<double>& rates,
+                             std::vector<Candidate>& candidates) {
+    job.for_each_running(type, [&](TaskId id) {
+      rates.push_back(progress_rate(job, id));
+      if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) {
+        return true;
+      }
+      if (job.checkpoint_shielded(id)) return true;
+      const auto started = job.oldest_attempt_start(id);
+      if (!started || jobtracker_.simulation().now() - *started <
+                          cfg.min_age_for_speculation) {
+        return true;
+      }
+      candidates.push_back(
+          Candidate{id, rates.back(), estimated_time_left(job, id)});
+      return true;
+    });
   };
-  std::vector<Candidate> candidates;
-  std::vector<double> rates;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kRunning) continue;
-    rates.push_back(progress_rate(job, id));
-    if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) continue;
-    if (job.has_attempt_on(id, tracker.node_id())) continue;
-    if (job.checkpoint_shielded(id)) continue;
-    const auto started = job.oldest_attempt_start(id);
-    if (!started || jobtracker_.simulation().now() - *started <
-                        cfg.min_age_for_speculation) {
-      continue;
+  std::vector<double> scan_rates;
+  std::vector<Candidate> scan_candidates;
+  const std::vector<double>* rates = &scan_rates;
+  const std::vector<Candidate>* pool = &scan_candidates;
+  if (job.indexed()) {
+    Memo& memo = memo_[type_slot(type)][job.id()];
+    const sim::Time now = jobtracker_.simulation().now();
+    if (!fresh(memo.key, job, now, job.sched_epoch())) {
+      memo.rates.clear();
+      memo.candidates.clear();
+      enumerate(memo.rates, memo.candidates);
+      stamp(memo.key, job, now, job.sched_epoch());
     }
-    candidates.push_back(
-        Candidate{id, rates.back(), estimated_time_left(job, id)});
+    rates = &memo.rates;
+    pool = &memo.candidates;
+  } else {
+    enumerate(scan_rates, scan_candidates);
   }
-  if (candidates.empty() || rates.empty()) return std::nullopt;
+  if (pool->empty() || rates->empty()) return std::nullopt;
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(pool->size());
+  for (const Candidate& c : *pool) {
+    if (!job.has_attempt_on(c.id, tracker.node_id())) candidates.push_back(c);
+  }
+  if (candidates.empty()) return std::nullopt;
 
   // SlowTaskThreshold: only tasks below the rate percentile qualify.
-  const double threshold = percentile(rates, cfg.late_slow_task_percentile);
+  const double threshold = percentile(*rates, cfg.late_slow_task_percentile);
   std::erase_if(candidates,
                 [threshold](const Candidate& c) { return c.rate > threshold; });
   if (candidates.empty()) return std::nullopt;
@@ -127,6 +185,24 @@ std::optional<TaskId> LateSpeculator::pick(Job& job, TaskType type,
 }
 
 // ---- MOON (§V) ------------------------------------------------------------
+
+template <typename Enumerate>
+std::vector<TaskId> MoonSpeculator::memoized_list(Job& job, ListMemo& memo,
+                                                  Enumerate&& enumerate,
+                                                  int slots) {
+  if (!job.indexed()) {
+    std::vector<TaskId> out;
+    enumerate(out);
+    return out;
+  }
+  const sim::Time now = jobtracker_.simulation().now();
+  if (!fresh(memo.key, job, now, job.sched_epoch(), slots)) {
+    memo.list.clear();
+    enumerate(memo.list);
+    stamp(memo.key, job, now, job.sched_epoch(), slots);
+  }
+  return memo.list;
+}
 
 bool MoonSpeculator::in_homestretch(const Job& job) const {
   const auto& cfg = jobtracker_.config();
@@ -179,27 +255,34 @@ std::optional<TaskId> MoonSpeculator::pick_dedicated_backup(Job& job,
   const bool homestretch = in_homestretch(job);
   const sim::Time now = jobtracker_.simulation().now();
 
-  std::vector<TaskId> candidates;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kRunning) continue;
-    if (job.has_attempt_on(id, tracker.node_id())) continue;
-    if (job.has_active_dedicated_attempt(id)) continue;
+  const auto enumerate = [&](std::vector<TaskId>& out) {
+    job.for_each_running(type, [&](TaskId id) {
+      if (job.has_active_dedicated_attempt(id)) return true;
 
-    const bool frozen = job.active_attempts(id) == 0;
-    // A frozen task still deserves rescue, but one whose live attempt just
-    // resumed near-complete from a checkpoint does not need more copies.
-    if (!frozen && job.checkpoint_shielded(id)) continue;
-    bool slow = false;
-    if (!frozen) {
-      const auto started = job.oldest_attempt_start(id);
-      slow = started && (now - *started >= cfg.min_age_for_speculation) &&
-             job.task_progress(id) < average - cfg.straggler_gap;
-    }
-    const bool stretch =
-        homestretch && job.active_attempts(id) < cfg.homestretch_copies;
-    if (frozen || slow || stretch) candidates.push_back(id);
-  }
+      const bool frozen = job.active_attempts(id) == 0;
+      // A frozen task still deserves rescue, but one whose live attempt just
+      // resumed near-complete from a checkpoint does not need more copies.
+      if (!frozen && job.checkpoint_shielded(id)) return true;
+      bool slow = false;
+      if (!frozen) {
+        const auto started = job.oldest_attempt_start(id);
+        slow = started && (now - *started >= cfg.min_age_for_speculation) &&
+               job.task_progress(id) < average - cfg.straggler_gap;
+      }
+      const bool stretch =
+          homestretch && job.active_attempts(id) < cfg.homestretch_copies;
+      if (frozen || slow || stretch) out.push_back(id);
+      return true;
+    });
+  };
+  // The stretch disjunct reads the live-slot total (through `homestretch`),
+  // which can move without a job epoch bump — key the memo on it too.
+  std::vector<TaskId> candidates =
+      memoized_list(job, memos_[type_slot(type)][job.id()].dedicated, enumerate,
+                    jobtracker_.available_execution_slots());
+  std::erase_if(candidates, [&](TaskId id) {
+    return job.has_attempt_on(id, tracker.node_id());
+  });
   if (candidates.empty()) return std::nullopt;
   std::sort(candidates.begin(), candidates.end(), [&](TaskId a, TaskId b) {
     const bool fa = job.active_attempts(a) == 0;  // frozen first
@@ -214,15 +297,19 @@ std::optional<TaskId> MoonSpeculator::pick_frozen(Job& job, TaskType type,
                                                   TaskTracker& tracker) {
   // Frozen: >= 1 copy, all of them inactive. "A speculative copy will be
   // issued to a frozen task regardless of the number of its copies."
-  std::vector<TaskId> frozen;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kRunning) continue;
-    if (job.active_attempts(id) > 0) continue;
-    if (job.non_terminal_attempts(id) == 0) continue;
-    if (job.has_attempt_on(id, tracker.node_id())) continue;
-    frozen.push_back(id);
-  }
+  const auto enumerate = [&](std::vector<TaskId>& out) {
+    job.for_each_running(type, [&](TaskId id) {
+      if (job.active_attempts(id) > 0) return true;
+      if (job.non_terminal_attempts(id) == 0) return true;
+      out.push_back(id);
+      return true;
+    });
+  };
+  std::vector<TaskId> frozen =
+      memoized_list(job, memos_[type_slot(type)][job.id()].frozen, enumerate);
+  std::erase_if(frozen, [&](TaskId id) {
+    return job.has_attempt_on(id, tracker.node_id());
+  });
   if (frozen.empty()) return std::nullopt;
   // "Tasks are sorted by the progress made thus far, with lower progress
   // ranked higher."
@@ -236,24 +323,31 @@ std::optional<TaskId> MoonSpeculator::pick_slow(Job& job, TaskType type,
                                                 TaskTracker& tracker) {
   const auto& cfg = jobtracker_.config();
   const double average = job.average_progress(type);
-  std::vector<TaskId> slow;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kRunning) continue;
-    if (job.active_attempts(id) == 0) continue;  // that's frozen, not slow
-    if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) continue;
-    if (job.has_attempt_on(id, tracker.node_id())) continue;
-    if (job.checkpoint_shielded(id)) continue;
-    // Hybrid: a live dedicated copy is backup enough (§V-C).
-    if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) continue;
-    const auto started = job.oldest_attempt_start(id);
-    if (!started) continue;
-    if (jobtracker_.simulation().now() - *started < cfg.min_age_for_speculation) {
-      continue;
-    }
-    if (job.task_progress(id) >= average - cfg.straggler_gap) continue;
-    slow.push_back(id);
-  }
+  const auto enumerate = [&](std::vector<TaskId>& out) {
+    job.for_each_running(type, [&](TaskId id) {
+      if (job.active_attempts(id) == 0) return true;  // frozen, not slow
+      if (job.non_terminal_attempts(id) >= 1 + cfg.per_task_speculative_cap) {
+        return true;
+      }
+      if (job.checkpoint_shielded(id)) return true;
+      // Hybrid: a live dedicated copy is backup enough (§V-C).
+      if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) return true;
+      const auto started = job.oldest_attempt_start(id);
+      if (!started) return true;
+      if (jobtracker_.simulation().now() - *started <
+          cfg.min_age_for_speculation) {
+        return true;
+      }
+      if (job.task_progress(id) >= average - cfg.straggler_gap) return true;
+      out.push_back(id);
+      return true;
+    });
+  };
+  std::vector<TaskId> slow =
+      memoized_list(job, memos_[type_slot(type)][job.id()].slow, enumerate);
+  std::erase_if(slow, [&](TaskId id) {
+    return job.has_attempt_on(id, tracker.node_id());
+  });
   if (slow.empty()) return std::nullopt;
   std::sort(slow.begin(), slow.end(), [&](TaskId a, TaskId b) {
     return job.task_progress(a) < job.task_progress(b);
@@ -266,18 +360,22 @@ std::optional<TaskId> MoonSpeculator::pick_homestretch(Job& job, TaskType type,
   const auto& cfg = jobtracker_.config();
   // "During the homestretch phase, MOON attempts to maintain at least R
   // active copies of any remaining task regardless of the task progress."
-  std::vector<TaskId> candidates;
-  for (TaskId id : job.tasks_of(type)) {
-    const Task& t = job.task(id);
-    if (t.state != TaskState::kRunning) continue;
-    if (job.active_attempts(id) >= cfg.homestretch_copies) continue;
-    if (job.has_attempt_on(id, tracker.node_id())) continue;
-    if (job.checkpoint_shielded(id)) continue;
-    // "Tasks that already have a dedicated copy do not participate [in] the
-    // homestretch phase."
-    if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) continue;
-    candidates.push_back(id);
-  }
+  const auto enumerate = [&](std::vector<TaskId>& out) {
+    job.for_each_running(type, [&](TaskId id) {
+      if (job.active_attempts(id) >= cfg.homestretch_copies) return true;
+      if (job.checkpoint_shielded(id)) return true;
+      // "Tasks that already have a dedicated copy do not participate [in]
+      // the homestretch phase."
+      if (cfg.hybrid_aware && job.has_active_dedicated_attempt(id)) return true;
+      out.push_back(id);
+      return true;
+    });
+  };
+  std::vector<TaskId> candidates = memoized_list(
+      job, memos_[type_slot(type)][job.id()].homestretch, enumerate);
+  std::erase_if(candidates, [&](TaskId id) {
+    return job.has_attempt_on(id, tracker.node_id());
+  });
   if (candidates.empty()) return std::nullopt;
   std::sort(candidates.begin(), candidates.end(), [&](TaskId a, TaskId b) {
     const int ca = job.active_attempts(a);

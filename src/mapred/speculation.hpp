@@ -13,9 +13,13 @@
 // from further replication and from the homestretch).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "common/ids.hpp"
+#include "common/time.hpp"
 #include "mapred/types.hpp"
 
 namespace moon::mapred {
@@ -32,6 +36,34 @@ class SpeculationPolicy {
   /// nullopt if none qualifies.
   virtual std::optional<TaskId> pick(Job& job, TaskType type,
                                      TaskTracker& tracker) = 0;
+
+ protected:
+  /// Memo key for tracker-independent candidate enumeration, valid for one
+  /// (job, sim tick, sched-epoch) combination — callers keep one memo per
+  /// task type so map/reduce probes within a heartbeat don't thrash each
+  /// other. Heartbeat bursts land on the same tick (every tracker beats on
+  /// the same schedule), so under kIndexed the O(running) enumeration is
+  /// paid once per tick instead of once per heartbeat; only the cheap
+  /// per-tracker filters (placement, locality) run per pick. `slots`
+  /// captures any additional input the candidate predicate reads that can
+  /// change without a job epoch bump (live execution slots: a tracker with
+  /// no hosted attempts flipping state moves the homestretch threshold but
+  /// touches no job). kScan never consults the memo.
+  struct MemoKey {
+    bool valid = false;
+    JobId job;
+    sim::Time time = 0;
+    std::uint64_t epoch = 0;
+    int slots = 0;
+  };
+  [[nodiscard]] static bool fresh(const MemoKey& key, const Job& job,
+                                  sim::Time now, std::uint64_t epoch,
+                                  int slots = 0);
+  static void stamp(MemoKey& key, const Job& job, sim::Time now,
+                    std::uint64_t epoch, int slots = 0);
+  [[nodiscard]] static int type_slot(TaskType type) {
+    return type == TaskType::kMap ? 0 : 1;
+  }
 };
 
 class HadoopSpeculator final : public SpeculationPolicy {
@@ -42,6 +74,14 @@ class HadoopSpeculator final : public SpeculationPolicy {
  private:
   [[nodiscard]] bool is_straggler(Job& job, TaskId id, double average) const;
   JobTracker& jobtracker_;
+  struct Memo {
+    MemoKey key;
+    std::vector<TaskId> stragglers;  ///< schedule order, pre-tracker filters
+  };
+  /// Per (task type, job): concurrent jobs alternate within a heartbeat
+  /// burst (assign_work probes them in order), so a shared slot would
+  /// thrash. Entries are few (one per job ever probed) and tiny.
+  std::unordered_map<JobId, Memo> memo_[2];
 };
 
 /// LATE — "Longest Approximate Time to End" (Zaharia et al., OSDI'08).
@@ -66,6 +106,17 @@ class LateSpeculator final : public SpeculationPolicy {
 
  private:
   JobTracker& jobtracker_;
+  struct Memo {
+    MemoKey key;
+    std::vector<double> rates;  ///< every running task, schedule order
+    struct Candidate {
+      TaskId id;
+      double rate;
+      double time_left;
+    };
+    std::vector<Candidate> candidates;  ///< pre-tracker filters applied
+  };
+  std::unordered_map<JobId, Memo> memo_[2];  ///< per (task type, job)
 };
 
 class MoonSpeculator final : public SpeculationPolicy {
@@ -84,6 +135,25 @@ class MoonSpeculator final : public SpeculationPolicy {
   std::optional<TaskId> pick_dedicated_backup(Job& job, TaskType type,
                                               TaskTracker& tracker);
   JobTracker& jobtracker_;
+  struct ListMemo {
+    MemoKey key;
+    std::vector<TaskId> list;  ///< schedule order, pre-tracker filters
+  };
+  /// Returns the tracker-independent candidate list: enumerated fresh under
+  /// kScan, served from (and lazily rebuilt into) `memo` under kIndexed.
+  /// `slots` must carry every predicate input that can change without a job
+  /// epoch bump (0 when there is none).
+  template <typename Enumerate>
+  std::vector<TaskId> memoized_list(Job& job, ListMemo& memo,
+                                    Enumerate&& enumerate, int slots = 0);
+  struct JobMemos {
+    ListMemo frozen;
+    ListMemo slow;
+    ListMemo homestretch;
+    ListMemo dedicated;
+  };
+  /// Per (task type, job) — see HadoopSpeculator::memo_.
+  std::unordered_map<JobId, JobMemos> memos_[2];
 };
 
 }  // namespace moon::mapred

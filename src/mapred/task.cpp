@@ -67,6 +67,7 @@ void TaskAttempt::map_read_input() {
 }
 
 void TaskAttempt::map_compute_done() {
+  job_.bump_sched_epoch();  // discrete progress step (0.95 plateau)
   phase_ = Phase::kWrite;
   my_output_ = job_.create_intermediate_file(task_, id_);
   write_output(job_.spec().intermediate_per_map, job_.spec().intermediate_kind,
@@ -119,6 +120,7 @@ void TaskAttempt::start_fetch(TaskId map_task) {
 void TaskAttempt::fetch_done(TaskId map_task, bool ok) {
   fetching_.erase(map_task);
   if (terminal()) return;
+  job_.bump_sched_epoch();  // shuffled fraction (progress) stepped
   if (ok) {
     fetched_.insert(map_task);
   } else {
@@ -161,6 +163,7 @@ void TaskAttempt::restore_read_next() {
   auto& dfs = job_.jobtracker().dfs();
   if (!dfs.namenode().block_exists(ckpt.blocks[restore_block_])) {
     // Log segment vanished between scheduling and the read: start cold.
+    job_.bump_sched_epoch();
     resume_.reset();
     phase_ = Phase::kShuffle;
     shuffle_pump();
@@ -171,6 +174,7 @@ void TaskAttempt::restore_read_next() {
         io_op_.reset();
         if (terminal()) return;
         if (!ok) {
+          job_.bump_sched_epoch();
           resume_.reset();
           phase_ = Phase::kShuffle;
           shuffle_pump();
@@ -182,6 +186,7 @@ void TaskAttempt::restore_read_next() {
 }
 
 void TaskAttempt::apply_restored_checkpoint() {
+  job_.bump_sched_epoch();  // salvaged shuffle state lands at once
   const checkpoint::ReduceCheckpoint ckpt = std::move(*resume_);
   resume_.reset();
   for (TaskId m : ckpt.fetched) fetched_.insert(m);
@@ -256,6 +261,7 @@ void TaskAttempt::maybe_checkpoint(bool forced) {
 }
 
 void TaskAttempt::reduce_compute_done() {
+  job_.bump_sched_epoch();  // discrete progress step (write plateau)
   phase_ = Phase::kWrite;
   my_output_ = job_.create_output_file(task_, id_);
   // "Output data will first be stored as opportunistic files while the
@@ -267,6 +273,7 @@ void TaskAttempt::reduce_compute_done() {
 // ---- shared ---------------------------------------------------------------
 
 void TaskAttempt::begin_compute(sim::Duration duration) {
+  job_.bump_sched_epoch();  // phase flip to kCompute (+ any resume credit)
   // A resumed attempt inherits the checkpointing attempt's jittered total so
   // the restored work fraction stays meaningful, and is credited the
   // salvaged compute time.
@@ -339,7 +346,14 @@ double TaskAttempt::progress() const {
 
 void TaskAttempt::set_inactive(bool inactive) {
   if (terminal()) return;
-  state_ = inactive ? AttemptState::kInactive : AttemptState::kRunning;
+  transition(inactive ? AttemptState::kInactive : AttemptState::kRunning);
+}
+
+void TaskAttempt::transition(AttemptState next) {
+  const AttemptState prev = state_;
+  if (prev == next) return;
+  state_ = next;
+  job_.note_attempt_state(*this, prev, next);
 }
 
 void TaskAttempt::on_node_availability(bool up) {
@@ -357,21 +371,21 @@ void TaskAttempt::on_node_availability(bool up) {
 void TaskAttempt::succeed() {
   assert(!terminal());
   phase_ = Phase::kDone;
-  state_ = AttemptState::kSucceeded;
+  transition(AttemptState::kSucceeded);
   cleanup_io();
   job_.attempt_succeeded(*this);
 }
 
 void TaskAttempt::fail() {
   assert(!terminal());
-  state_ = AttemptState::kFailed;
+  transition(AttemptState::kFailed);
   cleanup_io();
   job_.attempt_failed(*this);
 }
 
 void TaskAttempt::kill() {
   if (terminal()) return;
-  state_ = AttemptState::kKilled;
+  transition(AttemptState::kKilled);
   cleanup_io();
 }
 

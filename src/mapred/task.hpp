@@ -27,6 +27,7 @@ namespace moon::mapred {
 
 class Job;
 class TaskTracker;
+class TaskAttempt;
 
 struct Task {
   TaskId id;
@@ -37,6 +38,12 @@ struct Task {
   int failures = 0;         ///< failed attempts (footnote-1 accounting)
   int schedule_order = 0;   ///< original scheduling order (Hadoop tie-break)
   std::vector<AttemptId> attempts;  ///< all attempts ever launched
+
+  /// Non-terminal attempts only (maintained by the Job on launch/finalize):
+  /// the kIndexed hot path reads per-task aggregates — counts, oldest start,
+  /// best progress, placement checks — from this handful of live pointers
+  /// instead of walking every attempt ever launched.
+  std::vector<TaskAttempt*> live_attempts;
 
   /// Output of the winning map attempt (maps only; invalid until complete).
   FileId output_file;
@@ -140,6 +147,10 @@ class TaskAttempt {
   void succeed();
   void fail();
   void cleanup_io();
+
+  /// All state_ changes flow through here so the Job's incremental counters
+  /// (running speculative copies) stay in sync with attempt transitions.
+  void transition(AttemptState next);
 
   Job& job_;
   AttemptId id_;

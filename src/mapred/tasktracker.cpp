@@ -35,17 +35,17 @@ int TaskTracker::used_slots(TaskType type) const {
 }
 
 void TaskTracker::occupy(TaskType type, TaskAttempt* attempt) {
-  auto& set = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
+  auto& hosted = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
   if (free_slots(type) <= 0) throw std::logic_error("TaskTracker: no free slot");
-  set.insert(attempt);
+  hosted.push_back(attempt);
 }
 
 void TaskTracker::release(TaskType type, TaskAttempt* attempt) {
-  auto& set = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
-  set.erase(attempt);
+  auto& hosted = type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
+  hosted.erase(std::remove(hosted.begin(), hosted.end(), attempt), hosted.end());
 }
 
-const std::unordered_set<TaskAttempt*>& TaskTracker::attempts(TaskType type) const {
+const std::vector<TaskAttempt*>& TaskTracker::attempts(TaskType type) const {
   return type == TaskType::kMap ? map_attempts_ : reduce_attempts_;
 }
 

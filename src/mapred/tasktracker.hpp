@@ -7,7 +7,7 @@
 // JobTracker for an assignment when it detects an empty execution slot".
 #pragma once
 
-#include <unordered_set>
+#include <vector>
 
 #include "cluster/node.hpp"
 #include "common/ids.hpp"
@@ -43,7 +43,10 @@ class TaskTracker {
   /// Releases the slot when an attempt reaches a terminal state.
   void release(TaskType type, TaskAttempt* attempt);
 
-  [[nodiscard]] const std::unordered_set<TaskAttempt*>& attempts(TaskType type) const;
+  /// Hosted attempts in launch order. Deterministic iteration matters: kill
+  /// and checkpoint sweeps draw from the DFS RNG, so a pointer-hashed
+  /// container would make replays diverge run to run.
+  [[nodiscard]] const std::vector<TaskAttempt*>& attempts(TaskType type) const;
   [[nodiscard]] std::vector<TaskAttempt*> all_attempts() const;
 
   void start();
@@ -55,8 +58,8 @@ class TaskTracker {
   sim::Simulation& sim_;
   cluster::Node& host_;
   JobTracker& jobtracker_;
-  std::unordered_set<TaskAttempt*> map_attempts_;
-  std::unordered_set<TaskAttempt*> reduce_attempts_;
+  std::vector<TaskAttempt*> map_attempts_;
+  std::vector<TaskAttempt*> reduce_attempts_;
   sim::PeriodicTask heartbeat_;
   /// Offers hosted reduce attempts a checkpoint every
   /// checkpoint.scan_interval (started only when checkpointing is enabled).

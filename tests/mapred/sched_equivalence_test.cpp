@@ -1,0 +1,200 @@
+// Golden equivalence: the indexed scheduler hot path must reproduce the
+// retained scan-based oracle *bit for bit* — identical per-task attempt
+// launch sequences (time, host node, speculative flag), identical attempt
+// counters, and identical job completion times — for all three speculators
+// (Hadoop, LATE, MOON) plus the checkpoint-enabled MOON preset, under
+// seeded availability churn.
+//
+// The driver pre-generates one scripted churn sequence (pure data: node
+// flips with down durations), then replays it against two independent
+// harnesses that differ only in SchedulerConfig::index_mode. Any divergence
+// in a scheduling decision cascades into mismatched launch traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "experiment/scenario.hpp"
+#include "mapred_fixture.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+struct Flip {
+  sim::Time at;
+  std::size_t node_index;  // into volatile_ids
+  sim::Duration down_for;
+};
+
+std::vector<Flip> make_churn_script(std::uint64_t seed, std::size_t nodes,
+                                    sim::Duration horizon) {
+  Rng rng{seed};
+  std::vector<Flip> script;
+  sim::Time t = 30 * sim::kSecond;
+  while (t < horizon) {
+    t += rng.uniform_int(10, 60) * sim::kSecond;
+    const auto n =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    const auto down = rng.uniform_int(20, 150) * sim::kSecond;
+    script.push_back(Flip{t, n, down});
+  }
+  return script;
+}
+
+/// Everything a scheduling decision can influence, per task, in launch
+/// order. Exact-match comparable.
+struct LaunchTrace {
+  std::vector<std::tuple<sim::Time, std::uint64_t, bool>> launches;
+};
+
+struct RunTrace {
+  std::vector<LaunchTrace> per_task;
+  bool completed = false;
+  sim::Time finished_at = 0;
+  int speculative_attempts = 0;
+  int killed_map_attempts = 0;
+  int killed_reduce_attempts = 0;
+  int failed_map_attempts = 0;
+  int failed_reduce_attempts = 0;
+  int map_reexecutions = 0;
+  int checkpoint_resumes = 0;
+};
+
+RunTrace run_one(SchedulerConfig sched, SchedulerConfig::IndexMode mode,
+                 std::uint64_t churn_seed) {
+  FixtureOptions opt;
+  opt.sched = sched;
+  opt.sched.index_mode = mode;
+  opt.volatile_nodes = 6;
+  opt.dedicated_nodes = 2;
+  opt.num_maps = 12;
+  opt.num_reduces = 4;
+  opt.map_compute = 90 * sim::kSecond;
+  opt.reduce_compute = 60 * sim::kSecond;
+  MapRedHarness h(opt);
+  h.submit();
+
+  const sim::Duration horizon = 20 * sim::kMinute;
+  const auto script =
+      make_churn_script(churn_seed, h.volatile_ids.size(), horizon);
+  // Apply the scripted churn: a flip only takes a node down if it is up
+  // (recovery is scheduled relative to the flip, script-determined).
+  for (const Flip& f : script) {
+    if (h.job().finished()) break;
+    if (h.sim().now() < f.at) h.advance(f.at - h.sim().now());
+    const NodeId victim = h.volatile_ids[f.node_index];
+    if (!h.cluster().node(victim).available()) continue;
+    h.set_node_available(victim, false);
+    auto& cluster = h.cluster();
+    h.sim().schedule_after(f.down_for, [&cluster, victim] {
+      if (!cluster.node(victim).available()) {
+        cluster.node(victim).set_available(true);
+      }
+    });
+  }
+  h.run_to_completion(sim::hours(4));
+
+  RunTrace trace;
+  Job& job = h.job();
+  for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+    for (TaskId id : job.tasks_of(type)) {
+      LaunchTrace lt;
+      for (AttemptId a : job.task(id).attempts) {
+        TaskAttempt* attempt = job.attempt(a);
+        if (attempt == nullptr) {
+          ADD_FAILURE() << "missing attempt record";
+          continue;
+        }
+        lt.launches.emplace_back(attempt->started_at(),
+                                 attempt->tracker().node_id().value(),
+                                 attempt->speculative());
+      }
+      trace.per_task.push_back(std::move(lt));
+    }
+  }
+  const auto& m = job.metrics();
+  trace.completed = m.completed;
+  trace.finished_at = m.finished_at;
+  trace.speculative_attempts = m.speculative_attempts;
+  trace.killed_map_attempts = m.killed_map_attempts;
+  trace.killed_reduce_attempts = m.killed_reduce_attempts;
+  trace.failed_map_attempts = m.failed_map_attempts;
+  trace.failed_reduce_attempts = m.failed_reduce_attempts;
+  trace.map_reexecutions = m.map_reexecutions;
+  trace.checkpoint_resumes = m.checkpoint_resumes;
+  return trace;
+}
+
+struct PolicyCase {
+  std::string name;
+  SchedulerConfig sched;
+};
+
+std::vector<PolicyCase> policies() {
+  // Suspension-enabled MOON, expiry-driven Hadoop and LATE, plus the
+  // checkpoint preset (exercises the speculation-shield index path).
+  SchedulerConfig late = testing::hadoop_sched(2 * sim::kMinute);
+  late.speculator = SchedulerConfig::Speculator::kLate;
+  return {
+      {"Hadoop", testing::hadoop_sched(2 * sim::kMinute)},
+      {"Late", late},
+      {"Moon", testing::moon_sched(/*hybrid=*/true)},
+      {"MoonCkpt", experiment::moon_checkpoint_scheduler(false)},
+  };
+}
+
+class SchedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SchedEquivalenceTest, IndexedMatchesScanBitForBit) {
+  const auto [policy_index, seed] = GetParam();
+  const PolicyCase policy = policies()[policy_index];
+
+  const RunTrace indexed =
+      run_one(policy.sched, SchedulerConfig::IndexMode::kIndexed, seed);
+  const RunTrace scan =
+      run_one(policy.sched, SchedulerConfig::IndexMode::kScan, seed);
+
+  ASSERT_EQ(indexed.per_task.size(), scan.per_task.size());
+  for (std::size_t t = 0; t < indexed.per_task.size(); ++t) {
+    const auto& a = indexed.per_task[t].launches;
+    const auto& b = scan.per_task[t].launches;
+    ASSERT_EQ(a.size(), b.size()) << "attempt count diverged for task #" << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "launch #" << i << " of task #" << t
+                            << " diverged (time/node/speculative)";
+    }
+  }
+  EXPECT_EQ(indexed.completed, scan.completed);
+  EXPECT_EQ(indexed.finished_at, scan.finished_at) << "completion time diverged";
+  EXPECT_EQ(indexed.speculative_attempts, scan.speculative_attempts);
+  EXPECT_EQ(indexed.killed_map_attempts, scan.killed_map_attempts);
+  EXPECT_EQ(indexed.killed_reduce_attempts, scan.killed_reduce_attempts);
+  EXPECT_EQ(indexed.failed_map_attempts, scan.failed_map_attempts);
+  EXPECT_EQ(indexed.failed_reduce_attempts, scan.failed_reduce_attempts);
+  EXPECT_EQ(indexed.map_reexecutions, scan.map_reexecutions);
+  EXPECT_EQ(indexed.checkpoint_resumes, scan.checkpoint_resumes);
+  // The run exercised the scheduler: something launched.
+  std::size_t total_launches = 0;
+  for (const auto& lt : indexed.per_task) total_launches += lt.launches.size();
+  EXPECT_GT(total_launches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, SchedEquivalenceTest,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{3}),
+                       ::testing::Values(1u, 42u, 20100621u)),
+    [](const auto& param_info) {
+      return policies()[std::get<0>(param_info.param)].name + "Seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace moon::mapred
