@@ -1,97 +1,98 @@
 // Concurrent MapReduce jobs on one opportunistic cluster — the paper's
 // closing future-work item ("it would be interesting future work to study
 // the scheduling and QoS issues of concurrent MapReduce jobs on
-// opportunistic environments"). Two jobs share 16 volatile + 2 dedicated
-// nodes under MOON-Hybrid scheduling; the JobTracker serves them in
-// submission order per heartbeat.
+// opportunistic environments"). A mixed arrival stream (shuffle-heavy
+// mini-sort + compute-heavy mini-wordcount) shares 16 volatile + 2
+// dedicated nodes under MOON-Hybrid data management, once per multi-job
+// policy: FIFO serves jobs in submission order (early big jobs starve later
+// small ones), fair-share interleaves by slot deficit, SRTF lets the
+// smallest job jump the queue.
 #include <iostream>
 
-#include "cluster/availability_driver.hpp"
-#include "cluster/cluster.hpp"
 #include "common/table.hpp"
-#include "dfs/dfs.hpp"
-#include "experiment/scenario.hpp"
-#include "mapred/jobtracker.hpp"
-#include "trace/trace_generator.hpp"
+#include "experiment/multi_job.hpp"
+#include "mapred/job_policy.hpp"
 
 using namespace moon;
 
+namespace {
+
+workload::WorkloadModel mini_sort() {
+  auto m = workload::sort_workload();
+  m.name = "mini-sort";
+  m.num_maps = 48;
+  m.fixed_reduces = 8;
+  m.reduce_slot_fraction = 0.0;
+  m.map_compute = sim::seconds(20);
+  m.reduce_compute = sim::seconds(45);
+  m.input_block_bytes = mib(16.0);
+  m.intermediate_per_map = mib(16.0);
+  m.total_output = static_cast<Bytes>(48) * mib(16.0);
+  return m;
+}
+
+workload::WorkloadModel mini_wc() {
+  auto m = workload::wordcount_workload();
+  m.name = "mini-wc";
+  m.num_maps = 8;
+  m.fixed_reduces = 2;
+  m.map_compute = sim::seconds(30);
+  m.reduce_compute = sim::seconds(10);
+  m.input_block_bytes = mib(16.0);
+  m.input_size = static_cast<Bytes>(8) * mib(16.0);
+  return m;
+}
+
+experiment::MultiJobConfig config(mapred::SchedulerConfig::JobPolicy policy) {
+  experiment::MultiJobConfig cfg;
+  cfg.base.volatile_nodes = 8;
+  cfg.base.dedicated_nodes = 2;
+  cfg.base.unavailability_rate = 0.3;
+  cfg.base.sched = experiment::moon_scheduler(true);
+  cfg.base.sched.job_policy = policy;
+  cfg.base.dfs = experiment::moon_dfs_config();
+  cfg.base.input_factor = {1, 2};
+  cfg.base.intermediate_factor = {1, 1};
+  cfg.base.output_factor = {1, 2};
+  cfg.base.seed = 31;
+  cfg.base.max_sim_time = 8 * sim::kHour;
+
+  cfg.arrivals.process = workload::ArrivalConfig::Process::kFixedOffset;
+  cfg.arrivals.num_jobs = 4;
+  cfg.arrivals.first_arrival = sim::kMinute;
+  cfg.arrivals.fixed_offset = 30 * sim::kSecond;
+  cfg.arrivals.round_robin_mix = true;  // sort, wc, sort, wc
+  cfg.arrivals.mix = {{mini_sort(), 1.0}, {mini_wc(), 1.0}};
+  return cfg;
+}
+
+}  // namespace
+
 int main() {
-  sim::Simulation sim(31);
-  cluster::Cluster cluster(sim, sim::FairnessModel::kBottleneckShare);
-  cluster::NodeConfig vcfg;
-  vcfg.type = cluster::NodeType::kVolatile;
-  const auto volatiles = cluster.add_nodes(16, vcfg);
-  cluster::NodeConfig dcfg = vcfg;
-  dcfg.type = cluster::NodeType::kDedicated;
-  cluster.add_nodes(2, dcfg);
+  using JobPolicy = mapred::SchedulerConfig::JobPolicy;
+  for (JobPolicy policy :
+       {JobPolicy::kFifo, JobPolicy::kFairShare, JobPolicy::kShortestRemaining}) {
+    const auto result = experiment::run_multi_job_scenario(config(policy));
 
-  // 0.3-unavailability synthetic traces on the volatile fleet.
-  trace::GeneratorConfig gen_cfg;
-  gen_cfg.unavailability_rate = 0.3;
-  trace::TraceGenerator gen(gen_cfg);
-  Rng trace_rng = Rng{31}.fork("traces");
-  cluster::AvailabilityDriver driver(sim, cluster);
-  driver.assign_fleet(volatiles, gen.generate_fleet(trace_rng, volatiles.size()));
-  driver.install(3);
-
-  dfs::Dfs dfs(sim, cluster, experiment::moon_dfs_config(), 31);
-  dfs.start();
-  mapred::JobTracker jobtracker(sim, cluster, dfs,
-                                experiment::moon_scheduler(true), 31);
-  jobtracker.add_all_trackers();
-  jobtracker.start();
-
-  // Job A: shuffle-heavy mini-sort. Job B: compute-heavy mini-wordcount,
-  // submitted two minutes later.
-  auto make_spec = [&](const workload::WorkloadModel& base, int maps,
-                       int reduces, const char* name) {
-    auto model = base;
-    model.num_maps = maps;
-    model.fixed_reduces = reduces;
-    model.reduce_slot_fraction = 0.0;
-    model.name = name;
-    const FileId input = dfs.stage_blocks(std::string(name) + ".in",
-                                          dfs::FileKind::kReliable, {1, 2},
-                                          maps, model.input_block_bytes);
-    return workload::make_job_spec(model, input, 36,
-                                   dfs::FileKind::kOpportunistic, {1, 1},
-                                   {1, 2});
-  };
-
-  auto sort_model = workload::sort_workload();
-  sort_model.input_block_bytes = mib(16.0);
-  sort_model.intermediate_per_map = mib(16.0);
-  sort_model.total_output = static_cast<Bytes>(24) * mib(16.0);
-  auto wc_model = workload::wordcount_workload();
-
-  JobId job_a, job_b;
-  sim.schedule_at(sim::kMinute, [&] {
-    job_a = jobtracker.submit(make_spec(sort_model, 24, 8, "mini-sort"));
-  });
-  sim.schedule_at(3 * sim::kMinute, [&] {
-    job_b = jobtracker.submit(make_spec(wc_model, 16, 4, "mini-wc"));
-  });
-
-  int finished = 0;
-  jobtracker.on_job_finished([&](mapred::Job&) { ++finished; });
-  while (finished < 2 && sim.now() < 8 * sim::kHour) {
-    if (!sim.step()) break;
+    Table table(std::string("Policy: ") + mapred::to_string(policy) +
+                " — 4-job stream, 8 volatile + 2 dedicated, rate 0.3");
+    table.columns({"job", "submit (s)", "wait (s)", "latency (s)", "finished",
+                   "duplicated"});
+    for (const auto& job : result.jobs) {
+      table.add_row(
+          {job.name + " #" + std::to_string(job.index),
+           Table::num(sim::to_seconds(job.submitted_at), 0),
+           Table::num(job.queue_wait_s, 0), Table::num(job.latency_s, 0),
+           job.run.finished ? "yes" : "no",
+           Table::num(static_cast<std::int64_t>(job.run.duplicated_tasks()))});
+    }
+    table.print(std::cout);
+    std::cout << "  makespan " << result.makespan_s << " s, mean latency "
+              << result.mean_latency_s << " s, p95 " << result.p95_latency_s
+              << " s, Jain fairness " << result.jain_fairness << "\n\n";
   }
-
-  Table table("Two concurrent jobs, 16 volatile + 2 dedicated, rate 0.3");
-  table.columns({"job", "finished", "time (s)", "duplicated", "fetch failures"});
-  for (JobId id : {job_a, job_b}) {
-    auto& job = jobtracker.job(id);
-    const auto& m = job.metrics();
-    table.add_row({job.spec().name, m.completed ? "yes" : "no",
-                   Table::num(m.execution_time_s(), 0),
-                   Table::num(static_cast<std::int64_t>(m.duplicated_tasks(
-                       job.spec().num_maps, job.spec().num_reduces))),
-                   Table::num(static_cast<std::int64_t>(m.fetch_failures))});
-  }
-  table.print(std::cout);
-  std::cout << "\nBoth jobs share slots; the later job steals idle capacity\n"
-               "rather than waiting for the first to finish.\n";
+  std::cout << "FIFO lets the early sort monopolise the slots; fair-share\n"
+               "interleaves by deficit; SRTF lets the smallest job finish\n"
+               "first. All three share one cluster, DFS, and trace.\n";
   return 0;
 }

@@ -450,10 +450,13 @@ void Dfs::debug_dump(std::ostream& os) const {
 }
 
 void Dfs::probe_ops() {
-  // Ops may complete (and erase themselves) during probing; walk a snapshot.
+  // Ops may complete (and erase themselves) during probing; walk a snapshot,
+  // in issue order — probes retry stalled transfers (state-changing), so the
+  // walk must not follow the map's hash order (§2 determinism contract).
   std::vector<OpId> ids;
   ids.reserve(ops_.size());
   for (const auto& [id, op] : ops_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   for (OpId id : ids) {
     auto it = ops_.find(id);
     if (it != ops_.end()) it->second->probe();
@@ -467,6 +470,10 @@ void Dfs::replication_scan() {
   for (const auto& [flow, repair] : repairs_) {
     if (net.rate(flow) == 0.0) stalled.push_back(flow);
   }
+  // Recycle in flow-start order: each abort re-enqueues the block, and the
+  // queue position decides the retry order, so the hash order of repairs_
+  // must not leak into it (§2 determinism contract).
+  std::sort(stalled.begin(), stalled.end());
   {
     sim::FlowNetwork::CapacityBatch batch(net);
     for (FlowId flow : stalled) {

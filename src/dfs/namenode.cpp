@@ -84,6 +84,9 @@ bool NameNode::all_dedicated_saturated() const {
 
 void NameNode::liveness_scan() {
   const sim::Time now = sim_.now();
+  // datanodes_ is NodeId-ordered: expiring nodes die in id order, so the
+  // replication-queue enqueue sequence their deaths trigger is reproducible
+  // regardless of registration order.
   for (auto& [id, info] : datanodes_) {
     const sim::Duration gap = now - info.last_heartbeat;
     if (info.state == DataNodeState::kDead) continue;
@@ -131,7 +134,9 @@ void NameNode::on_node_dead(NodeId node) {
   // Every block on the node loses a replica for accounting purposes; the
   // replica list keeps the entry (the node may return with data intact), but
   // factor checks ignore dead holders, so under-replicated blocks re-queue.
-  for (BlockId b : node_blocks_[node]) {
+  // Enqueue in BlockId order: node_blocks_ buckets are hash-ordered and the
+  // queue position decides repair order (§2 determinism contract).
+  for (BlockId b : sorted_blocks_of(node)) {
     if (!block_meets_factor(b)) enqueue_replication(b);
   }
 }
@@ -139,13 +144,21 @@ void NameNode::on_node_dead(NodeId node) {
 void NameNode::on_node_hibernated(NodeId node) {
   // §IV-C: "only opportunistic files without dedicated replicas will be
   // re-replicated" when a node hibernates.
-  for (BlockId b : node_blocks_[node]) {
+  for (BlockId b : sorted_blocks_of(node)) {
     const auto& meta = blocks_.at(b);
     const auto& fm = files_.at(meta.file);
     if (fm.kind != FileKind::kOpportunistic) continue;
     if (live_replicas(b).dedicated > 0) continue;
     if (!block_meets_factor(b)) enqueue_replication(b);
   }
+}
+
+std::vector<BlockId> NameNode::sorted_blocks_of(NodeId node) const {
+  auto it = node_blocks_.find(node);
+  if (it == node_blocks_.end()) return {};
+  std::vector<BlockId> blocks(it->second.begin(), it->second.end());
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
 }
 
 // ---- namespace ----------------------------------------------------------
@@ -571,7 +584,18 @@ int NameNode::adaptive_volatile_requirement() const {
 
 void NameNode::refresh_adaptive_requirements() {
   const int v_prime = adaptive_volatile_requirement();
-  for (auto& [id, meta] : files_) {
+  // Walk files in id order: the scan enqueues replication work, and the
+  // queue position decides repair order, so hash order must not leak into
+  // it (§2 determinism contract). Sorting a key snapshot also tolerates the
+  // (currently impossible) case of a callback mutating files_ mid-scan.
+  std::vector<FileId> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, meta] : files_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (FileId id : ids) {
+    auto fit = files_.find(id);
+    if (fit == files_.end()) continue;
+    FileMeta& meta = fit->second;
     if (meta.kind != FileKind::kOpportunistic) continue;
     if (meta.adaptive_volatile == 0) continue;  // never declined; leave alone
     if (meta.factor.dedicated > 0) {
@@ -612,8 +636,7 @@ void NameNode::subscribe_replica_events(ReplicaListener listener) {
 std::vector<NodeId> NameNode::datanodes() const {
   std::vector<NodeId> out;
   out.reserve(datanodes_.size());
-  for (const auto& [id, info] : datanodes_) out.push_back(id);
-  std::sort(out.begin(), out.end());
+  for (const auto& [id, info] : datanodes_) out.push_back(id);  // id-ordered map
   return out;
 }
 

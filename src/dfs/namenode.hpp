@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <queue>
 #include <set>
@@ -167,6 +168,10 @@ class NameNode {
 
   void liveness_scan();
   void estimate_scan();
+  /// BlockId-sorted snapshot of node_blocks_[node] — death/hibernation
+  /// handlers enqueue replication while walking it, so the walk must not
+  /// follow hash order.
+  [[nodiscard]] std::vector<BlockId> sorted_blocks_of(NodeId node) const;
   void set_state(NodeId node, DataNodeState next);
   void on_node_dead(NodeId node);
   void on_node_hibernated(NodeId node);
@@ -180,7 +185,11 @@ class NameNode {
   cluster::Cluster& cluster_;
   DfsConfig config_;
 
-  std::unordered_map<NodeId, DataNodeInfo> datanodes_;
+  /// Ordered by NodeId: the liveness scan takes state-changing actions
+  /// (death -> replication enqueues, listener callbacks), so its iteration
+  /// order must not depend on hash layout or registration order (DESIGN.md
+  /// §2 determinism contract).
+  std::map<NodeId, DataNodeInfo> datanodes_;
   std::unordered_map<FileId, FileMeta> files_;
   std::unordered_map<BlockId, BlockMeta> blocks_;
   IdAllocator<FileId> file_ids_;

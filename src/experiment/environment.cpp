@@ -1,0 +1,71 @@
+#include "experiment/environment.hpp"
+
+#include <algorithm>
+
+#include "experiment/scenario.hpp"
+#include "trace/correlated.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace moon::experiment {
+
+Environment::Environment(const ScenarioConfig& config)
+    : sim(config.seed), cluster(sim, config.fairness) {
+  // The members `sim`/`cluster`/`dfs` shadow their namespaces in here, so
+  // namespace-qualified types spell out moon::.
+  moon::cluster::NodeConfig volatile_cfg;
+  volatile_cfg.type = moon::cluster::NodeType::kVolatile;
+  volatile_cfg.map_slots = config.map_slots;
+  volatile_cfg.reduce_slots = config.reduce_slots;
+  volatile_cfg.nic_in_bw = config.nic_bandwidth;
+  volatile_cfg.nic_out_bw = config.nic_bandwidth;
+  volatile_cfg.disk_bw = config.disk_bandwidth;
+
+  // Hadoop mode: the dedicated machines exist but are typed volatile ("these
+  // nodes are all treated as volatile in the Hadoop tests as Hadoop cannot
+  // differentiate", §VI-C); they still never go down.
+  moon::cluster::NodeConfig dedicated_cfg = volatile_cfg;
+  dedicated_cfg.type = config.dedicated_known
+                           ? moon::cluster::NodeType::kDedicated
+                           : moon::cluster::NodeType::kVolatile;
+
+  volatile_ids = cluster.add_nodes(config.volatile_nodes, volatile_cfg);
+  cluster.add_nodes(config.dedicated_nodes, dedicated_cfg);
+
+  // Availability traces apply to the genuinely volatile machines only.
+  trace::GeneratorConfig gen_cfg = config.trace_gen;
+  gen_cfg.unavailability_rate = config.unavailability_rate;
+  Rng trace_rng = Rng{config.seed}.fork("traces");
+  std::vector<trace::AvailabilityTrace> fleet;
+  if (config.correlated_outages) {
+    trace::CorrelatedConfig corr;
+    corr.base = gen_cfg;
+    corr.group_size = config.correlation_group_size;
+    corr.correlated_fraction = config.correlated_fraction;
+    corr.group_event_mean_s = config.correlated_event_mean_s;
+    corr.group_event_stddev_s = config.correlated_event_mean_s / 4.0;
+    corr.group_event_min_s =
+        std::min(600.0, config.correlated_event_mean_s / 2.0);
+    fleet = trace::CorrelatedTraceGenerator(corr).generate_fleet(
+        trace_rng, volatile_ids.size());
+  } else {
+    fleet = trace::TraceGenerator(gen_cfg).generate_fleet(trace_rng,
+                                                          volatile_ids.size());
+  }
+
+  driver = std::make_unique<moon::cluster::AvailabilityDriver>(sim, cluster);
+  driver->assign_fleet(volatile_ids, fleet);
+  const int repeats = static_cast<int>(
+      config.max_sim_time / std::max<moon::sim::Duration>(gen_cfg.horizon, 1) +
+      1);
+  driver->install(repeats);
+
+  dfs = std::make_unique<moon::dfs::Dfs>(sim, cluster, config.dfs, config.seed);
+  dfs->start();
+
+  jobtracker = std::make_unique<mapred::JobTracker>(sim, cluster, *dfs,
+                                                    config.sched, config.seed);
+  jobtracker->add_all_trackers();
+  jobtracker->start();
+}
+
+}  // namespace moon::experiment

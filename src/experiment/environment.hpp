@@ -1,0 +1,42 @@
+// Shared scenario environment: the trace -> cluster -> DFS -> JobTracker
+// wiring that both run_scenario and run_multi_job_scenario sit on. One
+// construction path keeps the two harnesses structurally identical — the
+// single-arrival kFifo golden test (bit-identity between them) holds by
+// shared code, not by a hand-maintained mirror.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/availability_driver.hpp"
+#include "cluster/cluster.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/jobtracker.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::experiment {
+
+struct ScenarioConfig;
+
+/// Builds and starts the full stack for one scenario run: nodes typed per
+/// `dedicated_known`, availability traces installed on the volatile fleet,
+/// DFS and JobTracker (all trackers registered) running. Workload staging
+/// and job submission stay with the caller.
+class Environment {
+ public:
+  explicit Environment(const ScenarioConfig& config);
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // Types are moon::-qualified where a member name shadows its namespace.
+  moon::sim::Simulation sim;
+  moon::cluster::Cluster cluster;
+  std::vector<NodeId> volatile_ids;
+  // Heap-held: each needs the cluster fully populated before construction.
+  std::unique_ptr<moon::cluster::AvailabilityDriver> driver;
+  std::unique_ptr<moon::dfs::Dfs> dfs;
+  std::unique_ptr<moon::mapred::JobTracker> jobtracker;
+};
+
+}  // namespace moon::experiment

@@ -1,0 +1,61 @@
+// Multi-job experiment harness (DESIGN.md §10): wires one opportunistic
+// cluster + DFS + JobTracker, replays a JobArrivalStream into it, and
+// collects per-job RunResults plus stream-level metrics (makespan, mean/p95
+// job latency, Jain fairness index).
+//
+// The environment setup is the same experiment::Environment run_scenario
+// uses (shared construction path, same RNG fork tags and startup order), so
+// a kFifo stream with a single arrival reproduces the single-job schedule
+// bit for bit — asserted by tests/experiment/multi_job_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "workload/arrival.hpp"
+
+namespace moon::experiment {
+
+struct MultiJobConfig {
+  /// Cluster / volatility / stack knobs. `base.app` and `base.submit_at` are
+  /// ignored — the arrival stream supplies per-job models and submit times.
+  ScenarioConfig base;
+  workload::ArrivalConfig arrivals;
+};
+
+/// One job of the stream, in the familiar single-job shape plus stream
+/// bookkeeping.
+struct JobOutcome {
+  std::string name;
+  int index = 0;                 ///< position in the arrival stream
+  sim::Time submitted_at = 0;
+  double latency_s = 0.0;        ///< completion - submission (horizon if DNF)
+  double queue_wait_s = 0.0;     ///< submission -> first launched attempt
+  RunResult run;                 ///< per-job metrics/progress snapshot
+};
+
+struct MultiJobResult {
+  std::vector<JobOutcome> jobs;  ///< submitted jobs, in arrival order
+  int submitted_jobs = 0;        ///< arrivals that fired before the horizon
+  int completed_jobs = 0;
+  double makespan_s = 0.0;       ///< first submission -> last completion/horizon
+  double mean_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  /// Jain index over per-job latencies: 1 when every job waits equally,
+  /// -> 1/n when one job absorbs all the delay.
+  double jain_fairness = 1.0;
+  std::size_t replication_queue_depth = 0;
+  double scheduling_wall_ms = 0.0;
+  dfs::DfsStats dfs_stats;  ///< cluster-wide (the DFS is shared by all jobs)
+};
+
+/// Runs the arrival stream to completion (or base.max_sim_time). Arrivals
+/// past the horizon never fire and are not reported as jobs.
+MultiJobResult run_multi_job_scenario(const MultiJobConfig& config);
+
+/// Jain fairness index (sum x)^2 / (n * sum x^2) over positive samples;
+/// 1.0 for empty/degenerate input.
+double jain_index(const std::vector<double>& samples);
+
+}  // namespace moon::experiment

@@ -1,73 +1,17 @@
 #include "experiment/scenario.hpp"
 
-#include <algorithm>
 #include <iostream>
 #include <memory>
 
-#include "cluster/availability_driver.hpp"
-#include "cluster/cluster.hpp"
-#include "dfs/dfs.hpp"
-#include "mapred/jobtracker.hpp"
-#include "simkit/simulation.hpp"
-#include "trace/correlated.hpp"
-#include "trace/trace_generator.hpp"
+#include "experiment/environment.hpp"
 
 namespace moon::experiment {
 
 RunResult run_scenario(const ScenarioConfig& config) {
-  sim::Simulation sim(config.seed);
-  cluster::Cluster cluster(sim, config.fairness);
-
-  cluster::NodeConfig volatile_cfg;
-  volatile_cfg.type = cluster::NodeType::kVolatile;
-  volatile_cfg.map_slots = config.map_slots;
-  volatile_cfg.reduce_slots = config.reduce_slots;
-  volatile_cfg.nic_in_bw = config.nic_bandwidth;
-  volatile_cfg.nic_out_bw = config.nic_bandwidth;
-  volatile_cfg.disk_bw = config.disk_bandwidth;
-
-  cluster::NodeConfig dedicated_cfg = volatile_cfg;
-  dedicated_cfg.type = config.dedicated_known ? cluster::NodeType::kDedicated
-                                              : cluster::NodeType::kVolatile;
-
-  const auto volatile_ids = cluster.add_nodes(config.volatile_nodes, volatile_cfg);
-  cluster.add_nodes(config.dedicated_nodes, dedicated_cfg);
-
-  // Availability traces apply to the genuinely volatile machines only; the
-  // dedicated machines never go down (whether or not the framework knows
-  // they are special).
-  trace::GeneratorConfig gen_cfg = config.trace_gen;
-  gen_cfg.unavailability_rate = config.unavailability_rate;
-  Rng trace_rng = Rng{config.seed}.fork("traces");
-  std::vector<trace::AvailabilityTrace> fleet;
-  if (config.correlated_outages) {
-    trace::CorrelatedConfig corr;
-    corr.base = gen_cfg;
-    corr.group_size = config.correlation_group_size;
-    corr.correlated_fraction = config.correlated_fraction;
-    corr.group_event_mean_s = config.correlated_event_mean_s;
-    corr.group_event_stddev_s = config.correlated_event_mean_s / 4.0;
-    corr.group_event_min_s =
-        std::min(600.0, config.correlated_event_mean_s / 2.0);
-    fleet = trace::CorrelatedTraceGenerator(corr).generate_fleet(
-        trace_rng, volatile_ids.size());
-  } else {
-    fleet = trace::TraceGenerator(gen_cfg).generate_fleet(trace_rng,
-                                                          volatile_ids.size());
-  }
-
-  cluster::AvailabilityDriver driver(sim, cluster);
-  driver.assign_fleet(volatile_ids, fleet);
-  const int repeats = static_cast<int>(
-      config.max_sim_time / std::max<sim::Duration>(gen_cfg.horizon, 1) + 1);
-  driver.install(repeats);
-
-  dfs::Dfs dfs(sim, cluster, config.dfs, config.seed);
-  dfs.start();
-
-  mapred::JobTracker jobtracker(sim, cluster, dfs, config.sched, config.seed);
-  jobtracker.add_all_trackers();
-  jobtracker.start();
+  Environment env(config);
+  sim::Simulation& sim = env.sim;
+  dfs::Dfs& dfs = *env.dfs;
+  mapred::JobTracker& jobtracker = *env.jobtracker;
 
   // Stage the input with one block per map task.
   const dfs::FileKind input_kind = config.dedicated_known
@@ -78,7 +22,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
       config.app.num_maps, config.app.input_block_bytes);
 
   const int reduce_slot_total =
-      static_cast<int>(cluster.size()) * config.reduce_slots;
+      static_cast<int>(env.cluster.size()) * config.reduce_slots;
   mapred::JobSpec spec = workload::make_job_spec(
       config.app, input, reduce_slot_total, config.intermediate_kind,
       config.intermediate_factor, config.output_factor);

@@ -436,6 +436,12 @@ TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
   bump_sched_epoch();
   if (t.attempts.empty()) ++ever_started_[type_index(t.type)];
   if (speculative) ++running_speculative_count_;  // born AttemptState::kRunning
+  if (metrics_.first_launch_at < 0) {
+    metrics_.first_launch_at = jobtracker_.simulation().now();
+  }
+  ++live_attempt_count_;
+  metrics_.peak_running_attempts =
+      std::max(metrics_.peak_running_attempts, live_attempt_count_);
   if (t.type == TaskType::kReduce &&
       jobtracker_.config().checkpoint.enabled) {
     // Resume from the latest live checkpoint (a prior attempt's salvaged
@@ -558,6 +564,7 @@ void Job::attempt_failed(TaskAttempt& attempt) {
 void Job::finalize_attempt(TaskAttempt& attempt) {
   Task& t = task(attempt.task());
   bump_sched_epoch();
+  --live_attempt_count_;
   auto& live = t.live_attempts;
   auto it = std::find(live.begin(), live.end(), &attempt);
   if (it != live.end()) {

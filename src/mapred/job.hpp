@@ -65,6 +65,11 @@ class Job {
   /// Count of non-terminal speculative attempts across the job.
   [[nodiscard]] int running_speculative() const;
 
+  /// Count of non-terminal attempts across the job — the job's current slot
+  /// footprint, which the fair-share multi-job policy ranks against
+  /// remaining_tasks(). O(1): maintained on launch/finalize.
+  [[nodiscard]] int live_attempts() const { return live_attempt_count_; }
+
   /// True when `id`'s live attempt resumed from a checkpoint with enough
   /// salvaged progress that backup copies would only duplicate work the
   /// checkpoint already saved (SpeculationPolicy consults this).
@@ -223,6 +228,7 @@ class Job {
   int completed_count_[2] = {0, 0};     ///< per-type completed tasks
   int ever_started_[2] = {0, 0};        ///< tasks that ever launched an attempt
   int running_speculative_count_ = 0;   ///< attempts running && speculative
+  int live_attempt_count_ = 0;          ///< non-terminal attempts, all tasks
   std::uint64_t sched_epoch_ = 0;       ///< discrete-state stamp (see getter)
 
   /// Memo for average_progress under kIndexed: constant within one

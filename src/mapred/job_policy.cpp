@@ -1,0 +1,85 @@
+#include "mapred/job_policy.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mapred/job.hpp"
+
+namespace moon::mapred {
+
+namespace {
+
+/// Submission order: the heartbeat loop already hands jobs over in this
+/// order, so ranking is the identity.
+class FifoPolicy final : public JobSchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+  void order(std::vector<Job*>&) const override {}
+};
+
+/// Deficit-based fair share: offer the slot to the job whose running
+/// attempts are smallest relative to its remaining work, i.e. minimise
+/// live_attempts / remaining_tasks. Compared with cross-multiplication so
+/// the ranking is exact integer arithmetic (no float ties). Jobs with no
+/// remaining work (committed outputs still replicating) need no slots and
+/// sort last.
+class FairSharePolicy final : public JobSchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "fair-share"; }
+  void order(std::vector<Job*>& jobs) const override {
+    std::stable_sort(jobs.begin(), jobs.end(), [](Job* a, Job* b) {
+      const std::int64_t ra = a->remaining_tasks();
+      const std::int64_t rb = b->remaining_tasks();
+      if ((ra == 0) != (rb == 0)) return ra != 0;
+      if (ra == 0) return false;  // both drained: keep submission order
+      // live_a/ra < live_b/rb  <=>  live_a*rb < live_b*ra
+      return static_cast<std::int64_t>(a->live_attempts()) * rb <
+             static_cast<std::int64_t>(b->live_attempts()) * ra;
+    });
+  }
+};
+
+/// Shortest remaining time first: the job with the least remaining work wins
+/// every free slot, so small jobs slip past large ones (no preemption —
+/// running attempts are never killed for priority).
+class ShortestRemainingPolicy final : public JobSchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "shortest-remaining";
+  }
+  void order(std::vector<Job*>& jobs) const override {
+    std::stable_sort(jobs.begin(), jobs.end(), [](Job* a, Job* b) {
+      const int ra = a->remaining_tasks();
+      const int rb = b->remaining_tasks();
+      if ((ra == 0) != (rb == 0)) return ra != 0;  // drained jobs last
+      return ra < rb;
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<JobSchedulingPolicy> JobSchedulingPolicy::make(
+    SchedulerConfig::JobPolicy policy) {
+  switch (policy) {
+    case SchedulerConfig::JobPolicy::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case SchedulerConfig::JobPolicy::kFairShare:
+      return std::make_unique<FairSharePolicy>();
+    case SchedulerConfig::JobPolicy::kShortestRemaining:
+      return std::make_unique<ShortestRemainingPolicy>();
+  }
+  return std::make_unique<FifoPolicy>();
+}
+
+const char* to_string(SchedulerConfig::JobPolicy policy) {
+  switch (policy) {
+    case SchedulerConfig::JobPolicy::kFifo: return "fifo";
+    case SchedulerConfig::JobPolicy::kFairShare: return "fair-share";
+    case SchedulerConfig::JobPolicy::kShortestRemaining:
+      return "shortest-remaining";
+  }
+  return "?";
+}
+
+}  // namespace moon::mapred

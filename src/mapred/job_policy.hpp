@@ -1,0 +1,36 @@
+// Multi-job scheduling policies (DESIGN.md §10).
+//
+// The JobTracker's heartbeat loop offers each free slot to the unfinished
+// jobs in an order chosen by a JobSchedulingPolicy. The policy only ranks
+// jobs; within a job the existing per-type assignment (maps before reduces,
+// failed-first/locality pending picks, then speculation) is untouched, so
+// kFifo reproduces the historical submission-order walk bit for bit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mapred/types.hpp"
+
+namespace moon::mapred {
+
+class Job;
+
+class JobSchedulingPolicy {
+ public:
+  virtual ~JobSchedulingPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Reorders `jobs` (handed over in submission order, finished jobs already
+  /// removed) into the order they are offered the current heartbeat's slot.
+  /// Must be deterministic: ties break by submission order.
+  virtual void order(std::vector<Job*>& jobs) const = 0;
+
+  static std::unique_ptr<JobSchedulingPolicy> make(
+      SchedulerConfig::JobPolicy policy);
+};
+
+const char* to_string(SchedulerConfig::JobPolicy policy);
+
+}  // namespace moon::mapred

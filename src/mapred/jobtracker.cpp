@@ -30,6 +30,7 @@ JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
   } else {
     speculator_ = std::make_unique<HadoopSpeculator>(*this);
   }
+  job_policy_ = JobSchedulingPolicy::make(config_.job_policy);
   // Replica add/remove feeds each live job's pending-map locality buckets.
   // The NameNode has no unsubscribe, so the listener guards against this
   // JobTracker being gone while the DFS lives on.
@@ -62,7 +63,16 @@ void JobTracker::add_all_trackers() {
 void JobTracker::start() {
   if (started_) return;
   started_ = true;
-  for (auto& tracker : trackers_) tracker->start();
+  // Start heartbeats in NodeId order, not registration order: same-tick
+  // events fire FIFO, so the startup sequence fixes the heartbeat (and hence
+  // assignment) order at every tick forever after. Keying it on node ids
+  // keeps runs bit-identical under permuted add_tracker calls (§2
+  // determinism contract); add_all_trackers already registers in id order.
+  std::vector<TaskTracker*> by_id = tracker_ptrs_;
+  std::sort(by_id.begin(), by_id.end(), [](TaskTracker* a, TaskTracker* b) {
+    return a->node_id() < b->node_id();
+  });
+  for (TaskTracker* tracker : by_id) tracker->start();
   liveness_task_.start();
   completion_task_.start();
 }
@@ -164,6 +174,9 @@ void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
 
 void JobTracker::liveness_scan() {
   const sim::Time now = sim_.now();
+  // tracker_info_ is NodeId-ordered: expiring trackers die in id order, so
+  // the resulting re-pend/kill sequence is reproducible regardless of how
+  // the map was populated.
   for (auto& [node, info] : tracker_info_) {
     if (info.state == TrackerState::kDead) continue;
     const sim::Duration gap = now - info.last_heartbeat;
@@ -186,12 +199,18 @@ void JobTracker::completion_scan() {
 // ---- task assignment -----------------------------------------------------
 
 void JobTracker::assign_work(TaskTracker& tracker) {
-  // One task per heartbeat, like Hadoop 0.17. Maps get priority when both
+  // One task per heartbeat, like Hadoop 0.17. The configured multi-job
+  // policy ranks the unfinished jobs (kFifo keeps submission order, so a
+  // single-job run is unchanged); within a job, maps get priority when both
   // slot types are open (they gate the reducers' shuffle). Pending picks are
   // bucket lookups on the job's indices (kIndexed) or the original scan
   // (kScan); speculative picks enumerate only running tasks.
+  assign_order_.clear();
   for (Job* job : jobs_by_order_) {
-    if (job->finished()) continue;
+    if (!job->finished()) assign_order_.push_back(job);
+  }
+  job_policy_->order(assign_order_);
+  for (Job* job : assign_order_) {
     for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
       if (tracker.free_slots(type) <= 0) continue;
       std::optional<TaskId> choice = job->pick_pending(type, tracker);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/rng.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/job.hpp"
+#include "mapred/job_policy.hpp"
 #include "mapred/speculation.hpp"
 #include "mapred/tasktracker.hpp"
 #include "mapred/types.hpp"
@@ -70,6 +72,10 @@ class JobTracker {
   [[nodiscard]] std::uint64_t heartbeats_served() const { return heartbeats_; }
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// The configured multi-job arbitration policy (DESIGN.md §10).
+  [[nodiscard]] const JobSchedulingPolicy& job_policy() const {
+    return *job_policy_;
+  }
   /// Reduce-checkpoint subsystem (inert unless config().checkpoint.enabled).
   [[nodiscard]] checkpoint::CheckpointStore& checkpoint_store() {
     return checkpoint_store_;
@@ -106,12 +112,19 @@ class JobTracker {
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
   std::vector<TaskTracker*> tracker_ptrs_;  ///< cached trackers() view
-  std::unordered_map<NodeId, TrackerInfo> tracker_info_;
+  /// Ordered by NodeId: the liveness scan takes state-changing actions
+  /// (tracker death -> attempt kills -> re-pend order), so its iteration
+  /// order must not depend on hash layout or registration order (§2
+  /// determinism contract).
+  std::map<NodeId, TrackerInfo> tracker_info_;
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
   /// Submission-order view of jobs_: the heartbeat loop and completion scan
   /// iterate this instead of the unordered map, so multi-job assignment
   /// order is deterministic (and index/scan modes stay in lockstep).
   std::vector<Job*> jobs_by_order_;
+  /// Scratch for assign_work: unfinished jobs in the order the configured
+  /// JobSchedulingPolicy wants them offered the heartbeat's slot.
+  std::vector<Job*> assign_order_;
   IdAllocator<JobId> job_ids_;
   /// Live-tracker slot aggregates, updated on tracker add and every state
   /// transition (kIndexed reads these; kScan recounts).
@@ -120,6 +133,7 @@ class JobTracker {
   std::uint64_t sched_wall_ns_ = 0;  ///< accumulated assign_work wall time
   std::uint64_t heartbeats_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
+  std::unique_ptr<JobSchedulingPolicy> job_policy_;
   checkpoint::CheckpointPolicy checkpoint_policy_;
   // Declared after jobs_: the store's destructor cancels in-flight DFS ops
   // whose callbacks touch jobs, so it must go first.

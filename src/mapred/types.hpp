@@ -95,6 +95,16 @@ struct SchedulerConfig {
   enum class Speculator { kHadoop, kMoon, kLate };
   Speculator speculator = Speculator::kHadoop;
 
+  /// Multi-job arbitration: which unfinished job gets first claim on each
+  /// heartbeat's slot (DESIGN.md §10). kFifo walks jobs in submission order
+  /// (bit-identical to the historical single-loop behaviour); kFairShare
+  /// offers the slot to the job with the fewest running attempts relative to
+  /// its remaining work (deficit-based, submission order breaking ties);
+  /// kShortestRemaining prefers the job with the least remaining work (SRTF).
+  /// Within a job, map-before-reduce priority is preserved by every policy.
+  enum class JobPolicy { kFifo, kFairShare, kShortestRemaining };
+  JobPolicy job_policy = JobPolicy::kFifo;
+
   // --- LATE parameters (used when speculator == kLate) ---
   /// SpeculativeCap: concurrent backups <= this fraction of total slots.
   double late_cap_fraction = 0.1;
@@ -136,6 +146,12 @@ struct JobMetrics {
   bool failed = false;
   sim::Time submitted_at = 0;
   sim::Time finished_at = 0;
+  /// When the job's first attempt launched; negative until then. The gap to
+  /// submitted_at is the queue wait a multi-job policy imposed on the job.
+  sim::Time first_launch_at = -1;
+  /// High-water mark of concurrently running attempts — the job's peak slot
+  /// footprint (multi-job fairness accounting).
+  int peak_running_attempts = 0;
 
   int launched_map_attempts = 0;
   int launched_reduce_attempts = 0;
@@ -161,6 +177,12 @@ struct JobMetrics {
 
   [[nodiscard]] double execution_time_s() const {
     return sim::to_seconds(finished_at - submitted_at);
+  }
+  /// Seconds between submission and the first launched attempt (0 if the
+  /// job never launched one).
+  [[nodiscard]] double queue_wait_s() const {
+    return first_launch_at < 0 ? 0.0
+                               : sim::to_seconds(first_launch_at - submitted_at);
   }
   /// Paper Fig. 5: attempts beyond one per task (speculatives + re-runs).
   [[nodiscard]] int duplicated_tasks(int num_maps, int num_reduces) const {

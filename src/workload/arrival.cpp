@@ -1,0 +1,76 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace moon::workload {
+
+JobArrivalStream::JobArrivalStream(ArrivalConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  if (config_.mix.empty()) {
+    throw std::invalid_argument("JobArrivalStream: empty workload mix");
+  }
+  double total = 0.0;
+  for (const JobMix& m : config_.mix) {
+    if (m.weight > 0.0) total += m.weight;
+  }
+  if (!config_.round_robin_mix && total <= 0.0) {
+    throw std::invalid_argument("JobArrivalStream: no positive mix weight");
+  }
+}
+
+std::vector<JobArrival> JobArrivalStream::generate() const {
+  // Two independent streams so changing the arrival process never perturbs
+  // the model picks (and vice versa).
+  Rng gap_rng = Rng{seed_}.fork("arrival-gaps");
+  Rng mix_rng = Rng{seed_}.fork("arrival-mix");
+
+  double weight_total = 0.0;
+  for (const JobMix& m : config_.mix) {
+    if (m.weight > 0.0) weight_total += m.weight;
+  }
+
+  const auto pick_model = [&](int index) -> const WorkloadModel& {
+    if (config_.round_robin_mix) {
+      return config_.mix[static_cast<std::size_t>(index) % config_.mix.size()]
+          .model;
+    }
+    double point = mix_rng.uniform() * weight_total;
+    const WorkloadModel* last_positive = nullptr;
+    for (const JobMix& m : config_.mix) {
+      if (m.weight <= 0.0) continue;
+      last_positive = &m.model;
+      point -= m.weight;
+      if (point < 0.0) return m.model;
+    }
+    // fp rounding can leave point at exactly 0.0; the fallback must still
+    // honour the "weight <= 0 is never chosen" guarantee.
+    return *last_positive;
+  };
+
+  std::vector<JobArrival> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, config_.num_jobs)));
+  sim::Time t = config_.first_arrival;
+  for (int i = 0; i < config_.num_jobs; ++i) {
+    if (i > 0) {
+      if (config_.process == ArrivalConfig::Process::kPoisson) {
+        const double gap_s =
+            gap_rng.exponential(sim::to_seconds(config_.mean_interarrival));
+        t += std::max<sim::Duration>(sim::kMicrosecond, sim::seconds(gap_s));
+      } else {
+        t += std::max<sim::Duration>(sim::kMicrosecond, config_.fixed_offset);
+      }
+    }
+    JobArrival arrival;
+    arrival.index = i;
+    arrival.submit_at = t;
+    arrival.model = pick_model(i);
+    out.push_back(std::move(arrival));
+  }
+  return out;
+}
+
+}  // namespace moon::workload

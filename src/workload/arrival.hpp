@@ -1,0 +1,64 @@
+// Job arrival streams for multi-tenant scenarios (DESIGN.md §10).
+//
+// A JobArrivalStream turns a seeded arrival process (Poisson or fixed
+// offsets) and a workload mix (sort / wordcount / sleep models, weighted or
+// round-robin) into a deterministic list of (submit time, model) pairs that
+// experiment::run_multi_job_scenario feeds to the JobTracker. The same
+// (config, seed) always yields the same stream; trace, DFS and scheduler
+// RNG streams are independent forks, so arrival draws never perturb them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "workload/workload.hpp"
+
+namespace moon::workload {
+
+/// One entry of the workload mix; `weight` biases the seeded model pick
+/// (entries with weight <= 0 are never chosen).
+struct JobMix {
+  WorkloadModel model;
+  double weight = 1.0;
+};
+
+struct ArrivalConfig {
+  /// kPoisson: exponential inter-arrival gaps with mean `mean_interarrival`;
+  /// kFixedOffset: arrivals exactly `fixed_offset` apart.
+  enum class Process { kPoisson, kFixedOffset };
+  Process process = Process::kPoisson;
+
+  int num_jobs = 4;
+  sim::Duration first_arrival = 60 * sim::kSecond;
+  sim::Duration mean_interarrival = 120 * sim::kSecond;  ///< kPoisson
+  sim::Duration fixed_offset = 120 * sim::kSecond;       ///< kFixedOffset
+
+  /// Workload mix the stream draws from. Must be non-empty.
+  std::vector<JobMix> mix;
+  /// true: job i runs mix[i % mix.size()] (no draw — handy for controlled
+  /// experiments); false: weighted seeded pick per arrival.
+  bool round_robin_mix = false;
+};
+
+/// One arrival: submit `model` at `submit_at`.
+struct JobArrival {
+  int index = 0;
+  sim::Time submit_at = 0;
+  WorkloadModel model;
+};
+
+class JobArrivalStream {
+ public:
+  JobArrivalStream(ArrivalConfig config, std::uint64_t seed);
+
+  /// The full stream, sorted by submit time (arrival times are built
+  /// monotonically). Deterministic per (config, seed).
+  [[nodiscard]] std::vector<JobArrival> generate() const;
+
+ private:
+  ArrivalConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace moon::workload

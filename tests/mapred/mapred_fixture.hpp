@@ -68,6 +68,49 @@ class MapRedHarness {
     return job_id_;
   }
 
+  /// Stages a fresh input and submits a custom-sized job — multi-job tests
+  /// submit several of these against one tracker fleet.
+  JobId submit_job(const std::string& name, int maps, int reduces,
+                   sim::Duration map_compute = 10 * sim::kSecond,
+                   sim::Duration reduce_compute = 10 * sim::kSecond) {
+    const FileId input = dfs_->stage_blocks(
+        name + ".in", dfs::FileKind::kReliable, options_.input_factor, maps,
+        kKiB);
+    JobSpec spec;
+    spec.name = name;
+    spec.num_maps = maps;
+    spec.num_reduces = reduces;
+    spec.input_file = input;
+    spec.intermediate_per_map = options_.intermediate_per_map;
+    spec.output_per_reduce = options_.output_per_reduce;
+    spec.map_compute = map_compute;
+    spec.reduce_compute = reduce_compute;
+    spec.compute_jitter = 0.0;
+    spec.intermediate_kind = options_.intermediate_kind;
+    spec.intermediate_factor = options_.intermediate_factor;
+    spec.output_factor = options_.output_factor;
+    return jobtracker_->submit(spec);
+  }
+
+  /// Runs until every job in `ids` finishes or `limit` elapses.
+  bool run_jobs_to_completion(const std::vector<JobId>& ids,
+                              sim::Duration limit = sim::hours(4)) {
+    const sim::Time deadline = sim_.now() + limit;
+    const auto all_done = [&] {
+      for (JobId id : ids) {
+        if (!jobtracker_->job(id).finished()) return false;
+      }
+      return true;
+    };
+    while (!all_done() && sim_.now() < deadline) {
+      if (!sim_.step()) break;
+    }
+    for (JobId id : ids) {
+      if (!jobtracker_->job(id).metrics().completed) return false;
+    }
+    return true;
+  }
+
   Job& job() { return jobtracker_->job(job_id_); }
   JobTracker& jobtracker() { return *jobtracker_; }
   dfs::Dfs& dfs() { return *dfs_; }

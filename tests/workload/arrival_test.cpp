@@ -1,0 +1,102 @@
+// JobArrivalStream: deterministic seeded arrivals over a workload mix.
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moon::workload {
+namespace {
+
+ArrivalConfig base_config() {
+  ArrivalConfig cfg;
+  cfg.num_jobs = 6;
+  cfg.first_arrival = 60 * sim::kSecond;
+  cfg.mix = {{sort_workload(), 1.0}, {wordcount_workload(), 1.0}};
+  return cfg;
+}
+
+TEST(JobArrivalStream, FixedOffsetTimesAreExact) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kFixedOffset;
+  cfg.fixed_offset = 90 * sim::kSecond;
+  const auto stream = JobArrivalStream(cfg, 7).generate();
+  ASSERT_EQ(stream.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(stream[static_cast<std::size_t>(i)].submit_at,
+              60 * sim::kSecond + i * 90 * sim::kSecond);
+    EXPECT_EQ(stream[static_cast<std::size_t>(i)].index, i);
+  }
+}
+
+TEST(JobArrivalStream, RoundRobinMixCycles) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kFixedOffset;
+  cfg.round_robin_mix = true;
+  const auto stream = JobArrivalStream(cfg, 7).generate();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].model.name, cfg.mix[i % cfg.mix.size()].model.name);
+  }
+}
+
+TEST(JobArrivalStream, PoissonIsDeterministicPerSeed) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kPoisson;
+  cfg.mean_interarrival = 120 * sim::kSecond;
+  const auto a = JobArrivalStream(cfg, 42).generate();
+  const auto b = JobArrivalStream(cfg, 42).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_at, b[i].submit_at);
+    EXPECT_EQ(a[i].model.name, b[i].model.name);
+  }
+
+  const auto c = JobArrivalStream(cfg, 43).generate();
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].submit_at != c[i].submit_at) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(JobArrivalStream, PoissonTimesStrictlyIncrease) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kPoisson;
+  cfg.num_jobs = 32;
+  const auto stream = JobArrivalStream(cfg, 9).generate();
+  ASSERT_EQ(stream.size(), 32u);
+  EXPECT_EQ(stream.front().submit_at, cfg.first_arrival);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GT(stream[i].submit_at, stream[i - 1].submit_at);
+  }
+}
+
+TEST(JobArrivalStream, ZeroWeightModelsAreNeverPicked) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kFixedOffset;
+  cfg.num_jobs = 24;
+  cfg.mix = {{sort_workload(), 0.0}, {wordcount_workload(), 1.0}};
+  const auto stream = JobArrivalStream(cfg, 5).generate();
+  for (const auto& arrival : stream) {
+    EXPECT_EQ(arrival.model.name, wordcount_workload().name);
+  }
+
+  // Zero-weight entry *last*: the fp-edge fallback must not reach it either.
+  cfg.mix = {{wordcount_workload(), 1.0}, {sort_workload(), 0.0}};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const auto& arrival : JobArrivalStream(cfg, seed).generate()) {
+      EXPECT_EQ(arrival.model.name, wordcount_workload().name);
+    }
+  }
+}
+
+TEST(JobArrivalStream, RejectsDegenerateMixes) {
+  ArrivalConfig empty = base_config();
+  empty.mix.clear();
+  EXPECT_THROW(JobArrivalStream(empty, 1), std::invalid_argument);
+
+  ArrivalConfig weightless = base_config();
+  for (auto& m : weightless.mix) m.weight = 0.0;
+  EXPECT_THROW(JobArrivalStream(weightless, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moon::workload
