@@ -47,7 +47,10 @@ ArmResult run_arm(sim::SolverMode solver, sim::FairnessModel model, int nodes,
                   bool batched_flips) {
   const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulation simu;
-  sim::FlowNetwork net(simu, model, solver);
+  // Both arms settle eagerly: this bench isolates the *solver* cost per
+  // churn event (dense vs incremental). Timestamp coalescing is a separate
+  // axis measured end-to-end by bench_micro_e2e_throughput.
+  sim::FlowNetwork net(simu, model, solver, sim::CoalesceMode::kEager);
 
   std::vector<sim::FlowNetwork::ResourceId> nic_in, nic_out, disk;
   std::vector<bool> up(static_cast<std::size_t>(nodes), true);

@@ -14,7 +14,9 @@ namespace moon::cluster {
 class Cluster {
  public:
   explicit Cluster(sim::Simulation& sim,
-                   sim::FairnessModel model = sim::FairnessModel::kMaxMin);
+                   sim::FairnessModel model = sim::FairnessModel::kMaxMin,
+                   sim::SolverMode solver = sim::SolverMode::kIncremental,
+                   sim::CoalesceMode coalesce = sim::CoalesceMode::kCoalesced);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;

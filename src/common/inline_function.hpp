@@ -1,0 +1,126 @@
+// Move-only type-erased `void()` callable with inline small-buffer storage.
+//
+// The simulation core schedules millions of short-lived closures; holding
+// each one in a `std::function` costs a heap allocation per event (libstdc++
+// inlines only up to 16 bytes, and most simulator captures are larger).
+// `InlineFunction<N>` stores any nothrow-movable callable of up to N bytes
+// directly in the owning object — the event slab keeps the closure bytes in
+// the slot array itself — and falls back to the heap only for oversized
+// captures. Unlike `std::function` it never requires copyability, so
+// closures may own move-only state (e.g. a `std::unique_ptr`).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace moon {
+
+template <std::size_t N>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(buf_)) Decayed(std::forward<F>(fn));
+      vt_ = &small_vtable<Decayed>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      vt_ = &large_vtable<Decayed>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    assert(vt_ != nullptr && "InlineFunction: invoking an empty callable");
+    vt_->invoke(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type F is stored in the inline buffer rather
+  /// than on the heap (telemetry/tests).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= N && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  static constexpr VTable small_vtable{
+      [](void* p) { (*std::launder(static_cast<F*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(static_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* p) noexcept { std::launder(static_cast<F*>(p))->~F(); }};
+
+  template <typename F>
+  static constexpr VTable large_vtable{
+      [](void* p) { (**std::launder(static_cast<F**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*std::launder(static_cast<F**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(static_cast<F**>(p)); }};
+
+  void move_from(InlineFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[N];
+};
+
+}  // namespace moon

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <ostream>
 
 #include "common/log.hpp"
@@ -36,11 +37,12 @@ struct Dfs::WriteOp final : Dfs::Op {
   NodeId writer_;
   std::vector<BlockId> blocks_;  // pre-allocated; written sequentially
   std::size_t current_ = 0;
-  struct InFlight {
-    NodeId target;
-    FlowId flow;
-  };
-  std::vector<InFlight> inflight_;
+  /// In-flight replica transfers for the current block, keyed by FlowId so
+  /// completion removal is O(log n) instead of an O(n) erase sweep. FlowIds
+  /// are issued in start order, so iteration reproduces the launch order the
+  /// old vector gave (§2 determinism contract: the probe's abort sweep draws
+  /// the re-pick RNG in iteration order).
+  std::map<FlowId, NodeId> inflight_;
   int committed_ = 0;  // replicas landed for the current block
   int retries_ = 0;
 
@@ -85,11 +87,11 @@ struct Dfs::WriteOp final : Dfs::Op {
     const FlowId flow = net.start_flow(path, size, [this, block, target](FlowId f) {
       on_replica_done(f, block, target);
     });
-    inflight_.push_back(InFlight{target, flow});
+    inflight_.emplace(flow, target);
   }
 
   void on_replica_done(FlowId flow, BlockId block, NodeId target) {
-    std::erase_if(inflight_, [flow](const InFlight& i) { return i.flow == flow; });
+    inflight_.erase(flow);
     if (dfs_.namenode_.block_exists(block)) {
       dfs_.datanode(target).store_block(block, dfs_.namenode_.block(block).size);
       dfs_.namenode_.stats_mutable().bytes_written +=
@@ -113,18 +115,17 @@ struct Dfs::WriteOp final : Dfs::Op {
     if (current_ >= blocks_.size()) return;
     auto& net = dfs_.cluster_.network();
     // Drop transfers that are stalled on an unavailable target.
-    std::vector<InFlight> stalled;
-    for (const auto& i : inflight_) {
-      if (net.rate(i.flow) == 0.0 && !dfs_.cluster_.node(i.target).available()) {
-        stalled.push_back(i);
+    std::vector<FlowId> stalled;
+    for (const auto& [flow, target] : inflight_) {
+      if (net.rate(flow) == 0.0 && !dfs_.cluster_.node(target).available()) {
+        stalled.push_back(flow);
       }
     }
     {
       sim::FlowNetwork::CapacityBatch batch(net);
-      for (const auto& i : stalled) {
-        net.abort_flow(i.flow);
-        std::erase_if(inflight_,
-                      [&i](const InFlight& x) { return x.flow == i.flow; });
+      for (FlowId flow : stalled) {
+        net.abort_flow(flow);
+        inflight_.erase(flow);
       }
     }
     if (!inflight_.empty()) return;  // others still moving
@@ -149,7 +150,7 @@ struct Dfs::WriteOp final : Dfs::Op {
   void abort() override {
     auto& net = dfs_.cluster_.network();
     sim::FlowNetwork::CapacityBatch batch(net);
-    for (const auto& i : inflight_) net.abort_flow(i.flow);
+    for (const auto& [flow, target] : inflight_) net.abort_flow(flow);
     inflight_.clear();
   }
 
@@ -450,6 +451,7 @@ void Dfs::debug_dump(std::ostream& os) const {
 }
 
 void Dfs::probe_ops() {
+  sim::Profiler::Scope profile(sim_.profiler(), sim::Profiler::Key::kDfsProbe);
   // Ops may complete (and erase themselves) during probing; walk a snapshot,
   // in issue order — probes retry stalled transfers (state-changing), so the
   // walk must not follow the map's hash order (§2 determinism contract).
@@ -464,6 +466,8 @@ void Dfs::probe_ops() {
 }
 
 void Dfs::replication_scan() {
+  sim::Profiler::Scope profile(sim_.profiler(),
+                               sim::Profiler::Key::kReplicationScan);
   auto& net = cluster_.network();
   // 1. Recycle stalled repair streams.
   std::vector<FlowId> stalled;

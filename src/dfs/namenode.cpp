@@ -134,9 +134,12 @@ void NameNode::on_node_dead(NodeId node) {
   // Every block on the node loses a replica for accounting purposes; the
   // replica list keeps the entry (the node may return with data intact), but
   // factor checks ignore dead holders, so under-replicated blocks re-queue.
-  // Enqueue in BlockId order: node_blocks_ buckets are hash-ordered and the
-  // queue position decides repair order (§2 determinism contract).
-  for (BlockId b : sorted_blocks_of(node)) {
+  // node_blocks_ buckets are BlockId-ordered sets, so the walk enqueues in
+  // id order (§2 determinism contract) without snapshotting; the enqueue
+  // only touches the queue structures, never the bucket being walked.
+  auto it = node_blocks_.find(node);
+  if (it == node_blocks_.end()) return;
+  for (BlockId b : it->second) {
     if (!block_meets_factor(b)) enqueue_replication(b);
   }
 }
@@ -144,21 +147,15 @@ void NameNode::on_node_dead(NodeId node) {
 void NameNode::on_node_hibernated(NodeId node) {
   // §IV-C: "only opportunistic files without dedicated replicas will be
   // re-replicated" when a node hibernates.
-  for (BlockId b : sorted_blocks_of(node)) {
+  auto it = node_blocks_.find(node);
+  if (it == node_blocks_.end()) return;
+  for (BlockId b : it->second) {
     const auto& meta = blocks_.at(b);
     const auto& fm = files_.at(meta.file);
     if (fm.kind != FileKind::kOpportunistic) continue;
     if (live_replicas(b).dedicated > 0) continue;
     if (!block_meets_factor(b)) enqueue_replication(b);
   }
-}
-
-std::vector<BlockId> NameNode::sorted_blocks_of(NodeId node) const {
-  auto it = node_blocks_.find(node);
-  if (it == node_blocks_.end()) return {};
-  std::vector<BlockId> blocks(it->second.begin(), it->second.end());
-  std::sort(blocks.begin(), blocks.end());
-  return blocks;
 }
 
 // ---- namespace ----------------------------------------------------------

@@ -12,7 +12,6 @@
 #include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -168,18 +167,18 @@ class NameNode {
 
   void liveness_scan();
   void estimate_scan();
-  /// BlockId-sorted snapshot of node_blocks_[node] — death/hibernation
-  /// handlers enqueue replication while walking it, so the walk must not
-  /// follow hash order.
-  [[nodiscard]] std::vector<BlockId> sorted_blocks_of(NodeId node) const;
   void set_state(NodeId node, DataNodeState next);
   void on_node_dead(NodeId node);
   void on_node_hibernated(NodeId node);
   void update_live_partition(NodeId node);
   void notify_replica(BlockId block, NodeId node, bool added);
 
-  /// Blocks stored per node (reverse index for death handling).
-  std::unordered_map<NodeId, std::unordered_set<BlockId>> node_blocks_;
+  /// Blocks stored per node (reverse index for death handling). Ordered
+  /// sets: the death/hibernation sweeps enqueue replication while walking a
+  /// bucket, and the queue position decides repair order (§2 determinism
+  /// contract) — BlockId order straight off the container replaces the old
+  /// copy-and-sort snapshot that ran on every death/hibernate event.
+  std::unordered_map<NodeId, std::set<BlockId>> node_blocks_;
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;

@@ -126,6 +126,7 @@ MultiJobResult run_multi_job_scenario(const MultiJobConfig& config) {
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
   result.scheduling_wall_ms =
       static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
+  result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
   return result;
 }

@@ -47,6 +47,8 @@ struct MultiJobResult {
   double jain_fairness = 1.0;
   std::size_t replication_queue_depth = 0;
   double scheduling_wall_ms = 0.0;
+  /// Host wall-clock profile of the whole stream run (shared simulator).
+  sim::Profiler::Snapshot profile{};
   dfs::DfsStats dfs_stats;  ///< cluster-wide (the DFS is shared by all jobs)
 };
 

@@ -61,6 +61,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
   result.scheduling_wall_ms =
       static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
+  result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
   return result;
 }
@@ -154,6 +155,9 @@ Summary run_repetitions(ScenarioConfig config, int repetitions,
     summary.checkpoint_resumes.add(run.metrics.checkpoint_resumes);
     summary.checkpoint_salvaged.add(run.metrics.checkpoint_progress_salvaged);
     summary.scheduling_wall_ms.add(run.scheduling_wall_ms);
+    for (std::size_t k = 0; k < sim::Profiler::kKeyCount; ++k) {
+      summary.profile_ms[k].add(run.profile[k].ms());
+    }
     if (run.finished) ++summary.completed_runs;
   }
   return summary;

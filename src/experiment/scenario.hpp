@@ -12,6 +12,7 @@
 //                     never go down.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -20,6 +21,7 @@
 #include "dfs/types.hpp"
 #include "mapred/types.hpp"
 #include "simkit/flow_network.hpp"
+#include "simkit/profiler.hpp"
 #include "trace/trace_generator.hpp"
 #include "workload/workload.hpp"
 
@@ -52,6 +54,11 @@ struct ScenarioConfig {
   mapred::SchedulerConfig sched;
   dfs::DfsConfig dfs;
   sim::FairnessModel fairness = sim::FairnessModel::kBottleneckShare;
+  /// Flow-solver oracle knobs: the defaults are the shipping configuration;
+  /// kDense / kEager replay the same simulated outcomes bit for bit at the
+  /// pre-optimization cost profile (equivalence-tested).
+  sim::SolverMode solver = sim::SolverMode::kIncremental;
+  sim::CoalesceMode coalesce = sim::CoalesceMode::kCoalesced;
 
   // --- workload & replication ---
   workload::WorkloadModel app = workload::sort_workload();
@@ -78,6 +85,10 @@ struct RunResult {
   /// Wall-clock ms the JobTracker spent making heartbeat assignment
   /// decisions (the measured Figure-4 "scheduling time").
   double scheduling_wall_ms = 0.0;
+  /// Host wall-clock profile of the run's hot paths (settle/recompute, DFS
+  /// probes, replication scans, heartbeats, speculation) — what the next
+  /// perf PR should look at before guessing.
+  sim::Profiler::Snapshot profile{};
   // End-of-run progress snapshot (diagnoses DNF runs).
   int completed_maps = 0;
   int completed_reduces = 0;
@@ -136,6 +147,8 @@ struct Summary {
   Accumulator checkpoint_resumes;
   Accumulator checkpoint_salvaged;
   Accumulator scheduling_wall_ms;  ///< control-plane cost per run (measured)
+  /// Host wall-clock ms per profiled hot path, indexed by sim::Profiler::Key.
+  std::array<Accumulator, sim::Profiler::kKeyCount> profile_ms{};
   int completed_runs = 0;
   int total_runs = 0;
 };

@@ -15,6 +15,7 @@ JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
       dfs_(dfs),
       config_(config),
       rng_(Rng{seed}.fork("jobtracker")),
+      phase_rng_(Rng{seed}.fork("heartbeat-phase")),
       checkpoint_policy_(config.checkpoint),
       checkpoint_store_(dfs, config.checkpoint),
       liveness_task_(sim, config.liveness_scan_interval, [this] { liveness_scan(); }),
@@ -72,7 +73,18 @@ void JobTracker::start() {
   std::sort(by_id.begin(), by_id.end(), [](TaskTracker* a, TaskTracker* b) {
     return a->node_id() < b->node_id();
   });
-  for (TaskTracker* tracker : by_id) tracker->start();
+  // kStaggered draws each tracker's phase offset here, in NodeId order, so
+  // the offsets (and hence the whole run) are reproducible under permuted
+  // registration too.
+  const bool staggered =
+      config_.heartbeat_phase == SchedulerConfig::HeartbeatPhase::kStaggered;
+  for (TaskTracker* tracker : by_id) {
+    sim::Duration first_beat = -1;
+    if (staggered && config_.heartbeat_interval > 0) {
+      first_beat = phase_rng_.uniform_int(0, config_.heartbeat_interval - 1);
+    }
+    tracker->start(first_beat);
+  }
   liveness_task_.start();
   completion_task_.start();
 }
@@ -118,10 +130,12 @@ void JobTracker::heartbeat(TaskTracker& tracker) {
   }
   const auto t0 = std::chrono::steady_clock::now();
   assign_work(tracker);
-  sched_wall_ns_ += static_cast<std::uint64_t>(
+  const auto elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  sched_wall_ns_ += elapsed_ns;
+  sim_.profiler().add(sim::Profiler::Key::kHeartbeat, elapsed_ns);
   ++heartbeats_;
 }
 
@@ -216,6 +230,10 @@ void JobTracker::assign_work(TaskTracker& tracker) {
       std::optional<TaskId> choice = job->pick_pending(type, tracker);
       bool speculative = false;
       if (!choice) {
+        // kSpeculation is a sub-span of kHeartbeat (heartbeat() times the
+        // whole assign_work call around this).
+        sim::Profiler::Scope profile(sim_.profiler(),
+                                     sim::Profiler::Key::kSpeculation);
         choice = speculator_->pick(*job, type, tracker);
         speculative = choice.has_value();
       }

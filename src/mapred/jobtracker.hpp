@@ -109,6 +109,10 @@ class JobTracker {
   dfs::Dfs& dfs_;
   SchedulerConfig config_;
   Rng rng_;
+  /// Dedicated stream for kStaggered heartbeat offsets: drawing them from
+  /// rng_ would shift every later scheduling draw and silently change
+  /// kAligned-comparable state.
+  Rng phase_rng_;
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
   std::vector<TaskTracker*> tracker_ptrs_;  ///< cached trackers() view

@@ -42,6 +42,7 @@ void TaskAttempt::start() {
     restore_read_next();
   } else {
     phase_ = Phase::kShuffle;
+    init_shuffle_queue();
     shuffle_pump();
   }
 }
@@ -76,6 +77,18 @@ void TaskAttempt::map_compute_done() {
 
 // ---- reduce pipeline -------------------------------------------------------
 
+void TaskAttempt::init_shuffle_queue() {
+  // One O(maps) pass at shuffle entry; from here on the queue is maintained
+  // by map-completion notifications and retry expiries, so each pump costs
+  // O(picks) instead of rescanning every map per fetch completion.
+  pending_fetch_.clear();
+  for (TaskId m : job_.tasks_of(TaskType::kMap)) {
+    if (!fetched_.contains(m) && job_.map_output(m).valid()) {
+      pending_fetch_.insert(m);
+    }
+  }
+}
+
 void TaskAttempt::shuffle_pump() {
   if (terminal() || phase_ != Phase::kShuffle) return;
   const auto& maps = job_.tasks_of(TaskType::kMap);
@@ -89,22 +102,33 @@ void TaskAttempt::shuffle_pump() {
                            job_.jobtracker().rng()));
     return;
   }
+  // Pick fetchable maps in TaskId order — the same order the historical
+  // full scan produced (map TaskIds ascend in creation order).
   const int parallelism = job_.jobtracker().config().shuffle_parallelism;
-  for (TaskId m : maps) {
-    if (static_cast<int>(fetching_.size()) >= parallelism) break;
-    if (fetched_.contains(m) || fetching_.contains(m) || retry_wait_.contains(m)) {
+  for (auto it = pending_fetch_.begin();
+       it != pending_fetch_.end() &&
+       static_cast<int>(fetching_.size()) < parallelism;) {
+    const TaskId m = *it;
+    if (!job_.map_output(m).valid()) {
+      // Output revoked by a re-execution after it was queued: skip it, like
+      // the scan did. It re-queues via notify_map_completed when the re-run
+      // commits.
+      ++it;
       continue;
     }
-    if (!job_.map_output(m).valid()) continue;  // map not (re-)completed yet
-    start_fetch(m);
+    if (!start_fetch(m)) {
+      ++it;
+      continue;
+    }
+    it = pending_fetch_.erase(it);
   }
 }
 
-void TaskAttempt::start_fetch(TaskId map_task) {
+bool TaskAttempt::start_fetch(TaskId map_task) {
   auto& dfs = job_.jobtracker().dfs();
   const FileId file = job_.map_output(map_task);
   const auto& meta = dfs.namenode().file(file);
-  if (meta.blocks.empty()) return;
+  if (meta.blocks.empty()) return false;
   // The partition is spread across the file's blocks; pick one keyed by the
   // reduce index so concurrent reducers spread their load.
   const Task& me = job_.task(task_);
@@ -115,6 +139,7 @@ void TaskAttempt::start_fetch(TaskId map_task) {
       block, tracker_.node_id(), partition,
       [this, map_task](bool ok) { fetch_done(map_task, ok); });
   fetching_.emplace(map_task, op);
+  return true;
 }
 
 void TaskAttempt::fetch_done(TaskId map_task, bool ok) {
@@ -129,7 +154,9 @@ void TaskAttempt::fetch_done(TaskId map_task, bool ok) {
     auto& sim = job_.jobtracker().simulation();
     retry_events_.push_back(sim.schedule_after(
         job_.jobtracker().config().fetch_retry_interval, [this, map_task] {
-          retry_wait_.erase(map_task);
+          // Re-queue unless a fresh map completion already superseded the
+          // backoff (a map in retry_wait_ is never fetched or fetching).
+          if (retry_wait_.erase(map_task) > 0) pending_fetch_.insert(map_task);
           shuffle_pump();
         }));
   }
@@ -146,8 +173,13 @@ std::vector<TaskId> TaskAttempt::unfetched_maps() const {
 
 void TaskAttempt::notify_map_completed(TaskId map_task) {
   if (terminal() || phase_ != Phase::kShuffle) return;
-  // Fresh output supersedes any backoff for this map.
+  // Fresh output supersedes any backoff for this map. An in-flight fetch of
+  // the superseded output is left to finish or fail on its own (its failure
+  // path re-queues); anything else unfetched becomes fetchable now.
   retry_wait_.erase(map_task);
+  if (!fetched_.contains(map_task) && !fetching_.contains(map_task)) {
+    pending_fetch_.insert(map_task);
+  }
   shuffle_pump();
 }
 
@@ -166,6 +198,7 @@ void TaskAttempt::restore_read_next() {
     job_.bump_sched_epoch();
     resume_.reset();
     phase_ = Phase::kShuffle;
+    init_shuffle_queue();
     shuffle_pump();
     return;
   }
@@ -177,6 +210,7 @@ void TaskAttempt::restore_read_next() {
           job_.bump_sched_epoch();
           resume_.reset();
           phase_ = Phase::kShuffle;
+          init_shuffle_queue();
           shuffle_pump();
           return;
         }
@@ -197,6 +231,7 @@ void TaskAttempt::apply_restored_checkpoint() {
   ++job_.metrics().checkpoint_resumes;
   job_.metrics().checkpoint_progress_salvaged += ckpt.progress;
   phase_ = Phase::kShuffle;
+  init_shuffle_queue();
   shuffle_pump();
 }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -130,8 +131,13 @@ class TaskAttempt {
   void map_compute_done();
 
   // --- reduce pipeline ---
+  /// Seeds pending_fetch_ with the currently-fetchable maps; call once when
+  /// entering Phase::kShuffle (cold start or checkpoint restore).
+  void init_shuffle_queue();
   void shuffle_pump();
-  void start_fetch(TaskId map_task);
+  /// Launches the partition fetch; false when the output file has no blocks
+  /// yet (defensive — the map stays queued for a later pump).
+  bool start_fetch(TaskId map_task);
   void fetch_done(TaskId map_task, bool ok);
   void reduce_compute_done();
 
@@ -178,6 +184,13 @@ class TaskAttempt {
   std::unordered_set<TaskId> fetched_;
   std::unordered_map<TaskId, dfs::OpId> fetching_;
   std::unordered_set<TaskId> retry_wait_;  ///< failed; waiting for retry tick
+  /// Maps believed fetchable (output committed; not fetched/fetching/waiting),
+  /// in TaskId order — the order the old full scan picked them in. Fed by
+  /// shuffle start + map-completion notifications + retry expiry; a map whose
+  /// output was revoked (re-execution) lingers until the lazy validity check
+  /// at pick time skips it, exactly as the scan's `continue` did. Replaces
+  /// the O(maps) rescan per fetch completion (quadratic per attempt).
+  std::set<TaskId> pending_fetch_;
   std::vector<EventId> retry_events_;
   sim::Time shuffle_done_at_ = 0;
 };

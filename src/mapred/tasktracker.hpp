@@ -49,7 +49,9 @@ class TaskTracker {
   [[nodiscard]] const std::vector<TaskAttempt*>& attempts(TaskType type) const;
   [[nodiscard]] std::vector<TaskAttempt*> all_attempts() const;
 
-  void start();
+  /// Starts heartbeating. `first_beat_delay` < 0 (default) means one full
+  /// interval (aligned ticks); kStaggered passes a per-node phase offset.
+  void start(sim::Duration first_beat_delay = -1);
 
  private:
   void beat();

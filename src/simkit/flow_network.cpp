@@ -25,11 +25,21 @@ bool FlowNetwork::completion_later(const CompletionEntry& a,
   return a.flow > b.flow;
 }
 
-FlowNetwork::FlowNetwork(Simulation& sim, FairnessModel model, SolverMode solver)
-    : sim_(sim), model_(model), solver_(solver), last_update_(sim.now()) {}
+FlowNetwork::FlowNetwork(Simulation& sim, FairnessModel model, SolverMode solver,
+                         CoalesceMode coalesce)
+    : sim_(sim),
+      model_(model),
+      solver_(solver),
+      coalesce_(coalesce),
+      last_update_(sim.now()) {
+  if (coalesce_ == CoalesceMode::kCoalesced) {
+    hook_ = sim_.add_flush_hook([this] { flush(); });
+  }
+}
 
 FlowNetwork::~FlowNetwork() {
   if (completion_event_.valid()) sim_.cancel(completion_event_);
+  if (coalesce_ == CoalesceMode::kCoalesced) sim_.remove_flush_hook(hook_);
 }
 
 FlowNetwork::ResourceId FlowNetwork::add_resource(BytesPerSecond capacity,
@@ -46,7 +56,7 @@ void FlowNetwork::set_capacity(ResourceId resource, BytesPerSecond capacity) {
   advance_progress();
   resources_.at(resource).cap = capacity;
   mark_resource_dirty(resource, /*cap_changed=*/true);
-  settle();
+  maybe_settle();
 }
 
 BytesPerSecond FlowNetwork::capacity(ResourceId resource) const {
@@ -96,7 +106,7 @@ FlowId FlowNetwork::start_flow(std::vector<ResourceId> resources, Bytes size,
   slot_of_.emplace(id, slot);
   ++active_count_;
   dirty_flows_.push_back(slot);
-  settle();
+  maybe_settle();
   return id;
 }
 
@@ -105,7 +115,7 @@ void FlowNetwork::abort_flow(FlowId id) {
   if (it == slot_of_.end()) return;
   advance_progress();
   remove_flow(it->second);
-  settle();
+  maybe_settle();
 }
 
 const FlowNetwork::Flow* FlowNetwork::find_flow(FlowId id) const {
@@ -116,6 +126,9 @@ const FlowNetwork::Flow* FlowNetwork::find_flow(FlowId id) const {
 bool FlowNetwork::active(FlowId id) const { return slot_of_.contains(id); }
 
 Bytes FlowNetwork::remaining(FlowId id) const {
+  // Deferred dirty work must become observable before the query (lazy
+  // evaluation; logically const, hence the cast).
+  const_cast<FlowNetwork*>(this)->settle_for_read();
   const Flow* f = find_flow(id);
   if (f == nullptr) return 0;
   // Account for progress since the last settle without mutating state.
@@ -125,13 +138,15 @@ Bytes FlowNetwork::remaining(FlowId id) const {
 }
 
 double FlowNetwork::rate(FlowId id) const {
+  const_cast<FlowNetwork*>(this)->settle_for_read();
   const Flow* f = find_flow(id);
   return f == nullptr ? 0.0 : f->rate;
 }
 
 double FlowNetwork::transferred_through(ResourceId resource) const {
-  // Progress accrued up to the last settle. Settles happen on every flow
-  // start/finish/capacity change, so under load this is at most a few
+  // Progress accrued up to the last churn/settle at or before now. Progress
+  // accrues on every flow start/finish/capacity change (even when the
+  // recompute itself is coalesced), so under load this is at most a few
   // simulated milliseconds stale — good enough for the heartbeat bandwidth
   // telemetry it feeds, and O(1) (it is polled by every DataNode beat).
   return resources_.at(resource).transferred;
@@ -248,12 +263,45 @@ bool FlowNetwork::heap_entry_valid(const CompletionEntry& e) const {
   return f.id == e.flow && f.epoch == e.epoch;
 }
 
+void FlowNetwork::maybe_settle() {
+  // Nested churn (from a completion callback mid-settle) and batched churn
+  // always defer: the outer settle's recompute, or the batch close, covers
+  // the queued dirty work.
+  if (settling_ || batch_depth_ > 0) return;
+  if (coalesce_ == CoalesceMode::kEager) {
+    settle();
+    return;
+  }
+  // A completion due at this very instant must retire *now*: the eager path
+  // would fire its callback inside this churn call, and deferring it past
+  // further same-timestamp events could change what those events observe.
+  // `scheduled_for_` tracks the earliest deadline as of the last settle, and
+  // deadlines only move at settles, so this test is exact.
+  if (completion_event_.valid() && scheduled_for_ <= sim_.now()) {
+    settle();
+    return;
+  }
+  if (!flush_armed_) {
+    flush_armed_ = true;
+    sim_.arm_flush(hook_);
+  }
+}
+
+void FlowNetwork::flush() {
+  // End-of-timestamp hook: batches group same-instant churn within a single
+  // event callback, so none can still be open when the Simulation flushes.
+  assert(batch_depth_ == 0);
+  flush_armed_ = false;
+  if (has_dirty()) settle();
+}
+
 void FlowNetwork::settle() {
   // Completion callbacks may call back into this object (starting/aborting
   // flows, changing capacities). Those nested calls accrue progress and
   // queue dirty work themselves; suppress the re-entrant settle and let the
   // outer loop below reach the fixpoint. Batches defer the same way.
   if (settling_ || batch_depth_ > 0) return;
+  Profiler::Scope profile(sim_.profiler(), Profiler::Key::kSettle);
   settling_ = true;
   advance_progress();
   // Retire every flow due as of now, lowest (deadline, id) first. Nested
@@ -271,6 +319,7 @@ void FlowNetwork::settle() {
 }
 
 void FlowNetwork::recompute() {
+  Profiler::Scope profile(sim_.profiler(), Profiler::Key::kRecompute);
   if (solver_ == SolverMode::kDense) {
     if (model_ == FairnessModel::kMaxMin) {
       recompute_dense_maxmin();

@@ -21,6 +21,15 @@
 // dense solver is retained behind `SolverMode::kDense` as the equivalence
 // oracle and the benchmark baseline; both modes produce bit-identical
 // simulated outcomes.
+//
+// Settles themselves are timestamp-coalesced (see DESIGN.md §11): under
+// `CoalesceMode::kCoalesced` (default) churn only queues dirty work and the
+// recompute runs once per virtual timestamp via an end-of-timestamp flush
+// hook registered with the Simulation. Observable reads (`rate()`,
+// `remaining()`) force a settle-on-read, and a completion due at the
+// current instant forces a full settle before any further churn applies, so
+// coalesced and eager (`CoalesceMode::kEager`, one settle per churn call)
+// execution produce bit-identical simulated outcomes.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +70,19 @@ enum class SolverMode {
   kDense,
 };
 
+/// Settle-scheduling strategy. Both modes produce bit-identical simulated
+/// outcomes; they differ only in how many times the rate recompute runs per
+/// virtual timestamp.
+enum class CoalesceMode {
+  /// Churn queues dirty work; the recompute runs once per virtual timestamp
+  /// via the Simulation's end-of-timestamp flush hook. Observable reads and
+  /// due completions force an early settle. The shipping configuration.
+  kCoalesced,
+  /// Settle after every churn call — the pre-coalescing cost profile,
+  /// retained as the equivalence oracle and the benchmark baseline.
+  kEager,
+};
+
 class FlowNetwork {
  public:
   using ResourceId = std::size_t;
@@ -69,7 +91,8 @@ class FlowNetwork {
 
   explicit FlowNetwork(Simulation& sim,
                        FairnessModel model = FairnessModel::kMaxMin,
-                       SolverMode solver = SolverMode::kIncremental);
+                       SolverMode solver = SolverMode::kIncremental,
+                       CoalesceMode coalesce = CoalesceMode::kCoalesced);
 
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
@@ -85,7 +108,12 @@ class FlowNetwork {
   /// deferred past their true timestamps; asserted in debug builds).
   class CapacityBatch {
    public:
-    explicit CapacityBatch(FlowNetwork& net) : net_(net) { ++net_.batch_depth_; }
+    explicit CapacityBatch(FlowNetwork& net) : net_(net) {
+      // Settle coalesced churn from before the batch so "pre-batch rates"
+      // means the settled pre-batch allocation (no-op under kEager).
+      if (net_.batch_depth_ == 0) net_.settle_for_read();
+      ++net_.batch_depth_;
+    }
     ~CapacityBatch() { close(); }
     CapacityBatch(const CapacityBatch&) = delete;
     CapacityBatch& operator=(const CapacityBatch&) = delete;
@@ -96,7 +124,7 @@ class FlowNetwork {
     void close() {
       if (closed_) return;
       closed_ = true;
-      if (--net_.batch_depth_ == 0) net_.settle();
+      if (--net_.batch_depth_ == 0) net_.maybe_settle();
     }
 
    private:
@@ -199,6 +227,18 @@ class FlowNetwork {
   /// Accrues progress for all flows since `last_update_`, retires due
   /// flows, recomputes dirty rates, and re-arms the completion event.
   void settle();
+  /// Post-churn hook: settles immediately under kEager (or when a completion
+  /// is due at this instant — its callback must fire at the same point the
+  /// eager path would run it); otherwise arms the end-of-timestamp flush.
+  void maybe_settle();
+  /// End-of-timestamp flush (runs via the Simulation hook).
+  void flush();
+  /// Settle-on-read: makes deferred dirty work observable before a rate or
+  /// remaining-bytes query. No-op mid-settle, inside a batch, or when clean
+  /// (in particular: always a no-op under kEager).
+  void settle_for_read() {
+    if (!settling_ && batch_depth_ == 0 && has_dirty()) settle();
+  }
   void advance_progress();
   std::uint32_t next_due(Time now);  // kNoSlot when nothing is due
   void retire(std::uint32_t slot);
@@ -224,6 +264,9 @@ class FlowNetwork {
   Simulation& sim_;
   FairnessModel model_;
   SolverMode solver_;
+  CoalesceMode coalesce_;
+  Simulation::FlushHookId hook_ = 0;  // registered only under kCoalesced
+  bool flush_armed_ = false;
   IdAllocator<FlowId> ids_;
   std::vector<Resource> resources_;
   std::vector<Flow> slots_;

@@ -15,10 +15,24 @@ Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
 EventId Simulation::schedule_at(Time t, Callback cb) {
   if (t < now_) throw std::logic_error("Simulation: scheduling into the past");
-  const EventId id = ids_.next();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() >= kSlotMask) {
+      throw std::logic_error("Simulation: event slab exhausted");
+    }
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.engaged = true;
+  s.cb = std::move(cb);
+  const EventId id = make_id(slot, s.gen);
   queue_.push_back(Entry{t, seq_++, id});
   std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
-  callbacks_.emplace(id, std::move(cb));
+  ++live_events_;
   return id;
 }
 
@@ -27,20 +41,29 @@ EventId Simulation::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
+void Simulation::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  s.engaged = false;
+  ++s.gen;  // stale ids (tombstones, cancel-after-fire) can never match again
+  free_slots_.push_back(slot);
+  --live_events_;
+}
+
 void Simulation::cancel(EventId id) {
-  if (callbacks_.erase(id) == 0) return;
+  if (!live(id)) return;
+  retire_slot(slot_of(id));
   // The heap entry stays behind as a tombstone. When tombstones outnumber
   // live events, rebuild the heap from the live set so pop cost tracks what
   // is actually pending, not historical cancellation churn (heavy under the
   // flow network's cancel-and-rearm completion event).
-  if (queue_.size() >= kCompactMin && queue_.size() > 2 * callbacks_.size()) {
+  if (queue_.size() >= kCompactMin && queue_.size() > 2 * live_events_) {
     compact();
   }
 }
 
 void Simulation::compact() {
-  std::erase_if(queue_,
-                [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  std::erase_if(queue_, [this](const Entry& e) { return !live(e.id); });
   std::make_heap(queue_.begin(), queue_.end(), std::greater<>{});
 }
 
@@ -49,38 +72,57 @@ void Simulation::pop_top() {
   queue_.pop_back();
 }
 
-bool Simulation::is_pending(EventId id) const { return callbacks_.contains(id); }
+bool Simulation::is_pending(EventId id) const { return live(id); }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.front();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
+  for (;;) {
+    while (!queue_.empty() && !live(queue_.front().id)) {
       pop_top();  // tombstone from cancel()
+    }
+    if (queue_.empty()) {
+      // Deferred end-of-timestamp work may produce further events at now().
+      if (armed_hooks_ > 0) {
+        run_flushes();
+        continue;
+      }
+      return false;
+    }
+    const Entry top = queue_.front();
+    if (top.time > now_ && armed_hooks_ > 0) {
+      // The clock is about to advance: flush deferred work at the current
+      // timestamp first (it may enqueue events at now(), handled next loop).
+      run_flushes();
       continue;
     }
     pop_top();
     assert(top.time >= now_);
     now_ = top.time;
-    // Move the callback out before invoking: it may schedule/cancel events,
-    // and must not observe itself as still pending.
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    // Move the callback out before invoking: it may schedule/cancel events
+    // (including reusing this very slot), and must not observe itself as
+    // still pending. The moved-out closure dies before step() returns, so
+    // captures are destroyed before the next event runs.
+    Callback cb = std::move(slots_[slot_of(top.id)].cb);
+    retire_slot(slot_of(top.id));
     ++executed_;
     cb();
     return true;
   }
-  return false;
 }
 
 void Simulation::run_until(Time t) {
-  while (!queue_.empty()) {
-    const Entry top = queue_.front();
-    if (!callbacks_.contains(top.id)) {
+  for (;;) {
+    while (!queue_.empty() && !live(queue_.front().id)) {
       pop_top();
-      continue;
     }
-    if (top.time > t) break;
+    if (queue_.empty() || queue_.front().time > t) {
+      // Flush at the current timestamp before stopping; hooks may enqueue
+      // events at <= t (e.g. a due flow completion), handled next loop.
+      if (armed_hooks_ > 0) {
+        run_flushes();
+        continue;
+      }
+      break;
+    }
     step();
   }
   if (now_ < t) now_ = t;
@@ -88,6 +130,56 @@ void Simulation::run_until(Time t) {
 
 void Simulation::run() {
   while (step()) {
+  }
+}
+
+// ---- flush hooks -----------------------------------------------------------
+
+Simulation::FlushHookId Simulation::add_flush_hook(FlushHook hook) {
+  // Reuse a dead entry if any (components come and go in tests); otherwise
+  // append. Hook order == registration order, which is deterministic.
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (!hooks_[i].alive) {
+      hooks_[i] = Hook{std::move(hook), false, true};
+      return i;
+    }
+  }
+  hooks_.push_back(Hook{std::move(hook), false, true});
+  return hooks_.size() - 1;
+}
+
+void Simulation::remove_flush_hook(FlushHookId id) {
+  if (id >= hooks_.size() || !hooks_[id].alive) return;
+  if (hooks_[id].armed) --armed_hooks_;
+  hooks_[id] = Hook{};
+}
+
+void Simulation::arm_flush(FlushHookId id) {
+  if (id >= hooks_.size() || !hooks_[id].alive) {
+    throw std::logic_error("Simulation: arming unknown flush hook");
+  }
+  if (hooks_[id].armed) return;
+  hooks_[id].armed = true;
+  ++armed_hooks_;
+}
+
+void Simulation::run_flushes() {
+  // One pass in registration order. A hook arming an earlier hook (or
+  // itself) is caught by the callers' re-check loops, not by restarting the
+  // pass — bounded work per call.
+  for (std::size_t i = 0; i < hooks_.size() && armed_hooks_ > 0; ++i) {
+    if (!hooks_[i].armed) continue;
+    hooks_[i].armed = false;
+    --armed_hooks_;
+    // Run from a moved-out copy: the hook body may register or remove hooks
+    // (vector reallocation / slot reuse), which must not relocate or
+    // overwrite the closure mid-call.
+    FlushHook fn = std::move(hooks_[i].fn);
+    fn();
+    if (i < hooks_.size() && hooks_[i].alive && !hooks_[i].fn) {
+      // Still registered and the slot was not reused: restore the closure.
+      hooks_[i].fn = std::move(fn);
+    }
   }
 }
 

@@ -1,0 +1,179 @@
+// Event-loop slab storage: EventId recycling under the generation scheme,
+// tombstone-compaction bounds under cancel/re-arm churn, and callback
+// lifetime (destruction order) under step()/run_until().
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/inline_function.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::sim {
+namespace {
+
+TEST(EventSlab, CancelAfterFireNeverHitsRecycledSlot) {
+  Simulation sim;
+  bool second_fired = false;
+  const EventId first = sim.schedule_at(10, [] {});
+  sim.run();  // `first` fires; its slot goes back on the free list
+
+  // The next schedule reuses the slot; the stale id must not cancel it.
+  const EventId second = sim.schedule_at(20, [&] { second_fired = true; });
+  EXPECT_NE(first, second);  // generation differs even if the slot matches
+  sim.cancel(first);         // stale: harmless no-op
+  EXPECT_TRUE(sim.is_pending(second));
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventSlab, CancelAfterCancelNeverHitsRecycledSlot) {
+  Simulation sim;
+  const EventId first = sim.schedule_at(10, [] {});
+  sim.cancel(first);
+  bool fired = false;
+  const EventId second = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_FALSE(sim.is_pending(first));
+  EXPECT_TRUE(sim.is_pending(second));
+  sim.cancel(first);  // double-stale
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventSlab, RecycledIdsStayDistinguishableAcrossManyGenerations) {
+  Simulation sim;
+  std::vector<EventId> history;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = sim.schedule_at(round, [] {});
+    for (const EventId old : history) EXPECT_NE(old, id);
+    history.push_back(id);
+    sim.cancel(id);  // immediate recycle: next round reuses the same slot
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(EventSlab, CancelRearmChurnKeepsQueueNearLiveSet) {
+  // The flow network's completion event cancels and re-arms on nearly every
+  // settle. The tombstones this leaves behind must stay bounded by
+  // compaction: queued_entries() <= ~2x pending_events().
+  Simulation sim;
+  for (int i = 0; i < 200; ++i) sim.schedule_at(1'000'000 + i, [] {});
+  EventId rearmed = sim.schedule_at(2'000'000, [] {});
+  for (int i = 0; i < 10'000; ++i) {
+    sim.cancel(rearmed);
+    rearmed = sim.schedule_at(2'000'000 + i, [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), 201u);
+  EXPECT_LE(sim.queued_entries(), 2 * sim.pending_events());
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 201u);
+}
+
+TEST(EventSlab, FiredCallbackIsDestroyedBeforeNextEventRuns) {
+  // The slab must not keep fired closures (and their captures) alive: the
+  // callback's resources are released before the next event executes, and
+  // in timestamp order under run_until.
+  Simulation sim;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  bool was_released = false;
+  sim.schedule_at(10, [t = std::move(token)] { /* owns the token */ });
+  sim.schedule_at(20, [&] { was_released = watch.expired(); });
+  sim.run_until(15);
+  EXPECT_TRUE(watch.expired());  // fired at t=10, destroyed within the step
+  sim.run_until(25);
+  EXPECT_TRUE(was_released);
+}
+
+TEST(EventSlab, PendingCallbacksSurviveRunUntilAndDieOnCancel) {
+  Simulation sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id = sim.schedule_at(100, [t = std::move(token)] {});
+  sim.run_until(50);
+  EXPECT_FALSE(watch.expired());  // still pending: capture must stay alive
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired());  // cancel destroys the closure immediately
+}
+
+TEST(EventSlab, MoveOnlyAndOversizedCapturesWork) {
+  Simulation sim;
+  // Move-only capture (std::function would reject this closure).
+  auto owned = std::make_unique<int>(5);
+  int seen = 0;
+  sim.schedule_at(1, [p = std::move(owned), &seen] { seen = *p; });
+  // Oversized capture (> inline budget): exercises the heap fallback.
+  struct Big {
+    long payload[16];
+  };
+  Big big{};
+  big.payload[15] = 99;
+  long big_seen = 0;
+  static_assert(!Simulation::Callback::fits_inline<Big>());
+  sim.schedule_at(2, [big, &big_seen] { big_seen = big.payload[15]; });
+  sim.run();
+  EXPECT_EQ(seen, 5);
+  EXPECT_EQ(big_seen, 99);
+}
+
+TEST(EventSlab, SelfRescheduleFromCallbackReusesSlotSafely) {
+  // A firing callback scheduling a new event may land on its own just-freed
+  // slot; the returned id must address the new event, not the dead one.
+  Simulation sim;
+  int hops = 0;
+  std::vector<EventId> ids;
+  std::function<void()> chain = [&] {
+    if (++hops < 50) ids.push_back(sim.schedule_after(1, chain));
+  };
+  ids.push_back(sim.schedule_at(0, chain));
+  sim.run();
+  EXPECT_EQ(hops, 50);
+  for (const EventId id : ids) EXPECT_FALSE(sim.is_pending(id));
+}
+
+TEST(FlushHooks, HookMayRegisterAndRemoveHooksWhileRunning) {
+  // A flush hook's body may register hooks (growing the hook vector can
+  // reallocate) or deregister itself (its slot is overwritten); neither may
+  // invalidate the closure that is still executing (ASan-visible if broken).
+  Simulation sim;
+  int fired = 0;
+  std::vector<Simulation::FlushHookId> added;
+  Simulation::FlushHookId self = 0;
+  self = sim.add_flush_hook([&] {
+    ++fired;
+    for (int i = 0; i < 64; ++i) {
+      added.push_back(sim.add_flush_hook([&] { ++fired; }));
+    }
+    sim.remove_flush_hook(self);  // slot reuse must not clobber this closure
+  });
+  sim.arm_flush(self);
+  sim.schedule_at(10, [] {});
+  sim.run();  // boundary crossing runs the armed hook
+  EXPECT_EQ(fired, 1);
+
+  // The hooks registered mid-flush are live and runnable afterwards.
+  for (const auto id : added) sim.arm_flush(id);
+  sim.schedule_at(20, [] {});
+  sim.run();
+  EXPECT_EQ(fired, 65);
+  // The removed hook's id may have been recycled; arming it must not crash
+  // the next flush (it either no-ops into a dead slot or runs the reused
+  // hook, which is the documented id-reuse semantics of remove+add).
+  for (const auto id : added) sim.remove_flush_hook(id);
+}
+
+TEST(FlushHooks, RemovedHookNeverRunsAndArmingItThrows) {
+  Simulation sim;
+  bool ran = false;
+  const auto id = sim.add_flush_hook([&] { ran = true; });
+  sim.remove_flush_hook(id);
+  EXPECT_THROW(sim.arm_flush(id), std::logic_error);
+  sim.schedule_at(5, [] {});
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace moon::sim

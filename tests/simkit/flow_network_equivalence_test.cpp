@@ -1,21 +1,24 @@
-// Golden equivalence: the incremental solver must reproduce the retained
-// dense reference solver *bit for bit* — identical completion order and
-// times, identical rates at every sample point, identical per-resource
-// transferred bytes — for both fairness models, under seeded random churn
-// of flow starts, aborts, capacity changes, and batched node-style
-// availability flips.
+// Golden equivalence: the incremental solver and the timestamp-coalesced
+// settle path must reproduce the dense/eager reference *bit for bit* —
+// identical completion order and times, identical rates at every sample
+// point, identical per-resource transferred bytes — for both fairness
+// models, under seeded random churn of flow starts, aborts, capacity
+// changes, and batched node-style availability flips. The script includes
+// zero-delta steps, so same-timestamp churn bursts (the case coalescing
+// exists for) are exercised, as are reads interleaved into a burst.
 //
 // The driver pre-generates one scripted churn sequence (pure data), then
-// replays it against two independent Simulation+FlowNetwork pairs that
-// differ only in SolverMode. Abort/start targets are picked by indexing the
-// driver's own live-flow list with the scripted draws, so the two runs stay
-// in lockstep exactly as long as their observable behaviour is identical —
-// any divergence cascades into mismatched logs.
+// replays it against four independent Simulation+FlowNetwork stacks
+// spanning SolverMode × CoalesceMode. Abort/start targets are picked by
+// indexing the driver's own live-flow list with the scripted draws, so the
+// runs stay in lockstep exactly as long as their observable behaviour is
+// identical — any divergence cascades into mismatched logs.
 #include "simkit/flow_network.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -43,7 +46,8 @@ std::vector<Action> make_script(std::uint64_t seed) {
   std::vector<Action> script;
   Time t = 0;
   for (int i = 0; i < kSteps; ++i) {
-    t += rng.uniform_int(1, 400) * kMillisecond;
+    // ~1/3 zero-delta steps: several actions land on one virtual timestamp.
+    t += rng.uniform_int(0, 2) == 0 ? 0 : rng.uniform_int(1, 400) * kMillisecond;
     const auto roll = rng.uniform_int(0, 99);
     Kind kind;
     if (roll < 40) {
@@ -76,7 +80,8 @@ struct Replay {
   std::vector<double> samples;                  // rates + remaining at kSample
   int chained = 0;
 
-  Replay(FairnessModel model, SolverMode solver) : net(sim, model, solver) {
+  Replay(FairnessModel model, SolverMode solver, CoalesceMode coalesce)
+      : net(sim, model, solver, coalesce) {
     for (int n = 0; n < kNodes; ++n) {
       resources.push_back(net.add_resource(mibps(80.0)));  // nic_in
       resources.push_back(net.add_resource(mibps(80.0)));  // nic_out
@@ -151,42 +156,56 @@ struct Replay {
 class FlowEquivalenceTest
     : public ::testing::TestWithParam<std::tuple<FairnessModel, std::uint64_t>> {};
 
-TEST_P(FlowEquivalenceTest, IncrementalMatchesDenseBitForBit) {
+TEST_P(FlowEquivalenceTest, SolverAndCoalesceModesMatchBitForBit) {
   const auto [model, seed] = GetParam();
   const std::vector<Action> script = make_script(seed);
 
-  Replay inc(model, SolverMode::kIncremental);
-  Replay dense(model, SolverMode::kDense);
+  // Reference first: dense solver, eager settles — the pre-optimization
+  // configuration both axes are measured against.
+  std::vector<std::unique_ptr<Replay>> replays;
+  std::vector<std::string> labels;
+  for (const SolverMode solver : {SolverMode::kDense, SolverMode::kIncremental}) {
+    for (const CoalesceMode coalesce :
+         {CoalesceMode::kEager, CoalesceMode::kCoalesced}) {
+      replays.push_back(std::make_unique<Replay>(model, solver, coalesce));
+      labels.push_back(std::string(solver == SolverMode::kDense ? "dense"
+                                                                : "incremental") +
+                       (coalesce == CoalesceMode::kEager ? "/eager"
+                                                         : "/coalesced"));
+    }
+  }
   for (const Action& act : script) {
-    inc.apply(act);
-    dense.apply(act);
+    for (auto& replay : replays) replay->apply(act);
   }
   // Drain: let every still-live unstalled flow finish.
-  inc.sim.run();
-  dense.sim.run();
+  for (auto& replay : replays) replay->sim.run();
 
-  ASSERT_EQ(inc.completions.size(), dense.completions.size());
-  for (std::size_t i = 0; i < inc.completions.size(); ++i) {
-    EXPECT_EQ(inc.completions[i].first, dense.completions[i].first)
-        << "completion order diverged at #" << i;
-    EXPECT_EQ(inc.completions[i].second, dense.completions[i].second)
-        << "completion time diverged at #" << i;
+  const Replay& ref = *replays.front();
+  EXPECT_GT(ref.completions.size(), 50u);  // meaningful churn ran
+  for (std::size_t v = 1; v < replays.size(); ++v) {
+    const Replay& arm = *replays[v];
+    SCOPED_TRACE(labels[v] + " vs " + labels[0]);
+    ASSERT_EQ(arm.completions.size(), ref.completions.size());
+    for (std::size_t i = 0; i < ref.completions.size(); ++i) {
+      EXPECT_EQ(arm.completions[i].first, ref.completions[i].first)
+          << "completion order diverged at #" << i;
+      EXPECT_EQ(arm.completions[i].second, ref.completions[i].second)
+          << "completion time diverged at #" << i;
+    }
+    ASSERT_EQ(arm.samples.size(), ref.samples.size());
+    for (std::size_t i = 0; i < ref.samples.size(); ++i) {
+      EXPECT_EQ(arm.samples[i], ref.samples[i])  // exact, not NEAR
+          << "rate/remaining sample diverged at #" << i;
+    }
+    ASSERT_EQ(arm.resources.size(), ref.resources.size());
+    for (std::size_t r = 0; r < ref.resources.size(); ++r) {
+      EXPECT_EQ(arm.net.transferred_through(arm.resources[r]),
+                ref.net.transferred_through(ref.resources[r]))
+          << "transferred bytes diverged on resource " << r;
+    }
+    ASSERT_EQ(arm.live.size(), ref.live.size());
+    EXPECT_EQ(arm.net.active_flows(), ref.net.active_flows());
   }
-  ASSERT_EQ(inc.samples.size(), dense.samples.size());
-  for (std::size_t i = 0; i < inc.samples.size(); ++i) {
-    EXPECT_EQ(inc.samples[i], dense.samples[i])  // exact, not NEAR
-        << "rate/remaining sample diverged at #" << i;
-  }
-  ASSERT_EQ(inc.resources.size(), dense.resources.size());
-  for (std::size_t r = 0; r < inc.resources.size(); ++r) {
-    EXPECT_EQ(inc.net.transferred_through(inc.resources[r]),
-              dense.net.transferred_through(dense.resources[r]))
-        << "transferred bytes diverged on resource " << r;
-  }
-  // Both ran a meaningful amount of churn.
-  EXPECT_GT(inc.completions.size(), 50u);
-  ASSERT_EQ(inc.live.size(), dense.live.size());
-  EXPECT_EQ(inc.net.active_flows(), dense.net.active_flows());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -12,14 +12,17 @@
 namespace moon::sim {
 namespace {
 
-/// Runs both fairness models × both solver modes through the same scenarios
-/// where their behaviour must agree (single-bottleneck cases). Covering the
-/// dense oracle here keeps the equivalence test's reference trustworthy.
+/// Runs both fairness models × both solver modes × both coalesce modes
+/// through the same scenarios where their behaviour must agree
+/// (single-bottleneck cases). Covering the dense/eager oracles here keeps
+/// the equivalence test's references trustworthy.
 class FlowModelTest
-    : public ::testing::TestWithParam<std::tuple<FairnessModel, SolverMode>> {
+    : public ::testing::TestWithParam<
+          std::tuple<FairnessModel, SolverMode, CoalesceMode>> {
  protected:
   Simulation sim_;
-  FlowNetwork net_{sim_, std::get<0>(GetParam()), std::get<1>(GetParam())};
+  FlowNetwork net_{sim_, std::get<0>(GetParam()), std::get<1>(GetParam()),
+                   std::get<2>(GetParam())};
 };
 
 TEST_P(FlowModelTest, SingleFlowFinishesAtExpectedTime) {
@@ -276,7 +279,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(FairnessModel::kMaxMin,
                                          FairnessModel::kBottleneckShare),
                        ::testing::Values(SolverMode::kIncremental,
-                                         SolverMode::kDense)),
+                                         SolverMode::kDense),
+                       ::testing::Values(CoalesceMode::kCoalesced,
+                                         CoalesceMode::kEager)),
     [](const auto& param_info) {
       std::string name = std::get<0>(param_info.param) == FairnessModel::kMaxMin
                              ? "MaxMin"
@@ -284,6 +289,9 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::get<1>(param_info.param) == SolverMode::kIncremental
                   ? "Incremental"
                   : "Dense";
+      name += std::get<2>(param_info.param) == CoalesceMode::kCoalesced
+                  ? "Coalesced"
+                  : "Eager";
       return name;
     });
 
