@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "experiment/obs_cli.hpp"
 #include "experiment/scenario.hpp"
 
 namespace moon::bench {
@@ -89,6 +90,38 @@ class JsonEmitter {
 
   std::string name_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+};
+
+/// `--trace=FILE` / `--metrics=FILE` / `--events=FILE` support for the fig
+/// benches. A bench sweeps many configurations; exporting every run would
+/// overwrite itself, so the convention is: collection is enabled on every
+/// swept config and the *last* finished run's bundle wins — rerun with a
+/// narrower sweep (e.g. MOON_BENCH_REPS=1) to trace a specific cell. All
+/// no-ops when no flag was given.
+class ObsBench {
+ public:
+  ObsBench(int& argc, char** argv)
+      : cli_(experiment::parse_obs_cli(argc, argv)) {}
+
+  [[nodiscard]] bool any() const { return cli_.any(); }
+
+  /// Switches collection on for `cfg` when flags were given.
+  void apply(experiment::ScenarioConfig& cfg) const { cli_.apply(cfg.obs); }
+
+  /// run_repetitions observer: remembers the latest run's bundle.
+  [[nodiscard]] std::function<void(const experiment::RunResult&)> observer() {
+    if (!cli_.any()) return {};
+    return [this](const experiment::RunResult& run) {
+      if (run.obs) bundle_ = run.obs;
+    };
+  }
+
+  /// Writes the captured bundle's exports (call once, at bench exit).
+  void export_all() const { cli_.export_run(bundle_.get()); }
+
+ private:
+  experiment::ObsCli cli_;
+  std::shared_ptr<obs::Observability> bundle_;
 };
 
 /// Repetitions per configuration; override with MOON_BENCH_REPS.

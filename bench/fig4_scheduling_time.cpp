@@ -21,12 +21,14 @@ std::string sched_cell(const moon::experiment::Summary& summary) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsBench obs(argc, argv);
   std::cout << "=== Figure 4: execution time vs machine unavailability ===\n"
             << "(" << bench::repetitions() << " repetitions per cell; "
             << "mean seconds; DNF = did not finish within 24 h)\n\n";
 
-  const auto sort_results = bench::run_scheduling_sweep(workload::sort_workload());
+  const auto sort_results =
+      bench::run_scheduling_sweep(workload::sort_workload(), &obs);
   bench::print_sweep("Fig 4(a) sleep(sort): execution time (s)", sort_results,
                      bench::time_cell);
   std::cout << '\n';
@@ -44,5 +46,6 @@ int main() {
   bench::print_sweep(
       "Fig 4(b) sleep(word count): JobTracker scheduling wall (ms)", wc_results,
       sched_cell);
+  obs.export_all();
   return 0;
 }

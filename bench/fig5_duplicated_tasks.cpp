@@ -17,18 +17,21 @@ std::string duplicated_cell(const experiment::Summary& summary) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsBench obs(argc, argv);
   std::cout << "=== Figure 5: duplicated tasks vs machine unavailability ===\n"
             << "(" << bench::repetitions() << " repetitions per cell)\n\n";
 
-  const auto sort_results = bench::run_scheduling_sweep(workload::sort_workload());
+  const auto sort_results =
+      bench::run_scheduling_sweep(workload::sort_workload(), &obs);
   bench::print_sweep("Fig 5(a) sleep(sort): duplicated tasks", sort_results,
                      duplicated_cell);
   std::cout << '\n';
 
   const auto wc_results =
-      bench::run_scheduling_sweep(workload::wordcount_workload());
+      bench::run_scheduling_sweep(workload::wordcount_workload(), &obs);
   bench::print_sweep("Fig 5(b) sleep(word count): duplicated tasks", wc_results,
                      duplicated_cell);
+  obs.export_all();
   return 0;
 }

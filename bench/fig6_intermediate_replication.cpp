@@ -32,7 +32,8 @@ std::vector<ReplicationVariant> variants() {
   };
 }
 
-void run_app(const workload::WorkloadModel& app, const std::string& title) {
+void run_app(const workload::WorkloadModel& app, const std::string& title,
+             bench::ObsBench& obs) {
   Table table(title);
   std::vector<std::string> cols{"policy"};
   for (double rate : bench::rates()) {
@@ -48,7 +49,9 @@ void run_app(const workload::WorkloadModel& app, const std::string& title) {
       cfg.unavailability_rate = rate;
       cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
       cfg.intermediate_factor = variant.factor;
-      const auto summary = experiment::run_repetitions(cfg, bench::repetitions());
+      obs.apply(cfg);
+      const auto summary = experiment::run_repetitions(
+          cfg, bench::repetitions(), obs.observer());
       row.push_back(bench::time_cell(summary));
     }
     table.add_row(row);
@@ -58,13 +61,15 @@ void run_app(const workload::WorkloadModel& app, const std::string& title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsBench obs(argc, argv);
   std::cout << "=== Figure 6: intermediate-data replication policies ===\n"
             << "(" << bench::repetitions()
             << " repetitions per cell; mean seconds)\n\n";
-  run_app(workload::sort_workload(), "Fig 6(a) sort: execution time (s)");
+  run_app(workload::sort_workload(), "Fig 6(a) sort: execution time (s)", obs);
   std::cout << '\n';
   run_app(workload::wordcount_workload(),
-          "Fig 6(b) word count: execution time (s)");
+          "Fig 6(b) word count: execution time (s)", obs);
+  obs.export_all();
   return 0;
 }

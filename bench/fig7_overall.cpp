@@ -43,7 +43,7 @@ experiment::Summary run_hadoop_vo(const workload::WorkloadModel& app, double rat
 }
 
 experiment::Summary run_moon(const workload::WorkloadModel& app, double rate,
-                             std::size_t dedicated) {
+                             std::size_t dedicated, bench::ObsBench& obs) {
   auto cfg = bench::paper_testbed();
   cfg.dedicated_nodes = dedicated;
   cfg.unavailability_rate = rate;
@@ -51,10 +51,13 @@ experiment::Summary run_moon(const workload::WorkloadModel& app, double rate,
   cfg.app = app;
   cfg.intermediate_kind = dfs::FileKind::kOpportunistic;
   cfg.intermediate_factor = {1, 1};
-  return experiment::run_repetitions(cfg, bench::repetitions());
+  obs.apply(cfg);
+  return experiment::run_repetitions(cfg, bench::repetitions(),
+                                     obs.observer());
 }
 
-void run_app(const workload::WorkloadModel& app, const std::string& title) {
+void run_app(const workload::WorkloadModel& app, const std::string& title,
+             bench::ObsBench& obs) {
   Table table(title);
   std::vector<std::string> cols{"policy"};
   for (double rate : bench::rates()) cols.push_back("rate " + Table::num(rate, 1));
@@ -73,7 +76,7 @@ void run_app(const workload::WorkloadModel& app, const std::string& title) {
     std::vector<std::string> row{"MOON-HybridD" + std::to_string(dedicated)};
     std::size_t i = 0;
     for (double rate : bench::rates()) {
-      const auto summary = run_moon(app, rate, dedicated);
+      const auto summary = run_moon(app, rate, dedicated, obs);
       std::string cell = bench::time_cell(summary);
       if (summary.execution_time_s.mean() > 0.0) {
         cell += " (" +
@@ -90,13 +93,15 @@ void run_app(const workload::WorkloadModel& app, const std::string& title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsBench obs(argc, argv);
   std::cout << "=== Figure 7: overall MOON vs Hadoop-VO ===\n"
             << "(" << bench::repetitions()
             << " repetitions per cell; mean seconds; parenthesised factor = "
                "speedup over Hadoop-VO)\n\n";
-  run_app(workload::sort_workload(), "Fig 7(a) sort");
+  run_app(workload::sort_workload(), "Fig 7(a) sort", obs);
   std::cout << '\n';
-  run_app(workload::wordcount_workload(), "Fig 7(b) word count");
+  run_app(workload::wordcount_workload(), "Fig 7(b) word count", obs);
+  obs.export_all();
   return 0;
 }

@@ -19,7 +19,8 @@ struct SchedulingCell {
 using SweepResults =
     std::map<std::string, std::map<double, experiment::Summary>>;
 
-inline SweepResults run_scheduling_sweep(const workload::WorkloadModel& base) {
+inline SweepResults run_scheduling_sweep(const workload::WorkloadModel& base,
+                                         ObsBench* obs = nullptr) {
   SweepResults results;
   const auto sleep_app = workload::sleep_of(base);
   for (const auto& policy : scheduling_policies()) {
@@ -33,8 +34,9 @@ inline SweepResults run_scheduling_sweep(const workload::WorkloadModel& base) {
       // intermediate data are always available to Reduce tasks."
       cfg.intermediate_kind = dfs::FileKind::kReliable;
       cfg.intermediate_factor = {1, 1};
-      results[policy.name][rate] =
-          experiment::run_repetitions(cfg, repetitions());
+      if (obs != nullptr) obs->apply(cfg);
+      results[policy.name][rate] = experiment::run_repetitions(
+          cfg, repetitions(), obs != nullptr ? obs->observer() : nullptr);
     }
   }
   return results;

@@ -5,9 +5,15 @@
 //  3. the rescheduled attempt resumes from the latest live checkpoint in
 //     the DFS instead of redoing the shuffle and compute from zero,
 // then runs the identical script with checkpointing off for contrast.
+// Observability: `--trace=FILE` / `--metrics=FILE` / `--events=FILE` export
+// the checkpointing run. This example wires the obs::Observability bundle by
+// hand (it builds its stack without the experiment::Environment), which is
+// the pattern for custom harnesses.
 #include <iostream>
+#include <memory>
 
 #include "common/table.hpp"
+#include "experiment/obs_cli.hpp"
 #include "experiment/scenario.hpp"
 #include "mapred/job.hpp"
 #include "mapred/jobtracker.hpp"
@@ -24,7 +30,7 @@ struct DemoResult {
   mapred::JobMetrics metrics;
 };
 
-DemoResult run(bool checkpointing) {
+DemoResult run(bool checkpointing, const experiment::ObsCli& obs_cli) {
   sim::Simulation sim(42);
   cluster::Cluster cluster(sim);
   cluster::NodeConfig vcfg;
@@ -46,6 +52,19 @@ DemoResult run(bool checkpointing) {
   mapred::JobTracker jobtracker(sim, cluster, dfs, sched, 42);
   jobtracker.add_all_trackers();
   jobtracker.start();
+
+  // Hand-wired observability (only the checkpointing variant exports).
+  std::unique_ptr<obs::Observability> bundle;
+  if (obs_cli.any() && checkpointing) {
+    obs::ObsConfig ocfg;
+    obs_cli.apply(ocfg);
+    bundle = std::make_unique<obs::Observability>(ocfg, sim);
+    if (auto* tracer = bundle->tracer()) {
+      tracer->name_process(obs::kClusterPid, "cluster");
+      tracer->name_process(obs::kDfsPid, "dfs");
+    }
+    bundle->attach();
+  }
 
   const FileId input =
       dfs.stage_blocks("demo.input", dfs::FileKind::kReliable, {1, 2}, 2, kMiB);
@@ -83,17 +102,22 @@ DemoResult run(bool checkpointing) {
   DemoResult result;
   result.metrics = job.metrics();
   result.execution_time_s = job.metrics().execution_time_s();
+  if (bundle) {
+    bundle->finalize();
+    obs_cli.export_run(bundle.get());
+  }
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const experiment::ObsCli obs_cli = experiment::parse_obs_cli(argc, argv);
   std::cout << "=== Reduce checkpoint/resume demo ===\n\n";
   std::cout << "with checkpointing:\n";
-  const DemoResult warm = run(/*checkpointing=*/true);
+  const DemoResult warm = run(/*checkpointing=*/true, obs_cli);
   std::cout << "without checkpointing:\n";
-  const DemoResult cold = run(/*checkpointing=*/false);
+  const DemoResult cold = run(/*checkpointing=*/false, obs_cli);
 
   Table table("killed-reduce recovery, 600 s reduce compute");
   table.columns({"variant", "time (s)", "ckpts written", "ckpt bytes (MiB)",

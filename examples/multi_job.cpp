@@ -7,10 +7,14 @@
 // policy: FIFO serves jobs in submission order (early big jobs starve later
 // small ones), fair-share interleaves by slot deficit, SRTF lets the
 // smallest job jump the queue.
+// Observability: `--trace=FILE` / `--metrics=FILE` / `--events=FILE` export
+// the FIFO stream's trace (one Perfetto process per job), gauge CSV, and
+// structured event log.
 #include <iostream>
 
 #include "common/table.hpp"
 #include "experiment/multi_job.hpp"
+#include "experiment/obs_cli.hpp"
 #include "mapred/job_policy.hpp"
 
 using namespace moon;
@@ -68,11 +72,15 @@ experiment::MultiJobConfig config(mapred::SchedulerConfig::JobPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using JobPolicy = mapred::SchedulerConfig::JobPolicy;
+  const experiment::ObsCli obs_cli = experiment::parse_obs_cli(argc, argv);
   for (JobPolicy policy :
        {JobPolicy::kFifo, JobPolicy::kFairShare, JobPolicy::kShortestRemaining}) {
-    const auto result = experiment::run_multi_job_scenario(config(policy));
+    auto cfg = config(policy);
+    if (policy == JobPolicy::kFifo) obs_cli.apply(cfg.base.obs);
+    const auto result = experiment::run_multi_job_scenario(cfg);
+    if (policy == JobPolicy::kFifo) obs_cli.export_run(result.obs.get());
 
     Table table(std::string("Policy: ") + mapred::to_string(policy) +
                 " — 4-job stream, 8 volatile + 2 dedicated, rate 0.3");

@@ -1,14 +1,17 @@
 // Quickstart: run one MapReduce job on a small opportunistic cluster, once
 // under Hadoop's policies and once under MOON's, and compare.
 //
-//   ./quickstart [unavailability-rate]   (default 0.4)
+//   ./quickstart [unavailability-rate] [--trace=FILE] [--metrics=FILE]
+//                [--events=FILE]                      (default rate 0.4)
 //
 // Demonstrates the core public API: build a ScenarioConfig, pick a policy
-// preset, call run_scenario, read the metrics.
+// preset, call run_scenario, read the metrics. The observability flags
+// export the MOON run's trace/metrics/event log (see README).
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "experiment/obs_cli.hpp"
 #include "experiment/scenario.hpp"
 
 using namespace moon;
@@ -32,6 +35,7 @@ experiment::ScenarioConfig base_config(double rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const experiment::ObsCli obs_cli = experiment::parse_obs_cli(argc, argv);
   const double rate = argc > 1 ? std::atof(argv[1]) : 0.4;
 
   std::cout << "MOON quickstart: sort-like job, 20 volatile + 2 dedicated "
@@ -55,7 +59,9 @@ int main(int argc, char** argv) {
   moon.input_factor = {1, 3};
   moon.intermediate_factor = {1, 1};
   moon.output_factor = {1, 3};
+  obs_cli.apply(moon.obs);
   const auto moon_run = experiment::run_scenario(moon);
+  obs_cli.export_run(moon_run.obs.get());
 
   Table table("Hadoop vs MOON on an opportunistic cluster");
   table.columns({"policy", "finished", "time (s)", "duplicated tasks",

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+#include "simkit/profiler.hpp"
+#include "simkit/simulation.hpp"
+
 namespace moon::checkpoint {
 
 CheckpointStore::CheckpointStore(dfs::Dfs& dfs, CheckpointConfig config)
@@ -33,7 +37,17 @@ void CheckpointStore::emit(Snapshot snap, NodeId writer,
   }
 
   ++stats_.emits_started;
+  sim::Profiler::Scope profile(dfs_.simulation().profiler(),
+                               sim::Profiler::Key::kCheckpoint);
   const Bytes bytes = std::max<Bytes>(snap.delta_bytes, 1);
+  obs::Tracer::SpanId span;
+  if (auto* tracer = dfs_.simulation().tracer()) {
+    span = tracer->begin(obs::kDfsPid, obs::node_track(writer),
+                         obs::Cat::kCheckpoint, "ckpt " + snap.label,
+                         dfs_.simulation().now(),
+                         {{"bytes", std::to_string(bytes)},
+                          {"progress", std::to_string(snap.progress)}});
+  }
   // write_file allocates this emit's blocks synchronously; remember them so
   // the record tracks exactly the committed log segments (stray blocks from
   // failed emits are never required for liveness).
@@ -41,9 +55,13 @@ void CheckpointStore::emit(Snapshot snap, NodeId writer,
   auto shared = std::make_shared<Snapshot>(std::move(snap));
   const dfs::OpId op = dfs_.write_file(
       file, writer, bytes,
-      [this, key, file, bytes, pre_blocks, shared,
+      [this, key, file, bytes, pre_blocks, shared, span,
        done = std::move(done)](bool ok) {
         inflight_.erase(key);
+        if (auto* tracer = dfs_.simulation().tracer()) {
+          tracer->end(span, dfs_.simulation().now(),
+                      {{"outcome", ok ? "ok" : "failed"}});
+        }
         if (ok) {
           auto& nn = dfs_.namenode();
           ReduceCheckpoint& rec = records_[key];
@@ -66,6 +84,13 @@ void CheckpointStore::emit(Snapshot snap, NodeId writer,
           rec.updated_at = dfs_.simulation().now();
           ++stats_.emits_committed;
           stats_.bytes_logged += bytes;
+          if (log::enabled(log::Level::kDebug)) {
+            log::debug("checkpoint", "emit committed",
+                       {{"job", std::to_string(shared->job.value())},
+                        {"task", std::to_string(shared->task.value())},
+                        {"bytes", std::to_string(bytes)},
+                        {"progress", std::to_string(shared->progress)}});
+          }
         } else {
           ++stats_.emits_failed;
           // A fresh file whose first emit never landed holds nothing worth
@@ -78,11 +103,15 @@ void CheckpointStore::emit(Snapshot snap, NodeId writer,
         }
         if (done) done(ok);
       });
-  inflight_.emplace(key, Inflight{op, writer, file});
+  inflight_.emplace(key, Inflight{op, writer, file, span});
 }
 
 void CheckpointStore::cancel_inflight(std::map<Key, Inflight>::iterator it) {
   dfs_.cancel_op(it->second.op);
+  if (auto* tracer = dfs_.simulation().tracer()) {
+    tracer->end(it->second.span, dfs_.simulation().now(),
+                {{"outcome", "aborted"}});
+  }
   auto rec = records_.find(it->first);
   const bool referenced = rec != records_.end() && rec->second.file == it->second.file;
   if (!referenced && dfs_.namenode().file_exists(it->second.file)) {

@@ -23,6 +23,7 @@
 #include "checkpoint/types.hpp"
 #include "common/ids.hpp"
 #include "dfs/dfs.hpp"
+#include "obs/trace.hpp"
 
 namespace moon::checkpoint {
 
@@ -99,6 +100,7 @@ class CheckpointStore {
     dfs::OpId op;
     NodeId writer;
     FileId file;  ///< log being appended (fresh on a first emit)
+    obs::Tracer::SpanId span;  ///< emit span (invalid when tracing off)
   };
 
   /// Cancels one in-flight entry and GCs its file when no committed record

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/log.hpp"
+
 namespace moon::cluster {
 
 Node::Node(sim::Simulation& sim, sim::FlowNetwork& net, NodeId id, NodeConfig config)
@@ -29,6 +31,19 @@ void Node::set_available(bool up) {
       net_.set_capacity(nic_out_, 0.0);
       net_.set_capacity(disk_, 0.0);
     }
+  }
+  if (auto* tracer = sim_.tracer()) {
+    if (up) {
+      tracer->end(down_span_, sim_.now());
+      down_span_ = {};
+    } else {
+      down_span_ = tracer->begin(obs::kClusterPid, obs::node_track(id_),
+                                 obs::Cat::kNode, "down", sim_.now());
+    }
+  }
+  if (log::enabled(log::Level::kDebug)) {
+    log::debug("node", up ? "up" : "down",
+               {{"node", std::to_string(id_.value())}});
   }
   for (const auto& listener : listeners_) listener(up);
 }

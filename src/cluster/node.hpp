@@ -15,6 +15,7 @@
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "simkit/flow_network.hpp"
 #include "simkit/simulation.hpp"
 
@@ -75,6 +76,7 @@ class Node {
   sim::Time last_down_at_ = 0;
   sim::Duration down_total_ = 0;
   std::vector<AvailabilityListener> listeners_;
+  obs::Tracer::SpanId down_span_;  ///< open "down" span while unavailable
 };
 
 }  // namespace moon::cluster

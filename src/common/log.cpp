@@ -8,8 +8,12 @@ namespace moon::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kOff};
+std::atomic<Level> g_sink_level{Level::kOff};
 std::mutex g_mutex;
 std::function<double()> g_clock;  // guarded by g_mutex
+Sink g_sink;                      // guarded by g_mutex
+
+}  // namespace
 
 const char* level_name(Level level) {
   switch (level) {
@@ -21,8 +25,6 @@ const char* level_name(Level level) {
   }
   return "?";
 }
-
-}  // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
@@ -37,13 +39,42 @@ void clear_clock() {
   g_clock = nullptr;
 }
 
-void write(Level lvl, const std::string& message) {
+void set_sink(Sink sink, Level capture_level) {
   std::lock_guard lock(g_mutex);
-  if (g_clock) {
-    std::fprintf(stderr, "[%10.3f] %s %s\n", g_clock(), level_name(lvl),
-                 message.c_str());
-  } else {
-    std::fprintf(stderr, "%s %s\n", level_name(lvl), message.c_str());
+  g_sink = std::move(sink);
+  g_sink_level.store(g_sink ? capture_level : Level::kOff,
+                     std::memory_order_relaxed);
+}
+
+void clear_sink() {
+  std::lock_guard lock(g_mutex);
+  g_sink = nullptr;
+  g_sink_level.store(Level::kOff, std::memory_order_relaxed);
+}
+
+bool enabled(Level lvl) {
+  return g_level.load(std::memory_order_relaxed) <= lvl ||
+         g_sink_level.load(std::memory_order_relaxed) <= lvl;
+}
+
+void write(Level lvl, const char* component, const std::string& message,
+           const Fields& fields) {
+  std::lock_guard lock(g_mutex);
+  if (g_level.load(std::memory_order_relaxed) <= lvl) {
+    if (g_clock) {
+      std::fprintf(stderr, "[%10.3f] %s %s: %s", g_clock(), level_name(lvl),
+                   component, message.c_str());
+    } else {
+      std::fprintf(stderr, "%s %s: %s", level_name(lvl), component,
+                   message.c_str());
+    }
+    for (const Field& f : fields) {
+      std::fprintf(stderr, " %s=%s", f.key.c_str(), f.value.c_str());
+    }
+    std::fputc('\n', stderr);
+  }
+  if (g_sink && g_sink_level.load(std::memory_order_relaxed) <= lvl) {
+    g_sink(lvl, component, message, fields);
   }
 }
 

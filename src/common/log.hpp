@@ -1,19 +1,36 @@
-// Minimal leveled logger.
+// Leveled, component-tagged, structured logger.
 //
 // The simulator is silent by default (benches print tables, not traces);
-// set the level to kDebug to watch the control plane make decisions. The
-// sink is process-global but the clock is injected so log lines can carry
-// simulated time instead of wall time.
+// set the stderr level to kDebug to watch the control plane make decisions.
+// Every record names the component that emitted it ("jobtracker", "dfs",
+// "node", …) and may carry structured key=value fields, so the same call
+// site serves three consumers:
+//   - stderr, rendered as `[sim-time] LEVEL component: message k=v …`
+//   - an optional process-global sink with its *own* capture level — the
+//     obs::Observability layer installs one to fill its structured event
+//     log and to mirror records into the tracer as instant events
+//   - nothing, at near-zero cost: `enabled()` is two relaxed atomic loads
+// The clock is injected so log lines carry simulated time, not wall time.
 #pragma once
 
 #include <functional>
-#include <sstream>
 #include <string>
+#include <vector>
 
 namespace moon::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// One structured key=value field.
+struct Field {
+  std::string key;
+  std::string value;
+};
+using Fields = std::vector<Field>;
+
+const char* level_name(Level level);
+
+/// Stderr threshold (default kOff: silent).
 void set_level(Level level);
 Level level();
 
@@ -21,32 +38,37 @@ Level level();
 void set_clock(std::function<double()> clock);
 void clear_clock();
 
-void write(Level level, const std::string& message);
+/// Capture sink: receives every record at or above `capture_level`,
+/// independently of the stderr threshold. One sink at a time (the obs layer
+/// owns it during a run).
+using Sink = std::function<void(Level level, const char* component,
+                                const std::string& message,
+                                const Fields& fields)>;
+void set_sink(Sink sink, Level capture_level);
+void clear_sink();
 
-namespace detail {
-template <typename... Args>
-std::string concat(Args&&... args) {
-  std::ostringstream os;
-  (os << ... << std::forward<Args>(args));
-  return os.str();
-}
-}  // namespace detail
+/// True when a record at `lvl` would reach stderr or the sink — call sites
+/// use it to skip message/field construction entirely.
+bool enabled(Level lvl);
 
-template <typename... Args>
-void debug(Args&&... args) {
-  if (level() <= Level::kDebug) write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+void write(Level level, const char* component, const std::string& message,
+           const Fields& fields = {});
+
+inline void debug(const char* component, const std::string& message,
+                  const Fields& fields = {}) {
+  if (enabled(Level::kDebug)) write(Level::kDebug, component, message, fields);
 }
-template <typename... Args>
-void info(Args&&... args) {
-  if (level() <= Level::kInfo) write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+inline void info(const char* component, const std::string& message,
+                 const Fields& fields = {}) {
+  if (enabled(Level::kInfo)) write(Level::kInfo, component, message, fields);
 }
-template <typename... Args>
-void warn(Args&&... args) {
-  if (level() <= Level::kWarn) write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+inline void warn(const char* component, const std::string& message,
+                 const Fields& fields = {}) {
+  if (enabled(Level::kWarn)) write(Level::kWarn, component, message, fields);
 }
-template <typename... Args>
-void error(Args&&... args) {
-  if (level() <= Level::kError) write(Level::kError, detail::concat(std::forward<Args>(args)...));
+inline void error(const char* component, const std::string& message,
+                  const Fields& fields = {}) {
+  if (enabled(Level::kError)) write(Level::kError, component, message, fields);
 }
 
 }  // namespace moon::log

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace moon::dfs {
 
@@ -25,6 +26,8 @@ struct Dfs::Op {
   virtual void abort() = 0;
 
   Done done_;
+  obs::Tracer::SpanId span_;  ///< open trace span (invalid when tracing off)
+  Bytes charge_ = 0;          ///< partial-read bytes counted in-flight
 };
 
 struct Dfs::WriteOp final : Dfs::Op {
@@ -261,6 +264,7 @@ struct Dfs::Repair {
   NodeId source;
   NodeId target;
   Bytes size;
+  obs::Tracer::SpanId span;  ///< open trace span (invalid when tracing off)
 };
 
 // ---- Dfs ------------------------------------------------------------------
@@ -373,6 +377,12 @@ OpId Dfs::write_file(FileId file, NodeId writer, Bytes size, Done done) {
     remaining -= this_block;
     op->blocks_.push_back(namenode_.add_block(file, this_block));
   }
+  if (auto* tracer = sim_.tracer()) {
+    op->span_ = tracer->begin(obs::kDfsPid, obs::node_track(writer),
+                              obs::Cat::kIo, "write", sim_.now(),
+                              {{"file", std::to_string(file.value())},
+                               {"bytes", std::to_string(size)}});
+  }
   ops_.emplace(id, std::move(op));
   begin_op(id);
   return id;
@@ -383,6 +393,13 @@ OpId Dfs::read_block(BlockId block, NodeId reader, Done done) {
   auto op = std::make_unique<ReadOp>(*this, id, block, reader,
                                      namenode_.block(block).size,
                                      config().max_read_rounds, std::move(done));
+  if (auto* tracer = sim_.tracer()) {
+    op->span_ = tracer->begin(
+        obs::kDfsPid, obs::node_track(reader), obs::Cat::kIo, "read",
+        sim_.now(),
+        {{"block", std::to_string(block.value())},
+         {"bytes", std::to_string(namenode_.block(block).size)}});
+  }
   ops_.emplace(id, std::move(op));
   begin_op(id);
   return id;
@@ -392,6 +409,14 @@ OpId Dfs::read_partial(BlockId block, NodeId reader, Bytes bytes, Done done) {
   const OpId id = next_op_++;
   auto op = std::make_unique<ReadOp>(*this, id, block, reader, bytes,
                                      /*rounds=*/1, std::move(done));
+  op->charge_ = bytes;
+  partial_inflight_ += bytes;
+  if (auto* tracer = sim_.tracer()) {
+    op->span_ = tracer->begin(obs::kDfsPid, obs::node_track(reader),
+                              obs::Cat::kIo, "fetch", sim_.now(),
+                              {{"block", std::to_string(block.value())},
+                               {"bytes", std::to_string(bytes)}});
+  }
   ops_.emplace(id, std::move(op));
   begin_op(id);
   return id;
@@ -408,6 +433,10 @@ void Dfs::cancel_op(OpId op) {
   auto it = ops_.find(op);
   if (it == ops_.end()) return;
   it->second->abort();
+  partial_inflight_ -= it->second->charge_;
+  if (auto* tracer = sim_.tracer()) {
+    tracer->end(it->second->span_, sim_.now(), {{"outcome", "cancelled"}});
+  }
   ops_.erase(it);
 }
 
@@ -418,6 +447,10 @@ void Dfs::finish_op(OpId id, bool ok) {
   // others, and must not observe this op as active.
   std::unique_ptr<Op> op = std::move(it->second);
   ops_.erase(it);
+  partial_inflight_ -= op->charge_;
+  if (auto* tracer = sim_.tracer()) {
+    tracer->end(op->span_, sim_.now(), {{"outcome", ok ? "ok" : "failed"}});
+  }
   if (op->done_) op->done_(ok);
 }
 
@@ -484,6 +517,9 @@ void Dfs::replication_scan() {
       const Repair repair = repairs_.at(flow);
       net.abort_flow(flow);
       repairs_.erase(flow);
+      if (auto* tracer = sim_.tracer()) {
+        tracer->end(repair.span, sim_.now(), {{"outcome", "stalled"}});
+      }
       namenode_.enqueue_replication(repair.block);
     }
   }
@@ -511,7 +547,13 @@ void Dfs::start_repair_streams() {
     const FlowId flow = net.start_flow(
         {src.disk(), src.nic_out(), dst.nic_in(), dst.disk()}, size,
         [this, block, target, size](FlowId f) {
-          repairs_.erase(f);
+          auto rit = repairs_.find(f);
+          if (rit != repairs_.end()) {
+            if (auto* tracer = sim_.tracer()) {
+              tracer->end(rit->second.span, sim_.now(), {{"outcome", "ok"}});
+            }
+            repairs_.erase(rit);
+          }
           // The file may have been deleted while the copy was in flight
           // (e.g. a map output discarded for re-execution): drop the bytes.
           if (namenode_.block_exists(block)) {
@@ -524,7 +566,22 @@ void Dfs::start_repair_streams() {
           // A slot freed up; try to keep the pipeline full.
           start_repair_streams();
         });
-    repairs_.emplace(flow, Repair{block, plan->source, plan->target, size});
+    obs::Tracer::SpanId span;
+    if (auto* tracer = sim_.tracer()) {
+      span = tracer->begin(obs::kDfsPid, obs::node_track(target),
+                           obs::Cat::kRepair, "repair", sim_.now(),
+                           {{"block", std::to_string(block.value())},
+                            {"source", std::to_string(plan->source.value())},
+                            {"bytes", std::to_string(size)}});
+    }
+    if (log::enabled(log::Level::kDebug)) {
+      log::debug("dfs", "repair stream",
+                 {{"block", std::to_string(block.value())},
+                  {"source", std::to_string(plan->source.value())},
+                  {"target", std::to_string(target.value())}});
+    }
+    repairs_.emplace(flow,
+                     Repair{block, plan->source, plan->target, size, span});
   }
   for (BlockId b : deferred) namenode_.enqueue_replication(b);
 }

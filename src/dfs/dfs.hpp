@@ -84,6 +84,12 @@ class Dfs {
 
   [[nodiscard]] std::size_t active_ops() const { return ops_.size(); }
   [[nodiscard]] std::size_t active_repairs() const { return repairs_.size(); }
+  /// Bytes of in-flight partial (shuffle partition) reads. Maintained
+  /// unconditionally — cheap integer bookkeeping — so metrics gauges can
+  /// read it without perturbing anything.
+  [[nodiscard]] Bytes shuffle_bytes_in_flight() const {
+    return partial_inflight_;
+  }
 
   /// Writes one line per in-flight client op (kind, block, endpoints, flow
   /// rate, remaining bytes) — debugging aid for stuck transfers.
@@ -113,6 +119,7 @@ class Dfs {
   std::unordered_map<OpId, std::unique_ptr<Op>> ops_;
   std::unordered_map<FlowId, Repair> repairs_;
   OpId next_op_ = 1;
+  Bytes partial_inflight_ = 0;
   sim::PeriodicTask probe_task_;
   sim::PeriodicTask replication_task_;
   bool started_ = false;

@@ -1,6 +1,7 @@
 #include "experiment/environment.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "experiment/scenario.hpp"
 #include "trace/correlated.hpp"
@@ -67,6 +68,92 @@ Environment::Environment(const ScenarioConfig& config)
                                                     config.sched, config.seed);
   jobtracker->add_all_trackers();
   jobtracker->start();
+
+  if (config.obs.any()) {
+    obs = std::make_shared<moon::obs::Observability>(config.obs, sim);
+    if (auto* tracer = obs->tracer()) {
+      tracer->name_process(moon::obs::kClusterPid, "cluster");
+      tracer->name_track(moon::obs::kClusterPid, 0, "control");
+      tracer->name_process(moon::obs::kDfsPid, "dfs");
+      tracer->name_track(moon::obs::kDfsPid, 0, "namenode");
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        const NodeId id{i};
+        const std::string name = "node" + std::to_string(i);
+        tracer->name_track(moon::obs::kClusterPid, moon::obs::node_track(id),
+                           name);
+        tracer->name_track(moon::obs::kDfsPid, moon::obs::node_track(id), name);
+      }
+    }
+    if (auto* metrics = obs->metrics()) {
+      // Gauges only *read* state (§12 zero-perturbation contract): plain
+      // counters and index sizes, never settle-on-read APIs.
+      auto* jt = jobtracker.get();
+      auto* fs = dfs.get();
+      auto* cl = &cluster;
+      auto* sm = &sim;
+      metrics->add_gauge("cluster_utilization", [jt] {
+        int used = 0;
+        for (const auto* t : jt->trackers()) {
+          if (jt->tracker_state(t->node_id()) != mapred::TrackerState::kLive) {
+            continue;
+          }
+          used += t->used_slots(mapred::TaskType::kMap) +
+                  t->used_slots(mapred::TaskType::kReduce);
+        }
+        const int total = jt->available_execution_slots();
+        return total == 0 ? 0.0 : static_cast<double>(used) / total;
+      });
+      metrics->add_gauge("running_attempts", [jt] {
+        std::size_t n = 0;
+        for (const auto* job : jt->jobs_in_order()) {
+          if (job->finished()) continue;
+          n += job->running_index_size(mapred::TaskType::kMap) +
+               job->running_index_size(mapred::TaskType::kReduce);
+        }
+        return static_cast<double>(n);
+      });
+      metrics->add_gauge("pending_tasks", [jt] {
+        std::size_t n = 0;
+        for (const auto* job : jt->jobs_in_order()) {
+          if (job->finished()) continue;
+          n += job->pending_index_size(mapred::TaskType::kMap) +
+               job->pending_index_size(mapred::TaskType::kReduce);
+        }
+        return static_cast<double>(n);
+      });
+      metrics->add_gauge("live_nodes", [cl] {
+        return static_cast<double>(cl->available_count());
+      });
+      metrics->add_gauge("shuffle_bytes_in_flight", [fs] {
+        return static_cast<double>(fs->shuffle_bytes_in_flight());
+      });
+      metrics->add_gauge("replication_queue_depth", [fs] {
+        return static_cast<double>(fs->namenode().replication_queue_depth());
+      });
+      metrics->add_gauge("active_repairs", [fs] {
+        return static_cast<double>(fs->active_repairs());
+      });
+      metrics->add_gauge("dfs_active_ops", [fs] {
+        return static_cast<double>(fs->active_ops());
+      });
+      metrics->add_gauge("active_flows", [cl] {
+        return static_cast<double>(cl->network().active_flows());
+      });
+      metrics->add_gauge("event_queue_depth", [sm] {
+        return static_cast<double>(sm->pending_events());
+      });
+      metrics->add_gauge("dfs_bytes_read", [fs] {
+        return static_cast<double>(fs->stats().bytes_read);
+      });
+      metrics->add_gauge("dfs_bytes_written", [fs] {
+        return static_cast<double>(fs->stats().bytes_written);
+      });
+      metrics->add_gauge("replication_bytes", [fs] {
+        return static_cast<double>(fs->stats().replication_bytes);
+      });
+    }
+    obs->attach();
+  }
 }
 
 }  // namespace moon::experiment

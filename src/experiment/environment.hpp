@@ -12,6 +12,7 @@
 #include "cluster/cluster.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/jobtracker.hpp"
+#include "obs/observability.hpp"
 #include "simkit/simulation.hpp"
 
 namespace moon::experiment {
@@ -37,6 +38,12 @@ class Environment {
   std::unique_ptr<moon::cluster::AvailabilityDriver> driver;
   std::unique_ptr<moon::dfs::Dfs> dfs;
   std::unique_ptr<moon::mapred::JobTracker> jobtracker;
+  /// Observability bundle (null when config.obs is all-off). shared_ptr:
+  /// the harness finalizes it before teardown and hands it to the result,
+  /// which outlives this environment. Gauges hold pointers into the members
+  /// above, so finalize() must run before the environment dies (the
+  /// destructor order here is a backstop: obs tears down first).
+  std::shared_ptr<moon::obs::Observability> obs;
 };
 
 }  // namespace moon::experiment

@@ -124,10 +124,12 @@ MultiJobResult run_multi_job_scenario(const MultiJobConfig& config) {
         sim::to_seconds(last_end - arrivals.front().submit_at);
   }
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
-  result.scheduling_wall_ms =
-      static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
   result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
+  if (env.obs) {
+    env.obs->finalize();
+    result.obs = env.obs;
+  }
   return result;
 }
 

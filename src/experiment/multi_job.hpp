@@ -46,10 +46,16 @@ struct MultiJobResult {
   /// -> 1/n when one job absorbs all the delay.
   double jain_fairness = 1.0;
   std::size_t replication_queue_depth = 0;
-  double scheduling_wall_ms = 0.0;
   /// Host wall-clock profile of the whole stream run (shared simulator).
   sim::Profiler::Snapshot profile{};
   dfs::DfsStats dfs_stats;  ///< cluster-wide (the DFS is shared by all jobs)
+  /// Control-plane cost across the stream — the profiler's kHeartbeat view.
+  [[nodiscard]] double scheduling_wall_ms() const {
+    return profile[static_cast<std::size_t>(sim::Profiler::Key::kHeartbeat)]
+        .ms();
+  }
+  /// The run's observability bundle (null when base.obs was all-off).
+  std::shared_ptr<obs::Observability> obs;
 };
 
 /// Runs the arrival stream to completion (or base.max_sim_time). Arrivals

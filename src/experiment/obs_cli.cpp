@@ -1,0 +1,58 @@
+#include "experiment/obs_cli.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace moon::experiment {
+
+void ObsCli::apply(obs::ObsConfig& config) const {
+  if (!trace_path.empty()) config.trace = true;
+  if (!metrics_path.empty()) config.metrics = true;
+  if (!events_path.empty()) config.capture_log = true;
+}
+
+void ObsCli::export_run(const obs::Observability* bundle) const {
+  if (bundle == nullptr) return;
+  if (!trace_path.empty() && bundle->tracer() != nullptr) {
+    std::ofstream out(trace_path);
+    bundle->tracer()->write_chrome_trace(out);
+    std::cerr << "trace: " << trace_path << " ("
+              << bundle->tracer()->event_count() << " events, "
+              << bundle->tracer()->dropped() << " dropped)\n";
+  }
+  if (!metrics_path.empty() && bundle->metrics() != nullptr) {
+    std::ofstream out(metrics_path);
+    bundle->metrics()->write_csv(out);
+    std::cerr << "metrics: " << metrics_path << " ("
+              << bundle->metrics()->gauge_count() << " gauges, "
+              << bundle->metrics()->sample_count() << " samples)\n";
+  }
+  if (!events_path.empty()) {
+    std::ofstream out(events_path);
+    bundle->events().write_jsonl(out);
+    std::cerr << "events: " << events_path << " ("
+              << bundle->events().size() << " records)\n";
+  }
+}
+
+ObsCli parse_obs_cli(int& argc, char** argv) {
+  ObsCli cli;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      cli.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      cli.metrics_path = arg + 10;
+    } else if (std::strncmp(arg, "--events=", 9) == 0) {
+      cli.events_path = arg + 9;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return cli;
+}
+
+}  // namespace moon::experiment

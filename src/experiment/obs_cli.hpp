@@ -1,0 +1,42 @@
+// Shared `--trace=FILE` / `--metrics=FILE` / `--events=FILE` command-line
+// handling for examples and benches.
+//
+// parse_obs_cli() strips the observability flags out of argv (so existing
+// positional-argument parsing is untouched), apply() switches the matching
+// ObsConfig pieces on, and export_run() writes whatever a finished run's
+// Observability bundle collected:
+//   --trace=FILE    Chrome trace-event JSON (open in ui.perfetto.dev)
+//   --metrics=FILE  gauge time-series CSV (one row per sampling tick)
+//   --events=FILE   structured event log as JSONL
+#pragma once
+
+#include <string>
+
+#include "obs/observability.hpp"
+
+namespace moon::experiment {
+
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string events_path;
+
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !events_path.empty();
+  }
+
+  /// Enables the ObsConfig pieces the requested exports need.
+  void apply(obs::ObsConfig& config) const;
+
+  /// Writes the requested export files from a finalized bundle; prints one
+  /// confirmation line per file to stderr. No-op on null `bundle` (obs was
+  /// never enabled) — callers can pass RunResult::obs.get() unconditionally.
+  void export_run(const obs::Observability* bundle) const;
+};
+
+/// Extracts the observability flags from argv, compacting the remaining
+/// arguments in place and updating argc.
+ObsCli parse_obs_cli(int& argc, char** argv);
+
+}  // namespace moon::experiment

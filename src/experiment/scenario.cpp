@@ -59,10 +59,14 @@ RunResult run_scenario(const ScenarioConfig& config) {
         the_job->all_maps_done() && the_job->all_reduces_done();
   }
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
-  result.scheduling_wall_ms =
-      static_cast<double>(jobtracker.scheduling_wall_ns()) / 1'000'000.0;
   result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
+  // Detach observability before the environment (which the gauges probe)
+  // goes away; the finalized bundle rides out in the result.
+  if (env.obs) {
+    env.obs->finalize();
+    result.obs = env.obs;
+  }
   return result;
 }
 
@@ -154,7 +158,7 @@ Summary run_repetitions(ScenarioConfig config, int repetitions,
     summary.checkpoints_written.add(run.metrics.checkpoints_written);
     summary.checkpoint_resumes.add(run.metrics.checkpoint_resumes);
     summary.checkpoint_salvaged.add(run.metrics.checkpoint_progress_salvaged);
-    summary.scheduling_wall_ms.add(run.scheduling_wall_ms);
+    summary.scheduling_wall_ms.add(run.scheduling_wall_ms());
     for (std::size_t k = 0; k < sim::Profiler::kKeyCount; ++k) {
       summary.profile_ms[k].add(run.profile[k].ms());
     }

@@ -15,11 +15,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/stats.hpp"
 #include "dfs/types.hpp"
 #include "mapred/types.hpp"
+#include "obs/observability.hpp"
 #include "simkit/flow_network.hpp"
 #include "simkit/profiler.hpp"
 #include "trace/trace_generator.hpp"
@@ -73,6 +75,9 @@ struct ScenarioConfig {
   sim::Duration max_sim_time = 24 * sim::kHour;
   /// Dump unfinished-task state to stderr when the horizon is hit.
   bool dump_unfinished = false;
+
+  // --- observability (off by default; zero-perturbation when on) ---
+  obs::ObsConfig obs;
 };
 
 struct RunResult {
@@ -82,13 +87,20 @@ struct RunResult {
   int num_reduces = 0;
   bool finished = false;  ///< completed within the horizon
   double execution_time_s = 0.0;  ///< horizon time if DNF
-  /// Wall-clock ms the JobTracker spent making heartbeat assignment
-  /// decisions (the measured Figure-4 "scheduling time").
-  double scheduling_wall_ms = 0.0;
   /// Host wall-clock profile of the run's hot paths (settle/recompute, DFS
   /// probes, replication scans, heartbeats, speculation) — what the next
   /// perf PR should look at before guessing.
   sim::Profiler::Snapshot profile{};
+  /// Wall-clock ms the JobTracker spent making heartbeat assignment
+  /// decisions (the measured Figure-4 "scheduling time"). Derived from the
+  /// profiler's kHeartbeat counter — one measurement, two views.
+  [[nodiscard]] double scheduling_wall_ms() const {
+    return profile[static_cast<std::size_t>(sim::Profiler::Key::kHeartbeat)]
+        .ms();
+  }
+  /// The run's observability bundle (null when config.obs was all-off);
+  /// finalized — trace/metrics/event log are complete and exportable.
+  std::shared_ptr<obs::Observability> obs;
   // End-of-run progress snapshot (diagnoses DNF runs).
   int completed_maps = 0;
   int completed_reduces = 0;

@@ -424,7 +424,26 @@ bool Job::checkpoint_shielded(TaskId id) const {
 
 // ---- lifecycle -------------------------------------------------------------
 
-void Job::submit() { metrics_.submitted_at = jobtracker_.simulation().now(); }
+void Job::submit() {
+  auto& sim = jobtracker_.simulation();
+  metrics_.submitted_at = sim.now();
+  if (auto* tracer = sim.tracer()) {
+    const std::uint32_t pid = obs::job_pid(id_);
+    tracer->name_process(pid, "job" + std::to_string(id_.value()) + " " +
+                                  spec_.name);
+    tracer->name_track(pid, 0, "job");
+    span_ = tracer->begin(pid, 0, obs::Cat::kJob, spec_.name, sim.now(),
+                          {{"maps", std::to_string(spec_.num_maps)},
+                           {"reduces", std::to_string(spec_.num_reduces)}});
+  }
+  if (log::enabled(log::Level::kInfo)) {
+    log::info("job", "submitted",
+              {{"job", std::to_string(id_.value())},
+               {"name", spec_.name},
+               {"maps", std::to_string(spec_.num_maps)},
+               {"reduces", std::to_string(spec_.num_reduces)}});
+  }
+}
 
 TaskAttempt& Job::launch_attempt(TaskId task_id, TaskTracker& tracker,
                                  bool speculative) {
@@ -664,6 +683,16 @@ void Job::revert_map(TaskId map_task) {
   Task& t = task(map_task);
   if (t.state != TaskState::kCompleted) return;
   ++metrics_.map_reexecutions;
+  if (auto* tracer = jobtracker_.simulation().tracer()) {
+    tracer->instant(obs::job_pid(id_), 0, obs::Cat::kSched, "map-revert",
+                    jobtracker_.simulation().now(),
+                    {{"map", std::to_string(t.index)}});
+  }
+  if (log::enabled(log::Level::kWarn)) {
+    log::warn("job", "map output lost, re-executing",
+              {{"job", std::to_string(id_.value())},
+               {"map", std::to_string(t.index)}});
+  }
   fetch_failures_.erase(map_task);
   if (t.output_file.valid()) {
     jobtracker_.dfs().namenode().remove_file(t.output_file);
@@ -738,6 +767,13 @@ void Job::try_commit() {
   if (!all_complete) return;
   metrics_.completed = true;
   metrics_.finished_at = jobtracker_.simulation().now();
+  if (auto* tracer = jobtracker_.simulation().tracer()) {
+    tracer->end(span_, metrics_.finished_at, {{"outcome", "completed"}});
+    span_ = {};
+  }
+  if (log::enabled(log::Level::kInfo)) {
+    log::info("job", "completed", {{"job", std::to_string(id_.value())}});
+  }
   jobtracker_.checkpoint_store().drop_job(id_);
   jobtracker_.notify_job_finished(*this);
 }
@@ -746,6 +782,13 @@ void Job::fail_job() {
   if (finished()) return;
   metrics_.failed = true;
   metrics_.finished_at = jobtracker_.simulation().now();
+  if (auto* tracer = jobtracker_.simulation().tracer()) {
+    tracer->end(span_, metrics_.finished_at, {{"outcome", "failed"}});
+    span_ = {};
+  }
+  if (log::enabled(log::Level::kWarn)) {
+    log::warn("job", "failed", {{"job", std::to_string(id_.value())}});
+  }
   // Tear down all live attempts.
   for (auto& [id, attempt] : attempts_) {
     if (!attempt->terminal()) {

@@ -20,6 +20,7 @@
 #include "common/ids.hpp"
 #include "mapred/task.hpp"
 #include "mapred/types.hpp"
+#include "obs/trace.hpp"
 
 namespace moon::mapred {
 
@@ -207,6 +208,7 @@ class Job {
   JobId id_;
   JobSpec spec_;
   JobMetrics metrics_;
+  obs::Tracer::SpanId span_;  ///< submit→finish span on the job-wide track
   const bool use_index_;  ///< SchedulerConfig::index_mode, latched at birth
 
   std::unordered_map<TaskId, Task> tasks_;

@@ -1,10 +1,10 @@
 #include "mapred/jobtracker.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace moon::mapred {
 
@@ -128,14 +128,16 @@ void JobTracker::heartbeat(TaskTracker& tracker) {
   if (info.state != TrackerState::kLive) {
     set_tracker_state(info, TrackerState::kLive);
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  assign_work(tracker);
-  const auto elapsed_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  sched_wall_ns_ += elapsed_ns;
-  sim_.profiler().add(sim::Profiler::Key::kHeartbeat, elapsed_ns);
+  if (auto* tracer = sim_.tracer();
+      tracer && tracer->enabled(obs::Cat::kHeartbeat)) {
+    tracer->instant(obs::kClusterPid, obs::node_track(tracker.node_id()),
+                    obs::Cat::kHeartbeat, "heartbeat", sim_.now());
+  }
+  {
+    sim::Profiler::Scope profile(sim_.profiler(),
+                                 sim::Profiler::Key::kHeartbeat);
+    assign_work(tracker);
+  }
   ++heartbeats_;
 }
 
@@ -143,6 +145,19 @@ void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
   const TrackerState prev = info.state;
   if (prev == next) return;
   info.state = next;
+  const char* state_name = next == TrackerState::kLive        ? "live"
+                           : next == TrackerState::kSuspended ? "suspended"
+                                                              : "dead";
+  if (auto* tracer = sim_.tracer()) {
+    tracer->instant(obs::kClusterPid, obs::node_track(info.tracker->node_id()),
+                    obs::Cat::kSched, std::string("tracker-") + state_name,
+                    sim_.now());
+  }
+  if (log::enabled(log::Level::kInfo)) {
+    log::info("jobtracker", "tracker state",
+              {{"node", std::to_string(info.tracker->node_id().value())},
+               {"state", state_name}});
+  }
   // Slot aggregates follow the live partition.
   if (prev == TrackerState::kLive) {
     live_map_slots_ -= info.tracker->map_slots();

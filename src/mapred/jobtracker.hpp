@@ -65,9 +65,10 @@ class JobTracker {
 
   /// Wall-clock nanoseconds spent making heartbeat assignment decisions
   /// (pending picks + speculation) — the measured "scheduling time" axis of
-  /// the paper's Figure 4. Purely observational; never feeds the sim.
+  /// the paper's Figure 4. Purely observational; never feeds the sim. The
+  /// profiler's kHeartbeat counter is the single source of truth.
   [[nodiscard]] std::uint64_t scheduling_wall_ns() const {
-    return sched_wall_ns_;
+    return sim_.profiler().counter(sim::Profiler::Key::kHeartbeat).ns;
   }
   [[nodiscard]] std::uint64_t heartbeats_served() const { return heartbeats_; }
 
@@ -90,6 +91,10 @@ class JobTracker {
   /// Registered trackers in creation order — a cached view, not a copy.
   [[nodiscard]] const std::vector<TaskTracker*>& trackers() const {
     return tracker_ptrs_;
+  }
+  /// Submitted jobs in submission order (metrics gauges iterate this).
+  [[nodiscard]] const std::vector<Job*>& jobs_in_order() const {
+    return jobs_by_order_;
   }
 
  private:
@@ -134,7 +139,6 @@ class JobTracker {
   /// transition (kIndexed reads these; kScan recounts).
   int live_map_slots_ = 0;
   int live_reduce_slots_ = 0;
-  std::uint64_t sched_wall_ns_ = 0;  ///< accumulated assign_work wall time
   std::uint64_t heartbeats_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
   std::unique_ptr<JobSchedulingPolicy> job_policy_;

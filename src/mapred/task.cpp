@@ -7,6 +7,7 @@
 #include "mapred/job.hpp"
 #include "mapred/jobtracker.hpp"
 #include "mapred/tasktracker.hpp"
+#include "obs/metrics.hpp"
 
 namespace moon::mapred {
 
@@ -31,17 +32,31 @@ void TaskAttempt::start() {
   auto& sim = job_.jobtracker().simulation();
   started_at_ = sim.now();
   const Task& t = job_.task(task_);
+  if (auto* tracer = sim.tracer()) {
+    obs::Tracer::Args args{{"attempt", std::to_string(id_.value())},
+                           {"node", std::to_string(tracker_.node_id().value())}};
+    if (speculative_) args.emplace_back("speculative", "1");
+    if (resume_) args.emplace_back("resume", "1");
+    span_ = tracer->begin(
+        obs::job_pid(job_.id()), obs::node_track(tracker_.node_id()),
+        obs::Cat::kAttempt,
+        (t.type == TaskType::kMap ? "map" : "reduce") + std::to_string(t.index),
+        sim.now(), std::move(args));
+  }
   if (t.type == TaskType::kMap) {
     phase_ = Phase::kRead;
+    note_phase("read");
     map_read_input();
   } else if (resume_) {
     // Bootstrap from the checkpoint log before shuffling: reading the
     // salvaged state back costs real I/O too.
     phase_ = Phase::kRead;
+    note_phase("restore");
     restore_block_ = 0;
     restore_read_next();
   } else {
     phase_ = Phase::kShuffle;
+    note_phase("shuffle");
     init_shuffle_queue();
     shuffle_pump();
   }
@@ -62,6 +77,7 @@ void TaskAttempt::map_read_input() {
           return;
         }
         phase_ = Phase::kCompute;
+        note_phase("compute");
         begin_compute(jittered(job_.spec().map_compute, job_.spec().compute_jitter,
                                job_.jobtracker().rng()));
       });
@@ -70,6 +86,7 @@ void TaskAttempt::map_read_input() {
 void TaskAttempt::map_compute_done() {
   job_.bump_sched_epoch();  // discrete progress step (0.95 plateau)
   phase_ = Phase::kWrite;
+  note_phase("write");
   my_output_ = job_.create_intermediate_file(task_, id_);
   write_output(job_.spec().intermediate_per_map, job_.spec().intermediate_kind,
                job_.spec().intermediate_factor, "intermediate");
@@ -98,6 +115,7 @@ void TaskAttempt::shuffle_pump() {
     job_.metrics().shuffle_time_s.add(
         sim::to_seconds(shuffle_done_at_ - started_at_));
     phase_ = Phase::kCompute;
+    note_phase("compute");
     begin_compute(jittered(job_.spec().reduce_compute, job_.spec().compute_jitter,
                            job_.jobtracker().rng()));
     return;
@@ -198,6 +216,7 @@ void TaskAttempt::restore_read_next() {
     job_.bump_sched_epoch();
     resume_.reset();
     phase_ = Phase::kShuffle;
+    note_phase("shuffle");
     init_shuffle_queue();
     shuffle_pump();
     return;
@@ -210,6 +229,7 @@ void TaskAttempt::restore_read_next() {
           job_.bump_sched_epoch();
           resume_.reset();
           phase_ = Phase::kShuffle;
+          note_phase("shuffle");
           init_shuffle_queue();
           shuffle_pump();
           return;
@@ -220,6 +240,8 @@ void TaskAttempt::restore_read_next() {
 }
 
 void TaskAttempt::apply_restored_checkpoint() {
+  sim::Profiler::Scope profile(job_.jobtracker().simulation().profiler(),
+                               sim::Profiler::Key::kCheckpoint);
   job_.bump_sched_epoch();  // salvaged shuffle state lands at once
   const checkpoint::ReduceCheckpoint ckpt = std::move(*resume_);
   resume_.reset();
@@ -246,6 +268,8 @@ void TaskAttempt::maybe_checkpoint(bool forced) {
   // Only phases with salvageable state; a writing attempt is nearly done.
   if (phase_ != Phase::kShuffle && phase_ != Phase::kCompute) return;
   auto& jobtracker = job_.jobtracker();
+  sim::Profiler::Scope profile(jobtracker.simulation().profiler(),
+                               sim::Profiler::Key::kCheckpoint);
   auto& store = jobtracker.checkpoint_store();
   const auto& policy = jobtracker.checkpoint_policy();
   if (store.emit_in_flight(job_.id(), task_)) return;
@@ -298,6 +322,7 @@ void TaskAttempt::maybe_checkpoint(bool forced) {
 void TaskAttempt::reduce_compute_done() {
   job_.bump_sched_epoch();  // discrete progress step (write plateau)
   phase_ = Phase::kWrite;
+  note_phase("write");
   my_output_ = job_.create_output_file(task_, id_);
   // "Output data will first be stored as opportunistic files while the
   // Reduce tasks are completing" (§IV-A).
@@ -388,7 +413,43 @@ void TaskAttempt::transition(AttemptState next) {
   const AttemptState prev = state_;
   if (prev == next) return;
   state_ = next;
+  auto& sim = job_.jobtracker().simulation();
+  if (auto* tracer = sim.tracer()) {
+    if (terminal()) {
+      const char* outcome = next == AttemptState::kSucceeded ? "succeeded"
+                            : next == AttemptState::kFailed  ? "failed"
+                                                             : "killed";
+      tracer->end(span_, sim.now(), {{"outcome", outcome}});
+      span_ = {};
+    } else if (next == AttemptState::kInactive) {
+      tracer->instant(obs::job_pid(job_.id()),
+                      obs::node_track(tracker_.node_id()), obs::Cat::kAttempt,
+                      "suspended", sim.now());
+    } else if (prev == AttemptState::kInactive) {
+      tracer->instant(obs::job_pid(job_.id()),
+                      obs::node_track(tracker_.node_id()), obs::Cat::kAttempt,
+                      "resumed", sim.now());
+    }
+  }
+  if (next == AttemptState::kSucceeded) {
+    if (auto* metrics = sim.metrics()) {
+      const Task& t = job_.task(task_);
+      metrics
+          ->histogram(t.type == TaskType::kMap ? "map_attempt_runtime_s"
+                                               : "reduce_attempt_runtime_s")
+          .record(sim::to_seconds(sim.now() - started_at_));
+    }
+  }
   job_.note_attempt_state(*this, prev, next);
+}
+
+void TaskAttempt::note_phase(const char* name) {
+  auto& sim = job_.jobtracker().simulation();
+  if (auto* tracer = sim.tracer()) {
+    tracer->instant(obs::job_pid(job_.id()),
+                    obs::node_track(tracker_.node_id()), obs::Cat::kPhase,
+                    name, sim.now());
+  }
 }
 
 void TaskAttempt::on_node_availability(bool up) {

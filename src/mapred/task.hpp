@@ -22,6 +22,7 @@
 #include "common/ids.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/types.hpp"
+#include "obs/trace.hpp"
 #include "simkit/work_unit.hpp"
 
 namespace moon::mapred {
@@ -154,6 +155,10 @@ class TaskAttempt {
   void fail();
   void cleanup_io();
 
+  /// Phase-transition instant on this attempt's trace track (no-op when
+  /// tracing is off).
+  void note_phase(const char* name);
+
   /// All state_ changes flow through here so the Job's incremental counters
   /// (running speculative copies) stay in sync with attempt transitions.
   void transition(AttemptState next);
@@ -193,6 +198,7 @@ class TaskAttempt {
   std::set<TaskId> pending_fetch_;
   std::vector<EventId> retry_events_;
   sim::Time shuffle_done_at_ = 0;
+  obs::Tracer::SpanId span_;  ///< start→terminal span on the job's node track
 };
 
 }  // namespace moon::mapred

@@ -1,0 +1,246 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace moon::obs {
+namespace {
+
+/// Chrome's JSON parser is strict: escape quotes, backslashes, and control
+/// characters (the latter as \u00XX).
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void write_args(std::ostream& out, const Tracer::Args& args) {
+  out << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"';
+    write_escaped(out, args[i].first);
+    out << "\":\"";
+    write_escaped(out, args[i].second);
+    out << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kJob: return "job";
+    case Cat::kAttempt: return "attempt";
+    case Cat::kPhase: return "phase";
+    case Cat::kIo: return "io";
+    case Cat::kRepair: return "repair";
+    case Cat::kCheckpoint: return "checkpoint";
+    case Cat::kNode: return "node";
+    case Cat::kSched: return "sched";
+    case Cat::kHeartbeat: return "heartbeat";
+    case Cat::kLog: return "log";
+    case Cat::kCount: break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(TraceConfig config) : config_(config) {}
+
+void Tracer::name_process(std::uint32_t pid, std::string name) {
+  for (auto& [p, n] : process_names_) {
+    if (p == pid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+void Tracer::name_track(std::uint32_t pid, std::uint32_t base_tid,
+                        std::string name) {
+  track_names_[track_key(pid, base_tid)] = std::move(name);
+}
+
+std::size_t Tracer::push_rec(Rec rec) {
+  if (recs_.size() >= config_.max_events) {
+    ++dropped_;
+    return kNoRec;
+  }
+  recs_.push_back(std::move(rec));
+  return recs_.size() - 1;
+}
+
+std::uint32_t Tracer::grab_lane(std::uint32_t pid, std::uint32_t base,
+                                bool& owned) {
+  std::uint64_t& bits = lanes_[track_key(pid, base)];
+  if (bits == ~std::uint64_t{0}) {
+    // All lanes busy: pile onto the last lane without owning it, so the
+    // owner's release still frees it. The rendering overlaps, but nothing
+    // is lost and bookkeeping stays exact.
+    owned = false;
+    return kLanes - 1;
+  }
+  const int lane = std::countr_one(bits);
+  bits |= std::uint64_t{1} << lane;
+  owned = true;
+  return static_cast<std::uint32_t>(lane);
+}
+
+void Tracer::release_lane(const Open& open) {
+  if (!open.owns_lane) return;
+  lanes_[track_key(open.pid, open.base)] &= ~(std::uint64_t{1} << open.lane);
+}
+
+Tracer::SpanId Tracer::begin(std::uint32_t pid, std::uint32_t base_tid,
+                             Cat cat, std::string name, sim::Time ts,
+                             Args args) {
+  if (!enabled(cat)) return {};
+  std::uint32_t slot;
+  if (!free_opens_.empty()) {
+    slot = free_opens_.back();
+    free_opens_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(opens_.size());
+    opens_.emplace_back();
+  }
+  Open& open = opens_[slot];
+  open.engaged = true;
+  open.pid = pid;
+  open.base = base_tid;
+  open.lane = grab_lane(pid, base_tid, open.owns_lane);
+  open.start = ts;
+  open.rec = push_rec(Rec{pid, base_tid * kLanes + open.lane, cat, ts, -1,
+                          std::move(name), std::move(args)});
+  ++open_count_;
+  return SpanId{slot, open.gen};
+}
+
+void Tracer::end_slot(std::uint32_t slot, sim::Time ts, Args extra) {
+  Open& open = opens_[slot];
+  if (open.rec != kNoRec) {
+    Rec& rec = recs_[open.rec];
+    rec.dur = ts - open.start;
+    for (auto& kv : extra) rec.args.push_back(std::move(kv));
+  }
+  release_lane(open);
+  open.engaged = false;
+  open.rec = kNoRec;
+  ++open.gen;  // stale SpanIds can never hit this slot's next occupant
+  free_opens_.push_back(slot);
+  --open_count_;
+}
+
+void Tracer::end(SpanId id, sim::Time ts, Args extra) {
+  if (!id.valid() || id.slot >= opens_.size()) return;
+  const Open& open = opens_[id.slot];
+  if (!open.engaged || open.gen != id.gen) return;
+  end_slot(id.slot, ts, std::move(extra));
+}
+
+void Tracer::instant(std::uint32_t pid, std::uint32_t base_tid, Cat cat,
+                     std::string name, sim::Time ts, Args args) {
+  if (!enabled(cat)) return;
+  // Instants render on a row without blocking it: borrow the lowest free
+  // lane's row (usually lane 0) without holding it.
+  std::uint32_t lane = 0;
+  const auto it = lanes_.find(track_key(pid, base_tid));
+  if (it != lanes_.end()) {
+    const int free_lane = std::countr_one(it->second);
+    lane = free_lane >= static_cast<int>(kLanes)
+               ? kLanes - 1
+               : static_cast<std::uint32_t>(free_lane);
+  }
+  push_rec(Rec{pid, base_tid * kLanes + lane, cat, ts, -1, std::move(name),
+               std::move(args)});
+  // dur stays -1: exported as an instant ("ph":"i").
+}
+
+void Tracer::close_open(sim::Time ts) {
+  // Slot order == allocation order: deterministic.
+  for (std::uint32_t slot = 0; slot < opens_.size(); ++slot) {
+    if (opens_[slot].engaged) {
+      end_slot(slot, ts, Args{{"end", "forced"}});
+    }
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    out << "\n";
+    first = false;
+  };
+
+  // Metadata: process names (sorted by pid for stable output)...
+  auto procs = process_names_;
+  std::sort(procs.begin(), procs.end());
+  for (const auto& [pid, name] : procs) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    write_escaped(out, name);
+    out << "\"}}";
+  }
+
+  // ...and thread names for every (pid, tid) that actually has events,
+  // derived from the base track's name plus a lane suffix.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
+  for (const Rec& rec : recs_) tracks.emplace(rec.pid, rec.tid);
+  for (const auto& [pid, tid] : tracks) {
+    const std::uint32_t base = tid / kLanes;
+    const std::uint32_t lane = tid % kLanes;
+    const auto it = track_names_.find(track_key(pid, base));
+    std::string name =
+        it != track_names_.end() ? it->second : "track" + std::to_string(base);
+    if (lane > 0) name += " +" + std::to_string(lane);
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    write_escaped(out, name);
+    // sort_index keeps lanes of one base track adjacent and in order.
+    out << "\"}},\n{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tid
+        << "}}";
+  }
+
+  // Events, in record order. Timestamps are simulated microseconds, which
+  // Chrome's `ts`/`dur` fields expect — exact integers, no rounding.
+  for (const Rec& rec : recs_) {
+    sep();
+    out << "{\"ph\":\"" << (rec.dur >= 0 ? 'X' : 'i') << "\",\"pid\":"
+        << rec.pid << ",\"tid\":" << rec.tid << ",\"ts\":" << rec.ts;
+    if (rec.dur >= 0) {
+      out << ",\"dur\":" << rec.dur;
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"cat\":\"" << cat_name(rec.cat) << "\",\"name\":\"";
+    write_escaped(out, rec.name);
+    out << "\",";
+    write_args(out, rec.args);
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace moon::obs

@@ -1,0 +1,188 @@
+// Span tracer with Chrome trace-event export.
+//
+// Records spans (begin/end pairs) and instant events stamped with *simulated*
+// time and exports the Chrome trace-event JSON format, loadable in Perfetto
+// or chrome://tracing. The tracer is sim-agnostic: every recording call takes
+// an explicit timestamp, so the obs layer has no dependency on simkit and the
+// tracer can never feed anything back into the simulation (see DESIGN.md §12
+// for the zero-perturbation contract).
+//
+// Track layout. Chrome traces group events by (pid, tid); we map:
+//   pid 1 ("cluster")   — cluster-wide control plane; tid base 0 = control
+//                         track, tid base n+1 = node n (availability spans,
+//                         tracker state, task attempts running on that node)
+//   pid 2 ("dfs")       — data plane; tid base 0 = namenode, tid base n+1 =
+//                         node n (block transfers, repairs, checkpoint IO)
+//   pid 100+j ("job j") — one process per job; tid base 0 = job-wide track
+//
+// Lanes. Chrome renders one row per tid and cannot draw overlapping complete
+// events on the same row. A node legitimately hosts overlapping spans (two
+// concurrent transfers, a map attempt plus a repair), so each base track
+// fans out into up to `kLanes` lanes: exported tid = base * kLanes + lane,
+// with the lowest free lane grabbed at begin() and released at end(). One
+// open span per lane means per-tid events can never overlap, which makes the
+// exported JSON trivially well-nested.
+//
+// Bounded: at most `max_events` records are retained; further records are
+// counted in dropped(). All methods are cheap enough for hot paths *when the
+// caller has already checked `Simulation::tracer() != nullptr`* — the
+// disabled cost at an instrumented site is one pointer load and branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace moon::obs {
+
+/// Well-known process ids (see layout comment above).
+inline constexpr std::uint32_t kClusterPid = 1;
+inline constexpr std::uint32_t kDfsPid = 2;
+inline constexpr std::uint32_t kJobPidBase = 100;
+
+/// Lanes per base track (tid fan-out for overlapping spans).
+inline constexpr std::uint32_t kLanes = 64;
+
+/// Base track for a node within the cluster/dfs processes (0 is reserved
+/// for the process-wide track).
+inline std::uint32_t node_track(NodeId node) {
+  return static_cast<std::uint32_t>(node.value()) + 1;
+}
+
+/// Process id for a job's task lifecycle tracks.
+inline std::uint32_t job_pid(JobId job) {
+  return kJobPidBase + static_cast<std::uint32_t>(job.value());
+}
+
+/// Event categories; used for Perfetto filtering and for coarse recording
+/// gates (heartbeat instants are high-volume and off unless opted in).
+enum class Cat : std::uint8_t {
+  kJob,         ///< job lifecycle
+  kAttempt,     ///< task attempt lifecycle
+  kPhase,       ///< attempt phase transitions (read/compute/write/shuffle)
+  kIo,          ///< DFS reads/writes/partial (shuffle) fetches
+  kRepair,      ///< replication repair streams
+  kCheckpoint,  ///< checkpoint save/restore
+  kNode,        ///< node availability transitions
+  kSched,       ///< scheduler decisions (tracker state, speculation, kills)
+  kHeartbeat,   ///< per-heartbeat instants (high volume; gated by config)
+  kLog,         ///< structured log records routed in as instants
+  kCount,
+};
+
+const char* cat_name(Cat cat);
+
+struct TraceConfig {
+  /// Record per-heartbeat instant events (one per tracker per interval —
+  /// large traces; off by default).
+  bool heartbeats = false;
+  /// Retained-record cap; records past the cap are dropped and counted.
+  std::size_t max_events = 1'000'000;
+};
+
+class Tracer {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// Handle for an open span. Generation-checked like sim EventIds: end()
+  /// on a default-constructed, already-ended, or stale id is a no-op.
+  struct SpanId {
+    std::uint32_t slot = kInvalidSlot;
+    std::uint32_t gen = 0;
+    [[nodiscard]] bool valid() const { return slot != kInvalidSlot; }
+  };
+
+  explicit Tracer(TraceConfig config = {});
+
+  /// Whether events of this category are being recorded (lets call sites
+  /// skip building names/args for gated categories).
+  [[nodiscard]] bool enabled(Cat cat) const {
+    return cat != Cat::kHeartbeat || config_.heartbeats;
+  }
+
+  /// Names a process (Chrome `process_name` metadata).
+  void name_process(std::uint32_t pid, std::string name);
+  /// Names a base track; its lanes derive their names from it at export.
+  void name_track(std::uint32_t pid, std::uint32_t base_tid, std::string name);
+
+  /// Opens a span on (pid, base_tid) at `ts`. Returns an id to pass to
+  /// end(); an invalid id when the category is gated off.
+  SpanId begin(std::uint32_t pid, std::uint32_t base_tid, Cat cat,
+               std::string name, sim::Time ts, Args args = {});
+
+  /// Closes a span. `extra` args are appended to the span's args. No-op on
+  /// invalid/stale ids.
+  void end(SpanId id, sim::Time ts, Args extra = {});
+
+  /// Records an instant event.
+  void instant(std::uint32_t pid, std::uint32_t base_tid, Cat cat,
+               std::string name, sim::Time ts, Args args = {});
+
+  /// Closes every still-open span at `ts` (tagged end=forced). Call before
+  /// export so a truncated run still yields drawable spans.
+  void close_open(sim::Time ts);
+
+  [[nodiscard]] std::size_t event_count() const { return recs_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t open_spans() const { return open_count_; }
+
+  /// Writes the full Chrome trace-event JSON document.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  static constexpr std::size_t kNoRec = static_cast<std::size_t>(-1);
+
+  struct Rec {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;  // laned: base * kLanes + lane
+    Cat cat = Cat::kLog;
+    sim::Time ts = 0;
+    sim::Duration dur = -1;  // -1 => instant event
+    std::string name;
+    Args args;
+  };
+
+  struct Open {
+    std::uint32_t gen = 0;
+    bool engaged = false;
+    bool owns_lane = false;
+    std::uint32_t pid = 0;
+    std::uint32_t base = 0;
+    std::uint32_t lane = 0;
+    sim::Time start = 0;
+    std::size_t rec = kNoRec;  // kNoRec when the begin record was dropped
+  };
+
+  static std::uint64_t track_key(std::uint32_t pid, std::uint32_t base) {
+    return (std::uint64_t{pid} << 32) | base;
+  }
+
+  /// Appends a record, honouring the cap. Returns its index or kNoRec.
+  std::size_t push_rec(Rec rec);
+  std::uint32_t grab_lane(std::uint32_t pid, std::uint32_t base, bool& owned);
+  void release_lane(const Open& open);
+  void end_slot(std::uint32_t slot, sim::Time ts, Args extra);
+
+  TraceConfig config_;
+  std::vector<Rec> recs_;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<Open> opens_;
+  std::vector<std::uint32_t> free_opens_;
+  std::size_t open_count_ = 0;
+
+  /// lane occupancy bitmap per (pid, base) track.
+  std::unordered_map<std::uint64_t, std::uint64_t> lanes_;
+
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::unordered_map<std::uint64_t, std::string> track_names_;
+};
+
+}  // namespace moon::obs

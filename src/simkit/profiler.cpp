@@ -10,6 +10,8 @@ const char* Profiler::name(Key key) {
     case Key::kReplicationScan: return "replication_scan";
     case Key::kHeartbeat: return "heartbeat";
     case Key::kSpeculation: return "speculation";
+    case Key::kEventDispatch: return "event_dispatch";
+    case Key::kCheckpoint: return "checkpoint";
     case Key::kCount: break;
   }
   return "?";

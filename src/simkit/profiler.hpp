@@ -30,6 +30,9 @@ class Profiler {
     kReplicationScan,  ///< Dfs::replication_scan + repair stream refill
     kHeartbeat,        ///< JobTracker::assign_work per heartbeat
     kSpeculation,      ///< SpeculationPolicy::pick (sub-span of kHeartbeat)
+    kEventDispatch,    ///< Simulation::step callback dispatch (outermost:
+                       ///< every other key is a sub-span of this one)
+    kCheckpoint,       ///< CheckpointStore emit + attempt restore
     kCount,
   };
   static constexpr std::size_t kKeyCount = static_cast<std::size_t>(Key::kCount);

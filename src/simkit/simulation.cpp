@@ -104,7 +104,10 @@ bool Simulation::step() {
     Callback cb = std::move(slots_[slot_of(top.id)].cb);
     retire_slot(slot_of(top.id));
     ++executed_;
-    cb();
+    {
+      Profiler::Scope profile(profiler_, Profiler::Key::kEventDispatch);
+      cb();
+    }
     return true;
   }
 }

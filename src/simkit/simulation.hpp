@@ -31,6 +31,11 @@
 #include "common/time.hpp"
 #include "simkit/profiler.hpp"
 
+namespace moon::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace moon::obs
+
 namespace moon::sim {
 
 class Simulation {
@@ -92,6 +97,19 @@ class Simulation {
 
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Profiler& profiler() { return profiler_; }
+
+  // ---- observability hooks --------------------------------------------------
+  //
+  // Instrumented components reach the tracer/metrics registry through the
+  // Simulation they already hold; nullptr (the default) means observability
+  // is off and the cost at a call site is one pointer load and branch. The
+  // obs::Observability layer owns the objects and installs/clears the
+  // pointers; the Simulation never dereferences them itself.
+
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
   struct Entry {
@@ -160,6 +178,8 @@ class Simulation {
   std::size_t armed_hooks_ = 0;
   Profiler profiler_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace moon::sim

@@ -1,0 +1,158 @@
+// obs::Tracer unit tests: span/instant recording, lane fan-out for
+// overlapping spans, the retained-event cap, stale-handle safety, and the
+// shape of the exported Chrome trace-event JSON.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace moon::obs {
+namespace {
+
+std::string export_json(const Tracer& tracer) {
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  return os.str();
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TracerTest, SpanRecordsCompleteEventWithDuration) {
+  Tracer tracer;
+  const auto span = tracer.begin(1, 0, Cat::kJob, "sort", 100,
+                                 {{"maps", "4"}});
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  tracer.end(span, 350, {{"outcome", "completed"}});
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_EQ(tracer.event_count(), 1u);
+
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"job\""), std::string::npos);
+  // Begin args and end args merge into one args object.
+  EXPECT_NE(json.find("\"maps\":\"4\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"completed\""), std::string::npos);
+}
+
+TEST(TracerTest, InstantEventExportsPhI) {
+  Tracer tracer;
+  tracer.instant(1, 2, Cat::kNode, "down", 42);
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":42"), std::string::npos);
+}
+
+TEST(TracerTest, OverlappingSpansFanOutIntoLanesAndLanesAreReused) {
+  Tracer tracer;
+  // Two concurrent spans on the same (pid=1, base=3) track must land on
+  // different exported tids (different lanes).
+  const auto a = tracer.begin(1, 3, Cat::kIo, "a", 0);
+  const auto b = tracer.begin(1, 3, Cat::kIo, "b", 5);
+  tracer.end(a, 10);
+  tracer.end(b, 12);
+  // Lane 0 is free again: the next span reuses it.
+  const auto c = tracer.begin(1, 3, Cat::kIo, "c", 20);
+  tracer.end(c, 30);
+
+  const std::string json = export_json(tracer);
+  const std::uint32_t lane0_tid = 3 * kLanes;
+  // "a" and "c" on lane 0, "b" on lane 1.
+  EXPECT_EQ(count_occurrences(
+                json, "\"tid\":" + std::to_string(lane0_tid) + ",\"ts\":"),
+            2);
+  EXPECT_EQ(count_occurrences(
+                json, "\"tid\":" + std::to_string(lane0_tid + 1) + ",\"ts\":"),
+            1);
+}
+
+TEST(TracerTest, MaxEventsCapDropsAndCounts) {
+  TraceConfig config;
+  config.max_events = 2;
+  Tracer tracer(config);
+  tracer.instant(1, 0, Cat::kLog, "one", 1);
+  tracer.instant(1, 0, Cat::kLog, "two", 2);
+  const auto span = tracer.begin(1, 0, Cat::kJob, "past-cap", 3);
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  // Ending a span whose begin record was dropped must not crash or record.
+  tracer.end(span, 9);
+  EXPECT_EQ(tracer.event_count(), 2u);
+}
+
+TEST(TracerTest, StaleAndInvalidSpanIdsAreNoOps) {
+  Tracer tracer;
+  tracer.end(Tracer::SpanId{}, 5);  // default-constructed
+  const auto span = tracer.begin(1, 0, Cat::kJob, "x", 0);
+  tracer.end(span, 10);
+  tracer.end(span, 20);  // double end: generation mismatch
+  // The slot is recycled; the stale id must not close the new occupant.
+  const auto next = tracer.begin(1, 0, Cat::kJob, "y", 30);
+  tracer.end(span, 40);
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  tracer.end(next, 50);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TracerTest, HeartbeatCategoryGatedByConfig) {
+  Tracer off;  // default: heartbeats disabled
+  off.instant(1, 0, Cat::kHeartbeat, "hb", 1);
+  EXPECT_EQ(off.event_count(), 0u);
+  EXPECT_FALSE(off.enabled(Cat::kHeartbeat));
+
+  TraceConfig config;
+  config.heartbeats = true;
+  Tracer on(config);
+  on.instant(1, 0, Cat::kHeartbeat, "hb", 1);
+  EXPECT_EQ(on.event_count(), 1u);
+}
+
+TEST(TracerTest, CloseOpenForcesEndsForDrawableSpans) {
+  Tracer tracer;
+  tracer.begin(1, 0, Cat::kJob, "unfinished", 10);
+  tracer.close_open(99);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"dur\":89"), std::string::npos);
+  EXPECT_NE(json.find("\"end\":\"forced\""), std::string::npos);
+}
+
+TEST(TracerTest, EscapesQuotesBackslashesAndControlChars) {
+  Tracer tracer;
+  tracer.instant(1, 0, Cat::kLog, "say \"hi\"\\\n", 1, {{"k", "\tv"}});
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\\\\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\tv"), std::string::npos);
+}
+
+TEST(TracerTest, MetadataNamesProcessesAndLanedThreads) {
+  Tracer tracer;
+  tracer.name_process(kClusterPid, "cluster");
+  tracer.name_track(kClusterPid, 3, "node2");
+  const auto a = tracer.begin(kClusterPid, 3, Cat::kAttempt, "map0", 0);
+  const auto b = tracer.begin(kClusterPid, 3, Cat::kAttempt, "map1", 1);
+  tracer.end(a, 5);
+  tracer.end(b, 6);
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"process_name\",\"args\":{\"name\":\"cluster\"}"),
+            std::string::npos);
+  // Lane 0 keeps the base name; lane 1 gets the "+1" suffix.
+  EXPECT_NE(json.find("\"thread_name\",\"args\":{\"name\":\"node2\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\",\"args\":{\"name\":\"node2 +1\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace moon::obs
