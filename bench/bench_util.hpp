@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "experiment/fault_cli.hpp"
 #include "experiment/obs_cli.hpp"
 #include "experiment/scenario.hpp"
 
@@ -92,21 +93,27 @@ class JsonEmitter {
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
 };
 
-/// `--trace=FILE` / `--metrics=FILE` / `--events=FILE` support for the fig
-/// benches. A bench sweeps many configurations; exporting every run would
-/// overwrite itself, so the convention is: collection is enabled on every
-/// swept config and the *last* finished run's bundle wins — rerun with a
-/// narrower sweep (e.g. MOON_BENCH_REPS=1) to trace a specific cell. All
-/// no-ops when no flag was given.
+/// `--trace=FILE` / `--metrics=FILE` / `--events=FILE` / `--faults=SPEC`
+/// support for the fig benches. A bench sweeps many configurations;
+/// exporting every run would overwrite itself, so the convention is:
+/// collection is enabled on every swept config and the *last* finished
+/// run's bundle wins — rerun with a narrower sweep (e.g. MOON_BENCH_REPS=1)
+/// to trace a specific cell. `--faults=` layers the same chaos spec on every
+/// swept config. All no-ops when no flag was given.
 class ObsBench {
  public:
   ObsBench(int& argc, char** argv)
-      : cli_(experiment::parse_obs_cli(argc, argv)) {}
+      : cli_(experiment::parse_obs_cli(argc, argv)),
+        faults_(experiment::parse_faults_cli(argc, argv)) {}
 
   [[nodiscard]] bool any() const { return cli_.any(); }
 
-  /// Switches collection on for `cfg` when flags were given.
-  void apply(experiment::ScenarioConfig& cfg) const { cli_.apply(cfg.obs); }
+  /// Switches collection / fault injection on for `cfg` when flags were
+  /// given. A malformed --faults= spec exits (already reported to stderr).
+  void apply(experiment::ScenarioConfig& cfg) const {
+    cli_.apply(cfg.obs);
+    if (!faults_.apply(cfg.faults)) std::exit(2);
+  }
 
   /// run_repetitions observer: remembers the latest run's bundle.
   [[nodiscard]] std::function<void(const experiment::RunResult&)> observer() {
@@ -121,6 +128,7 @@ class ObsBench {
 
  private:
   experiment::ObsCli cli_;
+  experiment::FaultCli faults_;
   std::shared_ptr<obs::Observability> bundle_;
 };
 

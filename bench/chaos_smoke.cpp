@@ -1,0 +1,145 @@
+// CI chaos smoke (DESIGN.md §13): a 64-node cluster under every fault class
+// with the invariant auditor sweeping throughout. Each scenario × seed runs
+// TWICE; the two runs must produce bit-identical fingerprints (determinism
+// contract, §2) and zero audit violations — any mismatch or violation is a
+// non-zero exit, which fails the CI Release leg.
+//
+//   ./bench_chaos_smoke          4 scenarios x 2 seeds x 2 runs (~seconds)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiment/fault_cli.hpp"
+
+using namespace moon;
+
+namespace {
+
+/// Short sort keeps the smoke fast while still exercising maps, shuffle,
+/// reduces, checkpointing, and output replication under chaos.
+workload::WorkloadModel smoke_workload() {
+  workload::WorkloadModel m;
+  m.name = "smoke";
+  m.kind = workload::AppKind::kSort;
+  m.num_maps = 24;
+  m.fixed_reduces = 8;
+  m.map_compute = sim::seconds(8);
+  m.reduce_compute = sim::seconds(90);
+  m.intermediate_per_map = mib(4.0);
+  m.input_size = static_cast<Bytes>(m.num_maps) * mib(4.0);
+  m.total_output = mib(96.0);
+  m.input_block_bytes = mib(4.0);
+  return m;
+}
+
+experiment::ScenarioConfig smoke_config(const std::string& fault_spec,
+                                        const mapred::SchedulerConfig& sched,
+                                        bool quarantine) {
+  experiment::ScenarioConfig cfg;
+  cfg.volatile_nodes = 56;
+  cfg.dedicated_nodes = 8;  // 64 nodes total
+  cfg.dedicated_known = true;
+  cfg.dfs = experiment::moon_dfs_config();
+  cfg.app = smoke_workload();
+  cfg.sched = sched;
+  if (quarantine) cfg.sched.quarantine_threshold = 3;
+  cfg.unavailability_rate = 0.3;
+  cfg.max_sim_time = 4 * sim::kHour;
+  if (!experiment::apply_fault_spec(fault_spec, cfg.faults)) std::exit(2);
+  cfg.faults.audit_interval = 60 * sim::kSecond;
+  // Outage cadence scaled to the short smoke job.
+  cfg.faults.outages.mean_interval = 5 * sim::kMinute;
+  cfg.faults.outages.mean_outage = 90 * sim::kSecond;
+  return cfg;
+}
+
+/// Everything the simulation decided, flattened. Two runs of the same
+/// (scenario, seed) must agree byte for byte.
+std::string fingerprint(const experiment::RunResult& r) {
+  std::ostringstream os;
+  os << r.finished << '|' << r.metrics.completed << '|' << r.metrics.failed
+     << '|' << mapred::to_string(r.metrics.failure_reason) << '|'
+     << r.metrics.finished_at << '|' << r.metrics.launched_map_attempts << '|'
+     << r.metrics.launched_reduce_attempts << '|'
+     << r.metrics.speculative_attempts << '|' << r.metrics.killed_map_attempts
+     << '|' << r.metrics.killed_reduce_attempts << '|'
+     << r.metrics.failed_map_attempts << '|'
+     << r.metrics.failed_reduce_attempts << '|' << r.metrics.map_reexecutions
+     << '|' << r.metrics.fetch_failures << '|'
+     << r.metrics.checkpoints_written << '|' << r.metrics.checkpoint_resumes
+     << '|' << r.dfs_stats.bytes_read << '|' << r.dfs_stats.bytes_written
+     << '|' << r.dfs_stats.replication_bytes << '|'
+     << r.dfs_stats.writes_rejected << '|' << r.dfs_stats.corruptions_detected
+     << '|' << r.fault_stats.outages_injected << '|'
+     << r.fault_stats.heartbeats_dropped << '|'
+     << r.fault_stats.heartbeats_delayed << '|'
+     << r.fault_stats.replicas_corrupted << '|'
+     << r.fault_stats.writes_rejected << '|'
+     << r.fault_stats.corruptions_detected << '|'
+     << r.fault_stats.stragglers_injected << '|' << r.quarantines << '|'
+     << r.audit_passes;
+  return os.str();
+}
+
+struct Scenario {
+  std::string name;
+  std::string faults;
+  mapred::SchedulerConfig sched;
+  bool quarantine = false;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Scenario> scenarios{
+      {"all+ckpt", "all", experiment::moon_checkpoint_scheduler(false), true},
+      {"outages+heartbeats", "outages,heartbeats:0.1",
+       experiment::moon_scheduler(true), false},
+      {"storage+stragglers", "storage:0.05,stragglers:0.2",
+       experiment::moon_scheduler(false), false},
+      {"all+hadoop", "all", experiment::hadoop_scheduler(5 * sim::kMinute),
+       true},
+  };
+  const std::vector<std::uint64_t> seeds{20100621u, 7u};
+
+  std::cout << "=== Chaos smoke: 64 nodes, all fault classes, auditor on ===\n";
+  int failures = 0;
+  for (const Scenario& s : scenarios) {
+    for (std::uint64_t seed : seeds) {
+      auto cfg = smoke_config(s.faults, s.sched, s.quarantine);
+      cfg.seed = seed;
+      const auto first = experiment::run_scenario(cfg);
+      const auto second = experiment::run_scenario(cfg);
+      const std::string fp1 = fingerprint(first);
+      const std::string fp2 = fingerprint(second);
+
+      std::string verdict = "ok";
+      if (fp1 != fp2) {
+        verdict = "NONDETERMINISTIC";
+        ++failures;
+        std::cerr << "  run1: " << fp1 << "\n  run2: " << fp2 << "\n";
+      }
+      if (first.audit_violations != 0 || second.audit_violations != 0) {
+        verdict += " AUDIT-VIOLATIONS";
+        ++failures;
+      }
+      if (first.fault_stats.total_injected() == 0) {
+        verdict += " VACUOUS";  // chaos scenario that injected nothing
+        ++failures;
+      }
+      std::cout << "  " << s.name << " seed=" << seed << ": " << verdict
+                << " (injected=" << first.fault_stats.total_injected()
+                << ", audits=" << first.audit_passes
+                << ", quarantines=" << first.quarantines
+                << ", finished=" << first.finished << ")\n";
+    }
+  }
+  if (failures != 0) {
+    std::cerr << "FAIL: " << failures << " chaos smoke failures\n";
+    return 1;
+  }
+  std::cout << "chaos smoke: all scenarios deterministic, 0 violations\n";
+  return 0;
+}

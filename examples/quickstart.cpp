@@ -2,15 +2,18 @@
 // under Hadoop's policies and once under MOON's, and compare.
 //
 //   ./quickstart [unavailability-rate] [--trace=FILE] [--metrics=FILE]
-//                [--events=FILE]                      (default rate 0.4)
+//                [--events=FILE] [--faults=SPEC]      (default rate 0.4)
 //
 // Demonstrates the core public API: build a ScenarioConfig, pick a policy
 // preset, call run_scenario, read the metrics. The observability flags
-// export the MOON run's trace/metrics/event log (see README).
+// export the MOON run's trace/metrics/event log; `--faults=` layers seeded
+// chaos (lab outages, heartbeat loss, replica corruption, stragglers) on
+// both runs — e.g. `--faults=all,audit:60` (see README).
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "experiment/fault_cli.hpp"
 #include "experiment/obs_cli.hpp"
 #include "experiment/scenario.hpp"
 
@@ -36,6 +39,8 @@ experiment::ScenarioConfig base_config(double rate) {
 
 int main(int argc, char** argv) {
   const experiment::ObsCli obs_cli = experiment::parse_obs_cli(argc, argv);
+  const experiment::FaultCli fault_cli =
+      experiment::parse_faults_cli(argc, argv);
   const double rate = argc > 1 ? std::atof(argv[1]) : 0.4;
 
   std::cout << "MOON quickstart: sort-like job, 20 volatile + 2 dedicated "
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   hadoop.input_factor = {0, 3};
   hadoop.intermediate_factor = {0, 1};  // map-local only, like stock Hadoop
   hadoop.output_factor = {0, 3};
+  if (!fault_cli.apply(hadoop.faults)) return 2;
   const auto hadoop_run = experiment::run_scenario(hadoop);
 
   // --- MOON: hybrid replication + two-phase scheduling ---
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
   moon.intermediate_factor = {1, 1};
   moon.output_factor = {1, 3};
   obs_cli.apply(moon.obs);
+  if (!fault_cli.apply(moon.faults)) return 2;
   const auto moon_run = experiment::run_scenario(moon);
   obs_cli.export_run(moon_run.obs.get());
 
@@ -76,6 +83,20 @@ int main(int argc, char** argv) {
   row("Hadoop (10 min expiry)", hadoop_run);
   row("MOON (hybrid)", moon_run);
   table.print(std::cout);
+
+  if (fault_cli.any()) {
+    const auto& fs = moon_run.fault_stats;
+    std::cout << "\nchaos (MOON run): " << fs.outages_injected
+              << " lab outages, " << fs.heartbeats_dropped << "+"
+              << fs.heartbeats_delayed << " heartbeats dropped/delayed, "
+              << fs.replicas_corrupted << " replicas corrupted ("
+              << fs.corruptions_detected << " caught on read), "
+              << fs.writes_rejected << " writes rejected, "
+              << fs.stragglers_injected << " stragglers; "
+              << moon_run.quarantines << " quarantines, audit "
+              << moon_run.audit_passes << " sweeps / "
+              << moon_run.audit_violations << " violations\n";
+  }
 
   if (moon_run.finished && hadoop_run.finished) {
     std::cout << "\nSpeedup: "

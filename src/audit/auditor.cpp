@@ -1,0 +1,159 @@
+#include "audit/auditor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "mapred/task.hpp"
+
+namespace moon::audit {
+namespace {
+
+std::string node_str(NodeId n) { return std::to_string(n.value()); }
+std::string block_str(BlockId b) { return std::to_string(b.value()); }
+
+}  // namespace
+
+Auditor::Auditor(cluster::Cluster* cluster, dfs::Dfs* dfs,
+                 mapred::JobTracker* jobtracker)
+    : cluster_(cluster), dfs_(dfs), jobtracker_(jobtracker) {}
+
+std::vector<Violation> Auditor::run() {
+  std::vector<Violation> out;
+  if (dfs_ != nullptr) check_dfs(out);
+  if (jobtracker_ != nullptr) {
+    check_mapred(out);
+    check_checkpoints(out);
+  }
+  // blocks_/node_blocks_ walks follow hash order; sort so reports are stable.
+  std::sort(out.begin(), out.end());
+  ++passes_;
+  violations_total_ += static_cast<std::int64_t>(out.size());
+  for (const Violation& v : out) {
+    log::error("audit", "invariant violated",
+               {{"invariant", v.invariant}, {"detail", v.detail}});
+  }
+  return out;
+}
+
+void Auditor::check_dfs(std::vector<Violation>& out) {
+  auto& nn = dfs_->namenode();
+  // Forward: every NameNode replica entry is mirrored in the reverse index
+  // and physically present on the DataNode.
+  for (const auto& [id, meta] : nn.all_blocks()) {
+    std::unordered_set<NodeId> seen;
+    for (NodeId n : meta.replicas) {
+      if (!seen.insert(n).second) {
+        out.push_back({"dfs.replica-consistency",
+                       "block " + block_str(id) + " lists node " + node_str(n) +
+                           " twice"});
+        continue;
+      }
+      const auto* bucket = nn.blocks_on(n);
+      if (bucket == nullptr || !bucket->contains(id)) {
+        out.push_back({"dfs.replica-consistency",
+                       "block " + block_str(id) + " replica on node " +
+                           node_str(n) + " missing from reverse index"});
+      }
+      if (!dfs_->datanode(n).stores(id)) {
+        out.push_back({"dfs.replica-consistency",
+                       "block " + block_str(id) + " replica on node " +
+                           node_str(n) + " not physically stored"});
+      }
+    }
+  }
+  // Reverse: every reverse-index entry points at a live block that lists
+  // the node. (DataNodes may hold stale blocks of deleted files; that
+  // direction is by design and not checked.)
+  for (NodeId n : nn.datanodes()) {
+    const auto* bucket = nn.blocks_on(n);
+    if (bucket == nullptr) continue;
+    for (BlockId b : *bucket) {
+      if (!nn.block_exists(b)) {
+        out.push_back({"dfs.replica-consistency",
+                       "reverse index holds deleted block " + block_str(b) +
+                           " on node " + node_str(n)});
+        continue;
+      }
+      if (!nn.block(b).has_replica_on(n)) {
+        out.push_back({"dfs.replica-consistency",
+                       "reverse index lists block " + block_str(b) +
+                           " on node " + node_str(n) +
+                           " absent from the block's replica list"});
+      }
+    }
+  }
+}
+
+void Auditor::check_mapred(std::vector<Violation>& out) {
+  using mapred::TaskState;
+  using mapred::TrackerState;
+  for (mapred::Job* job : jobtracker_->jobs_in_order()) {
+    if (job->finished()) continue;
+    const std::string job_tag = "job " + std::to_string(job->id().value());
+    int live_total = 0;
+    for (mapred::TaskType type :
+         {mapred::TaskType::kMap, mapred::TaskType::kReduce}) {
+      for (TaskId tid : job->tasks_of(type)) {
+        const mapred::Task& t = job->task(tid);
+        const std::string task_tag =
+            job_tag + " task " + std::to_string(tid.value());
+        live_total += static_cast<int>(t.live_attempts.size());
+        for (mapred::TaskAttempt* a : t.live_attempts) {
+          if (a->terminal()) {
+            out.push_back({"mapred.task-attempts",
+                           task_tag + " live set holds a terminal attempt"});
+          }
+          if (jobtracker_->tracker_state(a->tracker().node_id()) ==
+              TrackerState::kDead) {
+            out.push_back({"mapred.task-attempts",
+                           task_tag + " has a live attempt on dead tracker " +
+                               node_str(a->tracker().node_id())});
+          }
+        }
+        if (t.state == TaskState::kPending && !t.live_attempts.empty()) {
+          out.push_back({"mapred.task-attempts",
+                         task_tag + " pending with live attempts"});
+        }
+        if (t.state == TaskState::kRunning && t.live_attempts.empty()) {
+          out.push_back({"mapred.task-attempts",
+                         task_tag + " running with no live attempt"});
+        }
+      }
+    }
+    if (live_total != job->live_attempts()) {
+      out.push_back({"mapred.task-attempts",
+                     job_tag + " live-attempt counter " +
+                         std::to_string(job->live_attempts()) +
+                         " != per-task sum " + std::to_string(live_total)});
+    }
+  }
+}
+
+void Auditor::check_checkpoints(std::vector<Violation>& out) {
+  const auto& nn = jobtracker_->dfs().namenode();
+  for (const auto& [key, rec] : jobtracker_->checkpoint_store().records()) {
+    const std::string tag = "checkpoint job " +
+                            std::to_string(key.first.value()) + " task " +
+                            std::to_string(key.second.value());
+    std::unordered_set<BlockId> seen;
+    for (BlockId b : rec.blocks) {
+      if (!seen.insert(b).second) {
+        out.push_back(
+            {"checkpoint.segments", tag + " logs segment " + block_str(b) +
+                                        " twice"});
+        continue;
+      }
+      // Replica loss is legal (latest_live/is_dead handle it); a committed
+      // segment pointing outside its own log file is not.
+      if (!nn.file_exists(rec.file) || !nn.block_exists(b)) continue;
+      if (nn.block(b).file != rec.file) {
+        out.push_back({"checkpoint.segments",
+                       tag + " segment " + block_str(b) +
+                           " belongs to a different file"});
+      }
+    }
+  }
+}
+
+}  // namespace moon::audit

@@ -54,6 +54,8 @@ class CheckpointStore {
     Bytes delta_bytes = 0;
   };
 
+  using Key = std::pair<JobId, TaskId>;
+
   CheckpointStore(dfs::Dfs& dfs, CheckpointConfig config);
   ~CheckpointStore();
 
@@ -90,12 +92,15 @@ class CheckpointStore {
   void drop_job(JobId job);
 
   [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  /// Committed records keyed by (job, task), in key order (auditor/tests).
+  [[nodiscard]] const std::map<Key, ReduceCheckpoint>& records() const {
+    return records_;
+  }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const CheckpointConfig& config() const { return config_; }
   [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
 
  private:
-  using Key = std::pair<JobId, TaskId>;
   struct Inflight {
     dfs::OpId op;
     NodeId writer;

@@ -15,6 +15,27 @@ Node::Node(sim::Simulation& sim, sim::FlowNetwork& net, NodeId id, NodeConfig co
 }
 
 void Node::set_available(bool up) {
+  trace_up_ = up;
+  apply_availability();
+}
+
+void Node::set_fault_down(bool down) {
+  fault_down_ = down;
+  apply_availability();
+}
+
+void Node::set_capacity_factor(double factor) {
+  capacity_factor_ = factor;
+  if (available_) {
+    sim::FlowNetwork::CapacityBatch batch(net_);
+    net_.set_capacity(nic_in_, config_.nic_in_bw * capacity_factor_);
+    net_.set_capacity(nic_out_, config_.nic_out_bw * capacity_factor_);
+    net_.set_capacity(disk_, config_.disk_bw * capacity_factor_);
+  }
+}
+
+void Node::apply_availability() {
+  const bool up = trace_up_ && !fault_down_;
   if (up == available_) return;
   available_ = up;
   {
@@ -22,9 +43,9 @@ void Node::set_available(bool up) {
     sim::FlowNetwork::CapacityBatch batch(net_);
     if (up) {
       down_total_ += sim_.now() - last_down_at_;
-      net_.set_capacity(nic_in_, config_.nic_in_bw);
-      net_.set_capacity(nic_out_, config_.nic_out_bw);
-      net_.set_capacity(disk_, config_.disk_bw);
+      net_.set_capacity(nic_in_, config_.nic_in_bw * capacity_factor_);
+      net_.set_capacity(nic_out_, config_.nic_out_bw * capacity_factor_);
+      net_.set_capacity(disk_, config_.disk_bw * capacity_factor_);
     } else {
       last_down_at_ = sim_.now();
       net_.set_capacity(nic_in_, 0.0);

@@ -49,10 +49,23 @@ class Node {
 
   [[nodiscard]] bool available() const { return available_; }
 
-  /// Availability transition; idempotent. Zeroes/restores resource
-  /// capacities and notifies listeners (down-listeners run before capacity
-  /// restoration on resume so components observe a consistent world).
+  /// Trace-layer availability transition; idempotent. The node is effectively
+  /// up only when the trace says up AND no fault outage holds it down; on an
+  /// effective transition, resource capacities are zeroed/restored and
+  /// listeners notified.
   void set_available(bool up);
+
+  /// Fault-injection overlay (correlated lab/rack outages): holds the node
+  /// down regardless of its trace state. Layered, not exclusive — a node
+  /// whose trace went down during a fault outage stays down when the outage
+  /// lifts. Idempotent.
+  void set_fault_down(bool down);
+  [[nodiscard]] bool fault_down() const { return fault_down_; }
+
+  /// Straggler degradation: scales NIC/disk capacities by `factor` (1.0 =
+  /// nominal) from now on, including across availability transitions.
+  void set_capacity_factor(double factor);
+  [[nodiscard]] double capacity_factor() const { return capacity_factor_; }
 
   void subscribe(AvailabilityListener listener);
 
@@ -65,6 +78,10 @@ class Node {
   [[nodiscard]] sim::Duration total_down_time() const;
 
  private:
+  /// Recomputes effective availability from the trace and fault layers and
+  /// runs the transition if it changed.
+  void apply_availability();
+
   sim::Simulation& sim_;
   sim::FlowNetwork& net_;
   NodeId id_;
@@ -73,6 +90,9 @@ class Node {
   sim::FlowNetwork::ResourceId nic_out_;
   sim::FlowNetwork::ResourceId disk_;
   bool available_ = true;
+  bool trace_up_ = true;
+  bool fault_down_ = false;
+  double capacity_factor_ = 1.0;
   sim::Time last_down_at_ = 0;
   sim::Duration down_total_ = 0;
   std::vector<AvailabilityListener> listeners_;

@@ -19,12 +19,18 @@ void DataNode::start() {
 
 void DataNode::store_block(BlockId block, Bytes size) {
   if (blocks_.insert(block).second) stored_bytes_ += size;
+  corrupted_.erase(block);  // fresh bytes replace any corrupted replica
   namenode_.commit_replica(block, host_.id());
 }
 
 void DataNode::drop_block(BlockId block, Bytes size) {
   if (blocks_.erase(block) > 0) stored_bytes_ -= size;
+  corrupted_.erase(block);
   namenode_.drop_replica(block, host_.id());
+}
+
+void DataNode::mark_corrupted(BlockId block) {
+  if (blocks_.contains(block)) corrupted_.insert(block);
 }
 
 void DataNode::beat() {

@@ -34,10 +34,19 @@ class DataNode {
   [[nodiscard]] Bytes stored_bytes() const { return stored_bytes_; }
 
   /// Physically lands a replica here (called by write/replication paths on
-  /// transfer completion); informs the NameNode.
+  /// transfer completion); informs the NameNode. A re-store of a block this
+  /// node already holds clears any corruption mark (fresh bytes).
   void store_block(BlockId block, Bytes size);
 
   void drop_block(BlockId block, Bytes size);
+
+  /// Fault injection: marks the stored replica as silently corrupted. The
+  /// NameNode still counts it (corruption is silent until a reader's
+  /// checksum verification catches it).
+  void mark_corrupted(BlockId block);
+  [[nodiscard]] bool corrupted(BlockId block) const {
+    return corrupted_.contains(block);
+  }
 
   /// Begins heartbeating (first beat after one interval).
   void start();
@@ -50,6 +59,7 @@ class DataNode {
   cluster::Node& host_;
   NameNode& namenode_;
   std::unordered_set<BlockId> blocks_;
+  std::unordered_set<BlockId> corrupted_;
   Bytes stored_bytes_ = 0;
   double last_reported_transferred_ = 0.0;
   sim::Time last_beat_at_ = 0;

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/log.hpp"
+#include "faults/fault_injector.hpp"
 #include "obs/trace.hpp"
 
 namespace moon::dfs {
@@ -96,7 +97,7 @@ struct Dfs::WriteOp final : Dfs::Op {
   void on_replica_done(FlowId flow, BlockId block, NodeId target) {
     inflight_.erase(flow);
     if (dfs_.namenode_.block_exists(block)) {
-      dfs_.datanode(target).store_block(block, dfs_.namenode_.block(block).size);
+      dfs_.land_replica(block, target, dfs_.namenode_.block(block).size);
       dfs_.namenode_.stats_mutable().bytes_written +=
           dfs_.namenode_.block(block).size;
     }
@@ -230,6 +231,23 @@ struct Dfs::ReadOp final : Dfs::Op {
     flow_ = net.start_flow(path, bytes_, [this](FlowId) {
       dfs_.namenode_.stats_mutable().bytes_read += bytes_;
       flow_ = FlowId::invalid();
+      if (auto* faults = dfs_.sim_.faults();
+          faults && dfs_.namenode_.block_exists(block_) &&
+          dfs_.datanode(source_).corrupted(block_)) {
+        // Checksum-on-read caught a corrupted replica: evict it, queue the
+        // block for re-replication, and retry from another source. The
+        // transfer's bytes stay counted — the wasted IO is the point.
+        faults->note_corruption_detected(block_, source_);
+        ++dfs_.namenode_.stats_mutable().corruptions_detected;
+        dfs_.datanode(source_).drop_block(block_,
+                                          dfs_.namenode_.block(block_).size);
+        if (!dfs_.namenode_.block_meets_factor(block_)) {
+          dfs_.namenode_.enqueue_replication(block_);
+        }
+        tried_.push_back(source_);
+        attempt();
+        return;
+      }
       dfs_.finish_op(id_, true);
     });
   }
@@ -303,6 +321,22 @@ DataNode& Dfs::datanode(NodeId node) {
     throw std::out_of_range("Dfs: unknown datanode");
   }
   return *datanodes_[node.value()];
+}
+
+bool Dfs::land_replica(BlockId block, NodeId target, Bytes size) {
+  if (auto* faults = sim_.faults()) {
+    if (faults->reject_write(block, target)) {
+      ++namenode_.stats_mutable().writes_rejected;
+      return false;
+    }
+    datanode(target).store_block(block, size);
+    if (faults->corrupt_replica(block, target)) {
+      datanode(target).mark_corrupted(block);
+    }
+    return true;
+  }
+  datanode(target).store_block(block, size);
+  return true;
 }
 
 FileId Dfs::stage_file(const std::string& name, FileKind kind,
@@ -557,7 +591,7 @@ void Dfs::start_repair_streams() {
           // The file may have been deleted while the copy was in flight
           // (e.g. a map output discarded for re-execution): drop the bytes.
           if (namenode_.block_exists(block)) {
-            datanode(target).store_block(block, size);
+            land_replica(block, target, size);
             namenode_.stats_mutable().replication_bytes += size;
             if (!namenode_.block_meets_factor(block)) {
               namenode_.enqueue_replication(block);

@@ -111,6 +111,12 @@ class Dfs {
   void finish_op(OpId id, bool ok);
   void begin_op(OpId id);
 
+  /// Lands a transferred replica on `target`, honouring injected storage
+  /// faults: a rejected (disk-full) store never reaches the DataNode, a
+  /// corrupted one lands marked for checksum-on-read detection. Returns
+  /// whether the replica landed.
+  bool land_replica(BlockId block, NodeId target, Bytes size);
+
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
   Rng rng_;

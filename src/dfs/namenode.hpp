@@ -157,6 +157,21 @@ class NameNode {
   /// All registered datanode ids (tests/benches).
   [[nodiscard]] std::vector<NodeId> datanodes() const;
 
+  // ---- auditor views (read-only) ----------------------------------------
+
+  /// Blocks whose replica list includes `node`; nullptr when none recorded.
+  [[nodiscard]] const std::set<BlockId>* blocks_on(NodeId node) const {
+    auto it = node_blocks_.find(node);
+    return it == node_blocks_.end() ? nullptr : &it->second;
+  }
+  /// Every live block's metadata (moon::audit walks this for conservation
+  /// checks; iteration order is hash order — callers must sort before any
+  /// state-changing use).
+  [[nodiscard]] const std::unordered_map<BlockId, BlockMeta>& all_blocks()
+      const {
+    return blocks_;
+  }
+
  private:
   struct DataNodeInfo {
     DataNodeState state = DataNodeState::kLive;

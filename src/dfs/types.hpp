@@ -90,6 +90,8 @@ struct DfsStats {
   std::int64_t dead_transitions = 0;
   std::int64_t read_failures = 0;           ///< no live replica reachable
   std::int64_t adaptive_v_raises = 0;       ///< times v' exceeded configured v
+  std::int64_t writes_rejected = 0;         ///< fault-injected disk-full stores
+  std::int64_t corruptions_detected = 0;    ///< checksum-on-read evictions
 };
 
 }  // namespace moon::dfs

@@ -69,6 +69,22 @@ Environment::Environment(const ScenarioConfig& config)
   jobtracker->add_all_trackers();
   jobtracker->start();
 
+  // Fault injection arms after the stack is live so outage cycles layer on
+  // top of the already-installed availability traces. Its RNG streams fork
+  // from the seed independently of every other component's.
+  if (config.faults.any()) {
+    injector = std::make_unique<moon::faults::FaultInjector>(
+        sim, cluster, config.faults, config.seed);
+    injector->arm(volatile_ids);
+  }
+  if (config.faults.enabled && config.faults.audit_interval > 0) {
+    auditor = std::make_unique<moon::audit::Auditor>(&cluster, dfs.get(),
+                                                     jobtracker.get());
+    audit_task = std::make_unique<moon::sim::PeriodicTask>(
+        sim, config.faults.audit_interval, [this] { auditor->run(); });
+    audit_task->start();
+  }
+
   if (config.obs.any()) {
     obs = std::make_shared<moon::obs::Observability>(config.obs, sim);
     if (auto* tracer = obs->tracer()) {
@@ -151,6 +167,21 @@ Environment::Environment(const ScenarioConfig& config)
       metrics->add_gauge("replication_bytes", [fs] {
         return static_cast<double>(fs->stats().replication_bytes);
       });
+      if (injector) {
+        auto* fi = injector.get();
+        metrics->add_gauge("faults_injected", [fi] {
+          return static_cast<double>(fi->stats().total_injected());
+        });
+        metrics->add_gauge("quarantined_nodes", [jt] {
+          return static_cast<double>(jt->quarantined_count());
+        });
+      }
+      if (auditor) {
+        auto* au = auditor.get();
+        metrics->add_gauge("audit_violations", [au] {
+          return static_cast<double>(au->violations_total());
+        });
+      }
     }
     obs->attach();
   }

@@ -8,11 +8,14 @@
 #include <memory>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "cluster/availability_driver.hpp"
 #include "cluster/cluster.hpp"
 #include "dfs/dfs.hpp"
+#include "faults/fault_injector.hpp"
 #include "mapred/jobtracker.hpp"
 #include "obs/observability.hpp"
+#include "simkit/periodic.hpp"
 #include "simkit/simulation.hpp"
 
 namespace moon::experiment {
@@ -38,6 +41,13 @@ class Environment {
   std::unique_ptr<moon::cluster::AvailabilityDriver> driver;
   std::unique_ptr<moon::dfs::Dfs> dfs;
   std::unique_ptr<moon::mapred::JobTracker> jobtracker;
+  /// Fault injector (null when config.faults is off). Armed on the volatile
+  /// fleet before the run starts; its destructor clears sim's pointer.
+  std::unique_ptr<moon::faults::FaultInjector> injector;
+  /// Invariant auditor + its periodic sweep (null unless
+  /// config.faults.audit_interval > 0). Read-only — never perturbs the run.
+  std::unique_ptr<moon::audit::Auditor> auditor;
+  std::unique_ptr<moon::sim::PeriodicTask> audit_task;
   /// Observability bundle (null when config.obs is all-off). shared_ptr:
   /// the harness finalizes it before teardown and hands it to the result,
   /// which outlives this environment. Gauges hold pointers into the members

@@ -126,6 +126,13 @@ MultiJobResult run_multi_job_scenario(const MultiJobConfig& config) {
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
   result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
+  if (env.injector) result.fault_stats = env.injector->stats();
+  result.quarantines = jobtracker.quarantines_total();
+  if (env.auditor) {
+    env.auditor->run();  // one final sweep at the end-of-run state
+    result.audit_passes = env.auditor->passes();
+    result.audit_violations = env.auditor->violations_total();
+  }
   if (env.obs) {
     env.obs->finalize();
     result.obs = env.obs;

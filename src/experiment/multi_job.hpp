@@ -46,6 +46,11 @@ struct MultiJobResult {
   /// -> 1/n when one job absorbs all the delay.
   double jain_fairness = 1.0;
   std::size_t replication_queue_depth = 0;
+  // Fault-injection & audit accounting, cluster-wide (zero when faults off).
+  faults::FaultStats fault_stats{};
+  std::int64_t quarantines = 0;
+  std::int64_t audit_passes = 0;
+  std::int64_t audit_violations = 0;
   /// Host wall-clock profile of the whole stream run (shared simulator).
   sim::Profiler::Snapshot profile{};
   dfs::DfsStats dfs_stats;  ///< cluster-wide (the DFS is shared by all jobs)

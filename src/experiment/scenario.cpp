@@ -61,6 +61,13 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.replication_queue_depth = dfs.namenode().replication_queue_depth();
   result.profile = sim.profiler().snapshot();
   result.dfs_stats = dfs.stats();
+  if (env.injector) result.fault_stats = env.injector->stats();
+  result.quarantines = jobtracker.quarantines_total();
+  if (env.auditor) {
+    env.auditor->run();  // one final sweep at the end-of-run state
+    result.audit_passes = env.auditor->passes();
+    result.audit_violations = env.auditor->violations_total();
+  }
   // Detach observability before the environment (which the gauges probe)
   // goes away; the finalized bundle rides out in the result.
   if (env.obs) {

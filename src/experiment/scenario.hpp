@@ -20,6 +20,8 @@
 
 #include "common/stats.hpp"
 #include "dfs/types.hpp"
+#include "faults/fault_config.hpp"
+#include "faults/fault_injector.hpp"
 #include "mapred/types.hpp"
 #include "obs/observability.hpp"
 #include "simkit/flow_network.hpp"
@@ -78,6 +80,10 @@ struct ScenarioConfig {
 
   // --- observability (off by default; zero-perturbation when on) ---
   obs::ObsConfig obs;
+
+  // --- fault injection (off by default; runs without it are bit-identical
+  // to builds that never had it — DESIGN.md §13) ---
+  faults::FaultConfig faults;
 };
 
 struct RunResult {
@@ -106,6 +112,11 @@ struct RunResult {
   int completed_reduces = 0;
   bool outputs_committed = false;  ///< all reduces done, waiting on factors
   std::size_t replication_queue_depth = 0;
+  // Fault-injection & audit accounting (all zero when config.faults is off).
+  faults::FaultStats fault_stats{};
+  std::int64_t quarantines = 0;      ///< flaky-node quarantine entries
+  std::int64_t audit_passes = 0;     ///< periodic invariant sweeps run
+  std::int64_t audit_violations = 0; ///< total violations across sweeps
   [[nodiscard]] int duplicated_tasks() const {
     return metrics.duplicated_tasks(num_maps, num_reduces);
   }

@@ -1,0 +1,75 @@
+// Fault-injection configuration (see DESIGN.md §13).
+//
+// Four independently-switchable fault classes sit behind one master
+// `enabled` flag. Everything defaults off: a default-constructed FaultConfig
+// is the zero-perturbation configuration — no FaultInjector is constructed,
+// no RNG stream is forked, and runs are bit-identical to a build that never
+// had the subsystem. Each class draws from its own child RNG stream, so
+// enabling one class never shifts the draws (and hence the injected
+// schedule) of another.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace moon::faults {
+
+struct FaultConfig {
+  /// Master switch. When false the Environment builds no injector at all.
+  bool enabled = false;
+
+  /// (a) Correlated outages: volatile nodes are grouped into labs/racks and
+  /// whole groups power-cycle together, layered on top of the per-node
+  /// availability traces (a trace-up node inside a cycling lab is down).
+  struct Outages {
+    bool enabled = false;
+    std::size_t group_size = 8;      ///< nodes per lab/rack group
+    double group_fraction = 0.5;     ///< fraction of groups subject to cycles
+    sim::Duration mean_interval = 1 * sim::kHour;  ///< exp. time between cycles
+    sim::Duration mean_outage = 10 * sim::kMinute; ///< exp. outage length
+    sim::Duration min_outage = 30 * sim::kSecond;
+  } outages;
+
+  /// (b) Heartbeat loss/delay between TaskTracker and JobTracker: exercises
+  /// suspension, expiry, speculation, and checkpoint-resume through message
+  /// failure rather than node failure.
+  struct Heartbeats {
+    bool enabled = false;
+    double drop_probability = 0.0;
+    double delay_probability = 0.0;
+    sim::Duration mean_delay = 4 * sim::kSecond;   ///< exponential
+    sim::Duration max_delay = 30 * sim::kSecond;
+  } heartbeats;
+
+  /// (c) Storage faults: replicas landed by writes/repairs are silently
+  /// corrupted (caught by checksum-on-read, driving replica eviction and
+  /// re-replication) or rejected outright (disk-full; the replica never
+  /// lands and the block closes under-factor). Checkpoint log writes go
+  /// through the same paths, so checkpoint fallback is exercised for free.
+  struct Storage {
+    bool enabled = false;
+    double corrupt_probability = 0.0;
+    double reject_probability = 0.0;
+  } storage;
+
+  /// (d) Straggler injection: a seeded subset of volatile nodes runs with
+  /// degraded NIC/disk capacity for the whole run.
+  struct Stragglers {
+    bool enabled = false;
+    double fraction = 0.1;           ///< of volatile nodes degraded
+    double capacity_factor = 0.25;   ///< degraded nodes' capacity multiplier
+  } stragglers;
+
+  /// Invariant-auditor cadence (0 disables). The auditor is read-only and
+  /// rides along with the fault config because chaos runs are where it earns
+  /// its keep, but it can be constructed standalone in tests.
+  sim::Duration audit_interval = 0;
+
+  [[nodiscard]] bool any() const {
+    return enabled && (outages.enabled || heartbeats.enabled ||
+                       storage.enabled || stragglers.enabled);
+  }
+};
+
+}  // namespace moon::faults

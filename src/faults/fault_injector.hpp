@@ -1,0 +1,115 @@
+// Seeded, deterministic fault injection (DESIGN.md §13).
+//
+// The FaultInjector installs itself on the Simulation the way the obs layer
+// installs its tracer: instrumented call sites (TaskTracker heartbeats, DFS
+// replica stores and reads) reach it through `sim.faults()` and pay one
+// pointer load and branch when faults are off. Each fault class owns a
+// child RNG stream forked from the injector's seed, so enabling or tuning
+// one class never perturbs the schedule another class injects — and the
+// whole subsystem draws nothing from the simulation's main stream, so a
+// faults-off run is bit-identical to a build without the subsystem.
+//
+// Correlated outages are driven by simulation events the injector schedules
+// itself (group down -> group up -> next cycle); the other classes are
+// consulted synchronously at the instrumented call sites and answer from
+// their private streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_config.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::faults {
+
+/// Injection counters (gauges and benches read these).
+struct FaultStats {
+  std::int64_t outages_injected = 0;      ///< group power-cycle down events
+  std::int64_t heartbeats_dropped = 0;
+  std::int64_t heartbeats_delayed = 0;
+  std::int64_t replicas_corrupted = 0;
+  std::int64_t writes_rejected = 0;
+  std::int64_t corruptions_detected = 0;  ///< checksum-on-read hits
+  std::int64_t stragglers_injected = 0;
+
+  [[nodiscard]] std::int64_t total_injected() const {
+    return outages_injected + heartbeats_dropped + heartbeats_delayed +
+           replicas_corrupted + writes_rejected + stragglers_injected;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, cluster::Cluster& cluster,
+                FaultConfig config, std::uint64_t seed);
+  /// Clears the Simulation's faults pointer if it still points here.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs this injector on the Simulation (sim.faults() call sites see
+  /// it) and arms the autonomous fault classes: groups `volatile_ids` into
+  /// labs, schedules the first power cycles, and applies straggler
+  /// degradation. Call once, before the run starts.
+  void arm(const std::vector<NodeId>& volatile_ids);
+
+  // ---- synchronous consultation points ------------------------------------
+
+  /// Fate of one TaskTracker->JobTracker heartbeat.
+  struct HeartbeatFate {
+    bool drop = false;
+    sim::Duration delay = 0;  ///< 0 = deliver now
+  };
+  HeartbeatFate heartbeat_fate(NodeId node);
+
+  /// True when a replica of `block` landing on `node` should be silently
+  /// corrupted (the DataNode keeps the bytes; checksum-on-read will catch it).
+  bool corrupt_replica(BlockId block, NodeId node);
+
+  /// True when the store of `block` on `node` should be rejected outright
+  /// (disk-full: the replica never lands).
+  bool reject_write(BlockId block, NodeId node);
+
+  /// DFS reports a checksum-on-read detection (counter + trace/log only).
+  void note_corruption_detected(BlockId block, NodeId node);
+
+  // ---- introspection ------------------------------------------------------
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  /// Lab/rack groups subject to power cycles (tests).
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& outage_groups() const {
+    return groups_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& stragglers() const {
+    return stragglers_;
+  }
+
+ private:
+  void schedule_cycle(std::size_t group);
+  void group_down(std::size_t group);
+  void group_up(std::size_t group);
+  void fault_instant(std::uint32_t pid, std::uint32_t track, const char* name,
+                     NodeId node);
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  FaultConfig config_;
+  // One private stream per fault class (see file comment).
+  Rng outage_rng_;
+  Rng heartbeat_rng_;
+  Rng storage_rng_;
+  Rng straggler_rng_;
+
+  std::vector<std::vector<NodeId>> groups_;  ///< cycling groups only
+  std::vector<NodeId> stragglers_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace moon::faults

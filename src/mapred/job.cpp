@@ -508,6 +508,7 @@ void Job::kill_attempt(TaskAttempt& attempt) {
     jobtracker_.dfs().namenode().remove_file(file);
   }
   update_task_state(t);
+  check_attempt_cap(t);
 }
 
 void Job::kill_attempts_on(TaskTracker& tracker) {
@@ -572,12 +573,27 @@ void Job::attempt_failed(TaskAttempt& attempt) {
   if (file.valid() && file != t.output_file) {
     jobtracker_.dfs().namenode().remove_file(file);
   }
+  jobtracker_.note_attempt_failure(attempt.tracker());
   ++t.failures;
   if (t.failures > jobtracker_.config().max_task_failures) {
-    fail_job();
+    fail_job(JobFailureReason::kTaskFailures);
     return;
   }
   update_task_state(t);
+  check_attempt_cap(t);
+}
+
+void Job::check_attempt_cap(Task& t) {
+  if (finished() || t.state == TaskState::kCompleted) return;
+  const int cap = jobtracker_.config().max_attempt_failures;
+  if (cap <= 0 || static_cast<int>(t.attempts.size()) < cap) return;
+  if (log::enabled(log::Level::kWarn)) {
+    log::warn("job", "task attempt cap reached",
+              {{"job", std::to_string(id_.value())},
+               {"task", std::to_string(t.id.value())},
+               {"attempts", std::to_string(t.attempts.size())}});
+  }
+  fail_job(JobFailureReason::kTooManyAttempts);
 }
 
 void Job::finalize_attempt(TaskAttempt& attempt) {
@@ -705,6 +721,8 @@ void Job::revert_map(TaskId map_task) {
 
 void Job::handle_tracker_death(TaskTracker& tracker) {
   kill_attempts_on(tracker);
+  // The kills may have tripped the attempt cap and aborted the job.
+  if (finished()) return;
   if (all_reduces_done()) return;
   // Hadoop semantics: completed maps that ran on a dead tracker are
   // re-executed — their output is presumed local to the lost node. MOON
@@ -778,16 +796,20 @@ void Job::try_commit() {
   jobtracker_.notify_job_finished(*this);
 }
 
-void Job::fail_job() {
+void Job::fail_job(JobFailureReason reason) {
   if (finished()) return;
   metrics_.failed = true;
+  metrics_.failure_reason = reason;
   metrics_.finished_at = jobtracker_.simulation().now();
   if (auto* tracer = jobtracker_.simulation().tracer()) {
-    tracer->end(span_, metrics_.finished_at, {{"outcome", "failed"}});
+    tracer->end(span_, metrics_.finished_at,
+                {{"outcome", "failed"}, {"reason", to_string(reason)}});
     span_ = {};
   }
   if (log::enabled(log::Level::kWarn)) {
-    log::warn("job", "failed", {{"job", std::to_string(id_.value())}});
+    log::warn("job", "failed",
+              {{"job", std::to_string(id_.value())},
+               {"reason", to_string(reason)}});
   }
   // Tear down all live attempts.
   for (auto& [id, attempt] : attempts_) {
@@ -867,6 +889,15 @@ const char* to_string(AttemptState state) {
     case AttemptState::kSucceeded: return "succeeded";
     case AttemptState::kKilled: return "killed";
     case AttemptState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(JobFailureReason reason) {
+  switch (reason) {
+    case JobFailureReason::kNone: return "none";
+    case JobFailureReason::kTaskFailures: return "task_failures";
+    case JobFailureReason::kTooManyAttempts: return "too_many_attempts";
   }
   return "?";
 }

@@ -173,7 +173,7 @@ class Job {
   /// output block meets its replication factor.
   void try_commit();
 
-  void fail_job();
+  void fail_job(JobFailureReason reason = JobFailureReason::kTaskFailures);
 
   /// Writes a human-readable snapshot of every incomplete task (state,
   /// attempts, phases, shuffle progress) — debugging aid for stuck jobs.
@@ -187,6 +187,11 @@ class Job {
   using PendingKey = std::pair<int, int>;
 
   void build_tasks();
+  /// Containment: aborts the job (kTooManyAttempts) when an uncompleted
+  /// task's total attempt count reaches max_attempt_failures — kills never
+  /// bump t.failures, so under injected churn a task could otherwise burn
+  /// attempts forever.
+  void check_attempt_cap(Task& t);
   void update_task_state(Task& t);
   void set_task_state(Task& t, TaskState next);
   void pending_insert(Task& t);

@@ -133,12 +133,66 @@ void JobTracker::heartbeat(TaskTracker& tracker) {
     tracer->instant(obs::kClusterPid, obs::node_track(tracker.node_id()),
                     obs::Cat::kHeartbeat, "heartbeat", sim_.now());
   }
+  if (info.quarantined) {
+    if (sim_.now() < info.quarantined_until) {
+      // Heartbeat accepted (the tracker stays live) but no work assigned
+      // while the backoff runs.
+      ++heartbeats_;
+      return;
+    }
+    // Backoff served: readmit with a clean slate.
+    info.quarantined = false;
+    info.flaky_strikes = 0;
+    --quarantined_count_;
+    if (auto* tracer = sim_.tracer()) {
+      tracer->instant(obs::kClusterPid, obs::node_track(tracker.node_id()),
+                      obs::Cat::kFault, "readmit", sim_.now());
+    }
+    if (log::enabled(log::Level::kInfo)) {
+      log::info("jobtracker", "tracker readmitted",
+                {{"node", std::to_string(tracker.node_id().value())}});
+    }
+  }
   {
     sim::Profiler::Scope profile(sim_.profiler(),
                                  sim::Profiler::Key::kHeartbeat);
     assign_work(tracker);
   }
   ++heartbeats_;
+}
+
+void JobTracker::note_attempt_failure(TaskTracker& tracker) {
+  if (config_.quarantine_threshold <= 0) return;
+  auto it = tracker_info_.find(tracker.node_id());
+  if (it == tracker_info_.end()) return;
+  TrackerInfo& info = it->second;
+  if (info.quarantined) return;
+  if (++info.flaky_strikes < config_.quarantine_threshold) return;
+  ++info.quarantines;
+  ++quarantines_total_;
+  ++quarantined_count_;
+  sim::Duration backoff = std::max<sim::Duration>(config_.quarantine_backoff, 1);
+  for (int i = 1; i < info.quarantines && backoff < config_.quarantine_backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.quarantine_backoff_max);
+  info.quarantined = true;
+  info.quarantined_until = sim_.now() + backoff;
+  if (auto* tracer = sim_.tracer()) {
+    tracer->instant(obs::kClusterPid, obs::node_track(tracker.node_id()),
+                    obs::Cat::kFault, "quarantine", sim_.now(),
+                    {{"backoff_s", std::to_string(sim::to_seconds(backoff))}});
+  }
+  log::warn("jobtracker", "tracker quarantined",
+            {{"node", std::to_string(tracker.node_id().value())},
+             {"backoff_s", std::to_string(sim::to_seconds(backoff))},
+             {"entries", std::to_string(info.quarantines)}});
+}
+
+bool JobTracker::quarantined(NodeId node) const {
+  auto it = tracker_info_.find(node);
+  return it != tracker_info_.end() && it->second.quarantined;
 }
 
 void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {

@@ -56,6 +56,13 @@ class JobTracker {
   void heartbeat(TaskTracker& tracker);
   void notify_job_finished(Job& job);
 
+  /// Flaky-node quarantine feed: Job::attempt_failed reports the hosting
+  /// tracker here. Once a tracker accumulates quarantine_threshold strikes
+  /// it is quarantined — heartbeats are still accepted (it stays live) but
+  /// no work is assigned — for an exponentially growing backoff, then
+  /// readmitted with a clean slate. No-op when the threshold is 0 (default).
+  void note_attempt_failure(TaskTracker& tracker);
+
   // ---- environment observations -------------------------------------------
   [[nodiscard]] TrackerState tracker_state(NodeId node) const;
   /// Total execution slots (map + reduce) on live trackers — the paper's
@@ -71,6 +78,15 @@ class JobTracker {
     return sim_.profiler().counter(sim::Profiler::Key::kHeartbeat).ns;
   }
   [[nodiscard]] std::uint64_t heartbeats_served() const { return heartbeats_; }
+
+  // ---- quarantine introspection -------------------------------------------
+  [[nodiscard]] bool quarantined(NodeId node) const;
+  /// Trackers currently serving a quarantine backoff.
+  [[nodiscard]] int quarantined_count() const { return quarantined_count_; }
+  /// Lifetime quarantine entries across all trackers.
+  [[nodiscard]] std::int64_t quarantines_total() const {
+    return quarantines_total_;
+  }
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   /// The configured multi-job arbitration policy (DESIGN.md §10).
@@ -102,6 +118,11 @@ class JobTracker {
     TaskTracker* tracker = nullptr;
     TrackerState state = TrackerState::kLive;
     sim::Time last_heartbeat = 0;
+    // Flaky-node quarantine (inert while quarantine_threshold == 0).
+    int flaky_strikes = 0;          ///< attempt failures since last readmission
+    int quarantines = 0;            ///< lifetime entries (backoff exponent)
+    bool quarantined = false;
+    sim::Time quarantined_until = 0;
   };
 
   void liveness_scan();
@@ -139,6 +160,8 @@ class JobTracker {
   /// transition (kIndexed reads these; kScan recounts).
   int live_map_slots_ = 0;
   int live_reduce_slots_ = 0;
+  int quarantined_count_ = 0;
+  std::int64_t quarantines_total_ = 0;
   std::uint64_t heartbeats_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
   std::unique_ptr<JobSchedulingPolicy> job_policy_;

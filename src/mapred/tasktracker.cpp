@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "faults/fault_injector.hpp"
 #include "mapred/jobtracker.hpp"
 #include "mapred/task.hpp"
 
@@ -77,6 +78,19 @@ void TaskTracker::beat() {
   // A suspended host is silent; the JobTracker infers suspension/death from
   // the heartbeat gap.
   if (!host_.available()) return;
+  if (auto* faults = sim_.faults()) {
+    const auto fate = faults->heartbeat_fate(host_.id());
+    if (fate.drop) return;  // lost on the wire; the gap detector takes over
+    if (fate.delay > 0) {
+      // Delivered late. The host may have gone down in the meantime — a
+      // message from a now-dead node would resurrect its tracker, so the
+      // delivery rechecks availability.
+      sim_.schedule_after(fate.delay, [this] {
+        if (host_.available()) jobtracker_.heartbeat(*this);
+      });
+      return;
+    }
+  }
   jobtracker_.heartbeat(*this);
 }
 

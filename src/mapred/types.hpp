@@ -147,6 +147,22 @@ struct SchedulerConfig {
   /// Footnote 1: a map rescheduled this many times fails the job.
   int max_task_failures = 4;
 
+  // --- failure containment (chaos runs; see DESIGN.md §13) ---
+  /// Cap on total attempts launched per task (failed + killed + speculative).
+  /// Under injected churn a task can burn attempts through kills — which
+  /// max_task_failures never counts — forever; this cap converts such runaway
+  /// tasks into a clean job abort. Generous default: no tier-1 workload
+  /// comes near it.
+  int max_attempt_failures = 120;
+
+  /// Flaky-node quarantine: a tracker accumulating this many attempt
+  /// failures is quarantined (no assignments) for quarantine_backoff,
+  /// doubling per quarantine up to quarantine_backoff_max; its strike count
+  /// resets on readmission. 0 disables (default — zero perturbation).
+  int quarantine_threshold = 0;
+  sim::Duration quarantine_backoff = 120 * sim::kSecond;
+  sim::Duration quarantine_backoff_max = 1920 * sim::kSecond;
+
   sim::Duration completion_scan_interval = 5 * sim::kSecond;
 
   /// Reduce-task checkpoint/resume subsystem (src/checkpoint/); disabled by
@@ -154,10 +170,20 @@ struct SchedulerConfig {
   checkpoint::CheckpointConfig checkpoint;
 };
 
+/// Why a job aborted (JobMetrics::failure_reason; kNone while unfailed).
+enum class JobFailureReason {
+  kNone,
+  kTaskFailures,     ///< a task exceeded max_task_failures (footnote 1)
+  kTooManyAttempts,  ///< a task exceeded max_attempt_failures (containment)
+};
+
+const char* to_string(JobFailureReason reason);
+
 /// Everything the paper's evaluation reports, collected per job run.
 struct JobMetrics {
   bool completed = false;
   bool failed = false;
+  JobFailureReason failure_reason = JobFailureReason::kNone;
   sim::Time submitted_at = 0;
   sim::Time finished_at = 0;
   /// When the job's first attempt launched; negative until then. The gap to

@@ -57,6 +57,7 @@ const char* cat_name(Cat cat) {
     case Cat::kSched: return "sched";
     case Cat::kHeartbeat: return "heartbeat";
     case Cat::kLog: return "log";
+    case Cat::kFault: return "fault";
     case Cat::kCount: break;
   }
   return "?";

@@ -73,6 +73,7 @@ enum class Cat : std::uint8_t {
   kSched,       ///< scheduler decisions (tracker state, speculation, kills)
   kHeartbeat,   ///< per-heartbeat instants (high volume; gated by config)
   kLog,         ///< structured log records routed in as instants
+  kFault,       ///< injected faults (outages, drops, corruption, quarantine)
   kCount,
 };
 

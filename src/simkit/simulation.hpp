@@ -36,6 +36,10 @@ class Tracer;
 class MetricsRegistry;
 }  // namespace moon::obs
 
+namespace moon::faults {
+class FaultInjector;
+}  // namespace moon::faults
+
 namespace moon::sim {
 
 class Simulation {
@@ -111,6 +115,14 @@ class Simulation {
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Fault-injection hook, same ownership contract as the tracer: the
+  /// faults::FaultInjector installs/clears itself here, instrumented call
+  /// sites (heartbeats, DFS stores/reads) consult it through the Simulation
+  /// they already hold, and nullptr (the default) means faults are off at
+  /// the cost of one pointer load and branch.
+  [[nodiscard]] faults::FaultInjector* faults() const { return faults_; }
+  void set_faults(faults::FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct Entry {
     Time time;
@@ -180,6 +192,7 @@ class Simulation {
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace moon::sim

@@ -101,5 +101,18 @@ TEST(AvailabilityDriver, AssignAfterInstallThrows) {
       std::logic_error);
 }
 
+TEST(AvailabilityDriver, AssignFleetAfterInstallThrows) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const auto ids = cluster.add_nodes(2, basic_cfg());
+  std::vector<trace::AvailabilityTrace> traces(
+      2, trace::AvailabilityTrace::always_available(sim::hours(8)));
+  AvailabilityDriver driver(sim, cluster);
+  driver.install(1);
+  // A silently-accepted late assign would mutate traces_ without ever
+  // scheduling events — hard error instead, same as single assign.
+  EXPECT_THROW(driver.assign_fleet(ids, traces), std::logic_error);
+}
+
 }  // namespace
 }  // namespace moon::cluster

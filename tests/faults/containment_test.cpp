@@ -1,0 +1,143 @@
+// Failure containment: the per-task attempt cap aborts a doomed job cleanly
+// (structured failure reason, full teardown), and the JobTracker quarantines
+// flaky trackers with exponential-backoff readmission.
+#include <gtest/gtest.h>
+
+#include "../mapred/mapred_fixture.hpp"
+#include "mapred/task.hpp"
+
+namespace moon::mapred {
+namespace {
+
+using testing::FixtureOptions;
+using testing::MapRedHarness;
+
+TEST(AttemptCap, RepeatedKillsAbortJobWithTooManyAttempts) {
+  FixtureOptions opts;
+  opts.volatile_nodes = 1;  // one tracker: every attempt dies with it
+  opts.dedicated_nodes = 0;
+  opts.sched = testing::hadoop_sched(/*expiry=*/60 * sim::kSecond);
+  opts.sched.max_attempt_failures = 2;
+  opts.num_maps = 2;
+  opts.num_reduces = 1;
+  opts.map_compute = 600 * sim::kSecond;  // never finishes inside an up-window
+  MapRedHarness h(opts);
+  h.submit();
+
+  const NodeId node = h.volatile_ids[0];
+  // Two churn cycles: up long enough to launch, down past tracker expiry so
+  // the attempts are killed. Each cycle adds one killed attempt per task.
+  for (int cycle = 0; cycle < 2 && !h.job().finished(); ++cycle) {
+    h.advance(30 * sim::kSecond);
+    h.set_node_available(node, false);
+    h.advance(150 * sim::kSecond);  // > expiry: tracker dies, attempts killed
+    h.set_node_available(node, true);
+  }
+  h.advance(60 * sim::kSecond);
+
+  EXPECT_TRUE(h.job().finished());
+  EXPECT_FALSE(h.job().metrics().completed);
+  EXPECT_TRUE(h.job().metrics().failed);
+  EXPECT_EQ(h.job().metrics().failure_reason,
+            JobFailureReason::kTooManyAttempts);
+  EXPECT_STREQ(to_string(h.job().metrics().failure_reason),
+               "too_many_attempts");
+  // Clean teardown: nothing still running anywhere.
+  EXPECT_EQ(h.job().live_attempts(), 0);
+}
+
+TEST(AttemptCap, GenerousDefaultNeverTriggersOnHealthyRun) {
+  FixtureOptions opts;
+  opts.sched = testing::moon_sched();
+  MapRedHarness h(opts);
+  h.submit();
+  EXPECT_TRUE(h.run_to_completion());
+  EXPECT_EQ(h.job().metrics().failure_reason, JobFailureReason::kNone);
+}
+
+TEST(Quarantine, StrikesQuarantineAndBackoffReadmits) {
+  FixtureOptions opts;
+  opts.volatile_nodes = 3;
+  opts.sched = testing::moon_sched();
+  opts.sched.quarantine_threshold = 2;
+  opts.sched.quarantine_backoff = 120 * sim::kSecond;
+  opts.sched.quarantine_backoff_max = 480 * sim::kSecond;
+  MapRedHarness h(opts);
+  JobTracker& jt = h.jobtracker();
+
+  TaskTracker* flaky = jt.trackers()[0];
+  const NodeId node = flaky->node_id();
+  h.advance(10 * sim::kSecond);
+
+  // One strike is below threshold: not quarantined.
+  jt.note_attempt_failure(*flaky);
+  EXPECT_FALSE(jt.quarantined(node));
+  jt.note_attempt_failure(*flaky);
+  EXPECT_TRUE(jt.quarantined(node));
+  EXPECT_EQ(jt.quarantined_count(), 1);
+  EXPECT_EQ(jt.quarantines_total(), 1);
+
+  // Still quarantined while the backoff runs (heartbeats keep arriving but
+  // are gated), then the first heartbeat past the deadline readmits.
+  h.advance(60 * sim::kSecond);
+  EXPECT_TRUE(jt.quarantined(node));
+  h.advance(90 * sim::kSecond);
+  EXPECT_FALSE(jt.quarantined(node));
+  EXPECT_EQ(jt.quarantined_count(), 0);
+
+  // Readmission wiped the strikes: one new failure is again below threshold.
+  jt.note_attempt_failure(*flaky);
+  EXPECT_FALSE(jt.quarantined(node));
+  // Second entry doubles the backoff: 240 s now.
+  jt.note_attempt_failure(*flaky);
+  EXPECT_TRUE(jt.quarantined(node));
+  EXPECT_EQ(jt.quarantines_total(), 2);
+  h.advance(150 * sim::kSecond);
+  EXPECT_TRUE(jt.quarantined(node));  // 120 s would have readmitted already
+  h.advance(150 * sim::kSecond);
+  EXPECT_FALSE(jt.quarantined(node));
+}
+
+TEST(Quarantine, ThresholdZeroIsOff) {
+  FixtureOptions opts;
+  opts.sched = testing::moon_sched();  // quarantine_threshold defaults to 0
+  MapRedHarness h(opts);
+  JobTracker& jt = h.jobtracker();
+  TaskTracker* t = jt.trackers()[0];
+  for (int i = 0; i < 10; ++i) jt.note_attempt_failure(*t);
+  EXPECT_FALSE(jt.quarantined(t->node_id()));
+  EXPECT_EQ(jt.quarantines_total(), 0);
+}
+
+TEST(Quarantine, QuarantinedTrackerGetsNoWork) {
+  FixtureOptions opts;
+  opts.volatile_nodes = 3;
+  opts.dedicated_nodes = 1;
+  opts.sched = testing::moon_sched();
+  opts.sched.quarantine_threshold = 1;
+  opts.sched.quarantine_backoff = 2 * sim::kHour;  // never readmits in-test
+  opts.num_maps = 6;
+  opts.num_reduces = 2;
+  MapRedHarness h(opts);
+  JobTracker& jt = h.jobtracker();
+
+  TaskTracker* flaky = jt.trackers()[0];
+  jt.note_attempt_failure(*flaky);
+  ASSERT_TRUE(jt.quarantined(flaky->node_id()));
+
+  h.submit();
+  EXPECT_TRUE(h.run_to_completion());
+  EXPECT_TRUE(jt.quarantined(flaky->node_id()));
+  // The job completed around the quarantined node: no attempt ever ran there.
+  for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+    for (TaskId tid : h.job().tasks_of(type)) {
+      for (AttemptId aid : h.job().task(tid).attempts) {
+        EXPECT_NE(h.job().attempt(aid)->tracker().node_id(),
+                  flaky->node_id());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moon::mapred

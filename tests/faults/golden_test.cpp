@@ -1,0 +1,144 @@
+// Faults-off golden test: with `ScenarioConfig::faults` at its default
+// (off), today's tree must reproduce the exact outcomes the tree produced
+// BEFORE the fault subsystem existed — the zero-perturbation contract
+// (DESIGN.md §13), asserted bit for bit. The numbers below were captured by
+// running these configs against the pre-fault-subsystem build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "experiment/scenario.hpp"
+#include "workload/workload.hpp"
+
+namespace moon::experiment {
+namespace {
+
+ScenarioConfig small_config(const mapred::SchedulerConfig& sched,
+                            std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.volatile_nodes = 10;
+  cfg.dedicated_nodes = 2;
+  cfg.unavailability_rate = 0.3;
+  cfg.sched = sched;
+  cfg.dfs = moon_dfs_config();
+  cfg.app = workload::sleep_of(workload::sort_workload());
+  cfg.app.num_maps = 20;
+  cfg.app.input_size = 20 * kKiB;
+  cfg.app.input_block_bytes = kKiB;
+  cfg.app.map_compute = 20 * sim::kSecond;
+  cfg.app.reduce_compute = 20 * sim::kSecond;
+  cfg.seed = seed;
+  cfg.max_sim_time = 4 * sim::kHour;
+  return cfg;
+}
+
+struct Golden {
+  int finished;
+  double execution_time_s;
+  int launched_maps;
+  int launched_reduces;
+  int speculative;
+  int killed_maps;
+  int killed_reduces;
+  int map_reexecutions;
+  int checkpoints_written;
+  int checkpoint_resumes;
+  std::int64_t bytes_read;
+  std::int64_t bytes_written;
+  std::int64_t replication_bytes;
+};
+
+struct GoldenCase {
+  const char* policy;
+  std::uint64_t seed;
+  Golden want;
+};
+
+mapred::SchedulerConfig policy_by_name(const char* name) {
+  if (std::string(name) == "moon_checkpoint") {
+    return moon_checkpoint_scheduler(false);
+  }
+  return hadoop_scheduler(5 * sim::kMinute);
+}
+
+void expect_golden(const RunResult& r, const Golden& want,
+                   const GoldenCase& c) {
+  SCOPED_TRACE(std::string(c.policy) + " seed=" + std::to_string(c.seed));
+  EXPECT_EQ(r.finished ? 1 : 0, want.finished);
+  EXPECT_EQ(r.execution_time_s, want.execution_time_s);  // exact, no tolerance
+  EXPECT_EQ(r.metrics.launched_map_attempts, want.launched_maps);
+  EXPECT_EQ(r.metrics.launched_reduce_attempts, want.launched_reduces);
+  EXPECT_EQ(r.metrics.speculative_attempts, want.speculative);
+  EXPECT_EQ(r.metrics.killed_map_attempts, want.killed_maps);
+  EXPECT_EQ(r.metrics.killed_reduce_attempts, want.killed_reduces);
+  EXPECT_EQ(r.metrics.map_reexecutions, want.map_reexecutions);
+  EXPECT_EQ(r.metrics.checkpoints_written, want.checkpoints_written);
+  EXPECT_EQ(r.metrics.checkpoint_resumes, want.checkpoint_resumes);
+  EXPECT_EQ(r.dfs_stats.bytes_read, want.bytes_read);
+  EXPECT_EQ(r.dfs_stats.bytes_written, want.bytes_written);
+  EXPECT_EQ(r.dfs_stats.replication_bytes, want.replication_bytes);
+  // And the fault machinery must report it did nothing at all.
+  EXPECT_EQ(r.fault_stats.total_injected(), 0);
+  EXPECT_EQ(r.quarantines, 0);
+  EXPECT_EQ(r.metrics.failure_reason, mapred::JobFailureReason::kNone);
+}
+
+TEST(FaultsOffGolden, IndependentChurnBitIdenticalToPreFaultTree) {
+  const GoldenCase cases[] = {
+      {"moon_checkpoint", 20100621u,
+       {1, 65, 20, 27, 6, 0, 6, 0, 0, 0, 72860, 81998, 11}},
+      {"moon_checkpoint", 7u,
+       {1, 65, 20, 29, 8, 0, 8, 0, 0, 0, 76740, 79953, 2052}},
+      {"hadoop_5min", 20100621u,
+       {1, 65, 20, 21, 0, 0, 0, 0, 0, 0, 61220, 81998, 11}},
+      {"hadoop_5min", 7u,
+       {1, 65, 20, 21, 0, 0, 0, 0, 0, 0, 61220, 79953, 2052}},
+  };
+  for (const GoldenCase& c : cases) {
+    const RunResult r =
+        run_scenario(small_config(policy_by_name(c.policy), c.seed));
+    expect_golden(r, c.want, c);
+  }
+}
+
+TEST(FaultsOffGolden, CorrelatedChurnBitIdenticalToPreFaultTree) {
+  const GoldenCase cases[] = {
+      {"moon_checkpoint", 20100621u,
+       {1, 80, 20, 27, 6, 0, 6, 0, 1, 0, 71405, 104979, 5}},
+      {"moon_checkpoint", 7u,
+       {1, 50, 20, 27, 6, 0, 6, 0, 0, 0, 72860, 82004, 0}},
+      {"hadoop_5min", 20100621u,
+       {1, 100, 20, 22, 1, 0, 1, 0, 0, 0, 63160, 81999, 5}},
+      {"hadoop_5min", 7u,
+       {1, 50, 20, 21, 0, 0, 0, 0, 0, 0, 61220, 82004, 0}},
+  };
+  for (const GoldenCase& c : cases) {
+    ScenarioConfig cfg = small_config(policy_by_name(c.policy), c.seed);
+    cfg.unavailability_rate = 0.45;
+    cfg.correlated_outages = true;
+    cfg.correlation_group_size = 4;
+    const RunResult r = run_scenario(cfg);
+    expect_golden(r, c.want, c);
+  }
+}
+
+// Non-vacuity: the same config with chaos ON must actually diverge — if it
+// didn't, the goldens above would be testing nothing.
+TEST(FaultsOffGolden, ChaosOnActuallyPerturbs) {
+  ScenarioConfig cfg =
+      small_config(moon_checkpoint_scheduler(false), 20100621u);
+  cfg.faults.enabled = true;
+  cfg.faults.heartbeats.enabled = true;
+  cfg.faults.heartbeats.drop_probability = 0.3;
+  cfg.faults.heartbeats.delay_probability = 0.3;
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.fault_stats.heartbeats_dropped +
+                r.fault_stats.heartbeats_delayed,
+            0);
+  // Baseline: bytes_read 72860, time 65 s. Chaos must have moved something.
+  EXPECT_TRUE(r.execution_time_s != 65.0 || r.dfs_stats.bytes_read != 72860 ||
+              r.metrics.launched_reduce_attempts != 27);
+}
+
+}  // namespace
+}  // namespace moon::experiment
