@@ -1,0 +1,146 @@
+// CI failover smoke (DESIGN.md §14): crash each master mid-job — NameNode
+// only, JobTracker only, then both — across 2 seeds, running every
+// (scenario, seed) TWICE. Non-zero exit on any audit violation, same-seed
+// fingerprint divergence, journal divergence, never-completing job, or a
+// vacuous cell (no crash actually fired). Runs on the CI Release leg next to
+// chaos_smoke.
+//
+//   ./bench_failover_smoke        3 scenarios x 2 seeds x 2 runs (~seconds)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace moon;
+
+namespace {
+
+workload::WorkloadModel smoke_workload() {
+  workload::WorkloadModel m;
+  m.name = "failover-smoke";
+  m.kind = workload::AppKind::kSort;
+  m.num_maps = 24;
+  m.fixed_reduces = 8;
+  m.map_compute = sim::seconds(8);
+  m.reduce_compute = sim::seconds(90);
+  m.intermediate_per_map = mib(4.0);
+  m.input_size = static_cast<Bytes>(m.num_maps) * mib(4.0);
+  m.total_output = mib(96.0);
+  m.input_block_bytes = mib(4.0);
+  return m;
+}
+
+experiment::ScenarioConfig smoke_config(bool namenode, bool jobtracker) {
+  experiment::ScenarioConfig cfg;
+  cfg.volatile_nodes = 24;
+  cfg.dedicated_nodes = 4;
+  cfg.dedicated_known = true;
+  cfg.dfs = experiment::moon_dfs_config();
+  cfg.sched = experiment::moon_scheduler(true);
+  cfg.app = smoke_workload();
+  cfg.unavailability_rate = 0.3;
+  cfg.max_sim_time = 4 * sim::kHour;
+  cfg.faults.enabled = true;
+  cfg.faults.master_crash.enabled = true;
+  cfg.faults.master_crash.namenode = namenode;
+  cfg.faults.master_crash.jobtracker = jobtracker;
+  // Crash inside the ~4-minute job, early and with a visible outage.
+  cfg.faults.master_crash.mean_interval = 2 * sim::kMinute;
+  cfg.faults.master_crash.min_interval = 45 * sim::kSecond;
+  cfg.faults.master_crash.mean_downtime = 60 * sim::kSecond;
+  cfg.faults.master_crash.min_downtime = 20 * sim::kSecond;
+  cfg.faults.master_crash.max_crashes = 2;
+  return cfg;
+}
+
+/// Everything the simulation decided, flattened. Two runs of the same
+/// (scenario, seed) must agree byte for byte.
+std::string fingerprint(const experiment::RunResult& r) {
+  std::ostringstream os;
+  os << r.finished << '|' << r.metrics.completed << '|' << r.metrics.failed
+     << '|' << r.metrics.finished_at << '|' << r.metrics.launched_map_attempts
+     << '|' << r.metrics.launched_reduce_attempts << '|'
+     << r.metrics.killed_map_attempts << '|' << r.metrics.killed_reduce_attempts
+     << '|' << r.metrics.map_reexecutions << '|' << r.metrics.fetch_failures
+     << '|' << r.dfs_stats.bytes_read << '|' << r.dfs_stats.bytes_written
+     << '|' << r.dfs_stats.replication_bytes << '|' << r.dfs_stats.ops_parked
+     << '|' << r.dfs_stats.master_retries << '|' << r.dfs_stats.block_reports
+     << '|' << r.dfs_stats.heartbeats_skipped << '|'
+     << r.fault_stats.namenode_crashes << '|' << r.fault_stats.jobtracker_crashes
+     << '|' << r.fault_stats.master_recoveries << '|'
+     << r.fault_stats.master_downtime << '|' << r.journal_records << '|'
+     << r.journal_snapshots << '|' << r.heartbeats_missed << '|'
+     << r.reports_parked << '|' << r.reports_replayed << '|'
+     << r.reregistrations << '|' << r.orphans_killed << '|' << r.audit_passes;
+  return os.str();
+}
+
+struct Scenario {
+  std::string name;
+  bool namenode;
+  bool jobtracker;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Scenario> scenarios{
+      {"namenode", true, false},
+      {"jobtracker", false, true},
+      {"both", true, true},
+  };
+  const std::vector<std::uint64_t> seeds{20100621u, 7u};
+
+  std::cout << "=== Failover smoke: crash each master mid-job, run twice ===\n";
+  int failures = 0;
+  for (const Scenario& s : scenarios) {
+    for (std::uint64_t seed : seeds) {
+      auto cfg = smoke_config(s.namenode, s.jobtracker);
+      cfg.seed = seed;
+      const auto first = experiment::run_scenario(cfg);
+      const auto second = experiment::run_scenario(cfg);
+      const std::string fp1 = fingerprint(first);
+      const std::string fp2 = fingerprint(second);
+
+      std::string verdict = "ok";
+      if (fp1 != fp2) {
+        verdict = "NONDETERMINISTIC";
+        ++failures;
+        std::cerr << "  run1: " << fp1 << "\n  run2: " << fp2 << "\n";
+      }
+      if (first.audit_violations != 0 || second.audit_violations != 0) {
+        verdict += " AUDIT-VIOLATIONS";
+        ++failures;
+      }
+      if (first.journal_divergences != 0 || second.journal_divergences != 0) {
+        verdict += " JOURNAL-DIVERGENCE";
+        ++failures;
+      }
+      if (!first.finished || !second.finished) {
+        verdict += " DNF";  // the job must ride out every master outage
+        ++failures;
+      }
+      const std::int64_t crashes = first.fault_stats.namenode_crashes +
+                                   first.fault_stats.jobtracker_crashes;
+      if (crashes == 0) {
+        verdict += " VACUOUS";  // failover scenario that never crashed anyone
+        ++failures;
+      }
+      std::cout << "  " << s.name << " seed=" << seed << ": " << verdict
+                << " (crashes=" << crashes
+                << ", downtime_s=" << sim::to_seconds(first.fault_stats.master_downtime)
+                << ", rereg=" << first.reregistrations
+                << ", replayed=" << first.reports_replayed
+                << ", finished=" << first.finished << ")\n";
+    }
+  }
+  if (failures != 0) {
+    std::cerr << "FAIL: " << failures << " failover smoke failures\n";
+    return 1;
+  }
+  std::cout << "failover smoke: all scenarios deterministic, audit-clean, "
+               "completed\n";
+  return 0;
+}

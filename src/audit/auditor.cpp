@@ -88,6 +88,11 @@ void Auditor::check_dfs(std::vector<Violation>& out) {
 void Auditor::check_mapred(std::vector<Violation>& out) {
   using mapred::TaskState;
   using mapred::TrackerState;
+  // While the master is crashed its tracker table is wiped soft state: every
+  // tracker reads kDead even though its workers still run attempts, so the
+  // liveness cross-check only means something against an up master. (A sweep
+  // can land here mid-downtime when the *other* master just recovered.)
+  const bool master_up = jobtracker_->available();
   for (mapred::Job* job : jobtracker_->jobs_in_order()) {
     if (job->finished()) continue;
     const std::string job_tag = "job " + std::to_string(job->id().value());
@@ -104,8 +109,8 @@ void Auditor::check_mapred(std::vector<Violation>& out) {
             out.push_back({"mapred.task-attempts",
                            task_tag + " live set holds a terminal attempt"});
           }
-          if (jobtracker_->tracker_state(a->tracker().node_id()) ==
-              TrackerState::kDead) {
+          if (master_up && jobtracker_->tracker_state(a->tracker().node_id()) ==
+                               TrackerState::kDead) {
             out.push_back({"mapred.task-attempts",
                            task_tag + " has a live attempt on dead tracker " +
                                node_str(a->tracker().node_id())});

@@ -1,0 +1,82 @@
+// Retry/timeout/exponential-backoff shim for calls against a crashed master.
+//
+// While the NameNode or JobTracker is down (faults::MasterCrash), callers do
+// not spin or fail: they park the pending call behind a `Retrier`, which
+// re-drives it on a sim-time timer with deterministic exponential backoff.
+// No RNG is involved — same seed, same schedule — and a Retrier that is
+// never used schedules nothing, preserving the zero-perturbation contract.
+#pragma once
+
+#include <functional>
+
+#include "simkit/simulation.hpp"
+
+namespace moon::common {
+
+struct RetryPolicy {
+  sim::Duration initial = 1 * sim::kSecond;  ///< first retry delay
+  sim::Duration max = 60 * sim::kSecond;     ///< backoff ceiling
+  double multiplier = 2.0;                   ///< delay growth per retry
+  int max_attempts = 0;                      ///< 0 = retry forever
+};
+
+/// One pending retried call. At most one timer is outstanding at a time;
+/// `retry()` while a timer is pending is a no-op (the earlier schedule wins),
+/// so re-entrant callers cannot stack events. Destruction cancels the timer.
+class Retrier {
+ public:
+  explicit Retrier(sim::Simulation& sim, RetryPolicy policy = {})
+      : sim_(sim), policy_(policy) {}
+  ~Retrier() { cancel(); }
+
+  Retrier(const Retrier&) = delete;
+  Retrier& operator=(const Retrier&) = delete;
+
+  /// Schedules `fn` after the current backoff delay and doubles the delay
+  /// (capped at `policy.max`). Returns false when `max_attempts` is
+  /// exhausted (nothing scheduled) or a retry is already pending.
+  bool retry(std::function<void()> fn) {
+    if (pending_) return false;
+    if (policy_.max_attempts > 0 && attempts_ >= policy_.max_attempts) {
+      return false;
+    }
+    ++attempts_;
+    pending_ = true;
+    event_ = sim_.schedule_after(delay_, [this, fn = std::move(fn)] {
+      pending_ = false;
+      fn();
+    });
+    auto next = static_cast<sim::Duration>(
+        static_cast<double>(delay_) * policy_.multiplier);
+    delay_ = next > policy_.max ? policy_.max : next;
+    return true;
+  }
+
+  /// Back to the initial delay; call after the guarded call finally succeeds.
+  void reset() {
+    cancel();
+    delay_ = policy_.initial;
+    attempts_ = 0;
+  }
+
+  /// Drops the pending timer (if any) without touching the backoff state.
+  void cancel() {
+    if (!pending_) return;
+    sim_.cancel(event_);
+    pending_ = false;
+  }
+
+  [[nodiscard]] bool pending() const { return pending_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
+  [[nodiscard]] sim::Duration current_delay() const { return delay_; }
+
+ private:
+  sim::Simulation& sim_;
+  RetryPolicy policy_;
+  sim::Duration delay_ = policy_.initial;
+  int attempts_ = 0;
+  bool pending_ = false;
+  EventId event_{};
+};
+
+}  // namespace moon::common

@@ -1,5 +1,8 @@
 #include "dfs/datanode.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace moon::dfs {
 
 DataNode::DataNode(sim::Simulation& sim, sim::FlowNetwork& net, cluster::Node& host,
@@ -20,13 +23,15 @@ void DataNode::start() {
 void DataNode::store_block(BlockId block, Bytes size) {
   if (blocks_.insert(block).second) stored_bytes_ += size;
   corrupted_.erase(block);  // fresh bytes replace any corrupted replica
-  namenode_.commit_replica(block, host_.id());
+  // With the NameNode down, the bytes still land but the commit is lost
+  // soft state — the post-recovery block report reconciles it.
+  if (namenode_.available()) namenode_.commit_replica(block, host_.id());
 }
 
 void DataNode::drop_block(BlockId block, Bytes size) {
   if (blocks_.erase(block) > 0) stored_bytes_ -= size;
   corrupted_.erase(block);
-  namenode_.drop_replica(block, host_.id());
+  if (namenode_.available()) namenode_.drop_replica(block, host_.id());
 }
 
 void DataNode::mark_corrupted(BlockId block) {
@@ -36,7 +41,24 @@ void DataNode::mark_corrupted(BlockId block) {
 void DataNode::beat() {
   // A suspended host makes no progress of any kind — including heartbeats.
   if (!host_.available()) return;
-  // Report bandwidth consumed since the previous (delivered) heartbeat:
+  // A crashed NameNode drops the beat on the floor, deterministically; the
+  // liveness picture is rebuilt by block reports at recovery.
+  if (!namenode_.available()) {
+    ++namenode_.stats_mutable().heartbeats_skipped;
+    return;
+  }
+  if (registered_epoch_ != namenode_.epoch()) {
+    // The master restarted since we last registered: this beat is promoted
+    // to a full re-registration (nodes that missed the recovery storm —
+    // they were unavailable — catch up here).
+    send_block_report();
+    return;
+  }
+  namenode_.heartbeat(host_.id(), current_bandwidth());
+}
+
+double DataNode::current_bandwidth() {
+  // Bandwidth consumed since the previous (delivered) heartbeat:
   // bytes through NIC-in + NIC-out + disk over the elapsed interval.
   const double transferred = net_.transferred_through(host_.nic_in()) +
                              net_.transferred_through(host_.nic_out()) +
@@ -48,7 +70,15 @@ void DataNode::beat() {
   }
   last_reported_transferred_ = transferred;
   last_beat_at_ = sim_.now();
-  namenode_.heartbeat(host_.id(), bandwidth);
+  return bandwidth;
+}
+
+void DataNode::send_block_report() {
+  if (!namenode_.available()) return;
+  std::vector<BlockId> report(blocks_.begin(), blocks_.end());
+  std::sort(report.begin(), report.end());
+  namenode_.handle_block_report(host_.id(), report, current_bandwidth());
+  registered_epoch_ = namenode_.epoch();
 }
 
 }  // namespace moon::dfs

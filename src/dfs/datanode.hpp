@@ -51,8 +51,18 @@ class DataNode {
   /// Begins heartbeating (first beat after one interval).
   void start();
 
+  /// Re-registration after a NameNode recovery: sends the full sorted list
+  /// of physically stored blocks (the NameNode rebuilds its location soft
+  /// state from these). Called by the recovery storm for available nodes
+  /// and from beat() when this node notices the epoch moved under it.
+  void send_block_report();
+
+  /// Epoch this node last registered under (tests/recovery sweep).
+  [[nodiscard]] int registered_epoch() const { return registered_epoch_; }
+
  private:
   void beat();
+  [[nodiscard]] double current_bandwidth();
 
   sim::Simulation& sim_;
   sim::FlowNetwork& net_;
@@ -63,6 +73,7 @@ class DataNode {
   Bytes stored_bytes_ = 0;
   double last_reported_transferred_ = 0.0;
   sim::Time last_beat_at_ = 0;
+  int registered_epoch_ = 0;  ///< NameNode epoch this node registered under
   sim::PeriodicTask heartbeat_;
 };
 

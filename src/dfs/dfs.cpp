@@ -41,6 +41,8 @@ struct Dfs::WriteOp final : Dfs::Op {
   NodeId writer_;
   std::vector<BlockId> blocks_;  // pre-allocated; written sequentially
   std::size_t current_ = 0;
+  Bytes pending_alloc_ = 0;  ///< bytes awaiting block allocation (NN was down)
+  bool parked_ = false;      ///< waiting out a NameNode outage
   /// In-flight replica transfers for the current block, keyed by FlowId so
   /// completion removal is O(log n) instead of an O(n) erase sweep. FlowIds
   /// are issued in start order, so iteration reproduces the launch order the
@@ -50,7 +52,41 @@ struct Dfs::WriteOp final : Dfs::Op {
   int committed_ = 0;  // replicas landed for the current block
   int retries_ = 0;
 
-  void begin() override { start_block(); }
+  void begin() override {
+    if (!ensure_blocks()) return;
+    start_block();
+  }
+
+  /// Allocates the file's blocks if write_file deferred it (NameNode down at
+  /// issue time). Returns whether blocks exist and the write may proceed.
+  bool ensure_blocks() {
+    if (pending_alloc_ == 0) return true;
+    if (!dfs_.namenode_.available()) {
+      park();
+      return false;
+    }
+    if (!dfs_.namenode_.file_exists(file_)) {
+      // Deleted while parked (the owning attempt was killed); nothing to do.
+      finish(false);
+      return false;
+    }
+    Bytes remaining = pending_alloc_;
+    pending_alloc_ = 0;
+    const Bytes block_size = dfs_.config().block_size;
+    while (remaining > 0) {
+      const Bytes this_block = std::min(remaining, block_size);
+      remaining -= this_block;
+      blocks_.push_back(dfs_.namenode_.add_block(file_, this_block));
+    }
+    return true;
+  }
+
+  void park() {
+    if (!parked_) {
+      parked_ = true;
+      ++dfs_.namenode_.stats_mutable().ops_parked;
+    }
+  }
 
   void start_block() {
     if (current_ >= blocks_.size()) {
@@ -62,6 +98,12 @@ struct Dfs::WriteOp final : Dfs::Op {
   }
 
   void pick_and_launch() {
+    if (!dfs_.namenode_.available()) {
+      // Target selection needs the master; park until recovery re-kicks us.
+      park();
+      return;
+    }
+    parked_ = false;
     const BlockId block = blocks_[current_];
     auto targets = dfs_.namenode_.pick_write_targets(file_, writer_, dfs_.rng_);
     if (targets.nodes.empty()) {
@@ -104,8 +146,10 @@ struct Dfs::WriteOp final : Dfs::Op {
     ++committed_;
     if (inflight_.empty()) {
       // Block closed. Below-factor blocks go to the replication queue (the
-      // HDFS "pipeline finished short" path).
-      if (dfs_.namenode_.block_exists(block) &&
+      // HDFS "pipeline finished short" path). With the master down the
+      // check is meaningless (its replica map was wiped); the post-recovery
+      // under-factor sweep covers those blocks.
+      if (dfs_.namenode_.available() && dfs_.namenode_.block_exists(block) &&
           !dfs_.namenode_.block_meets_factor(block)) {
         dfs_.namenode_.enqueue_replication(block);
       }
@@ -116,6 +160,21 @@ struct Dfs::WriteOp final : Dfs::Op {
 
   void probe() override {
     if (!dfs_.cluster_.node(writer_).available()) return;  // writer suspended
+    if (!dfs_.namenode_.available()) {
+      // Master down: let in-flight transfers stream (data plane), but do not
+      // re-pick targets, burn retries or touch the replication queue.
+      if (parked_ || inflight_.empty() || pending_alloc_ > 0) {
+        ++dfs_.namenode_.stats_mutable().master_retries;
+      }
+      return;
+    }
+    if (parked_ || pending_alloc_ > 0) {
+      // Parked during an outage; the recovery re-kick (or this probe) resumes.
+      parked_ = false;
+      if (!ensure_blocks()) return;
+      if (inflight_.empty()) start_block();
+      return;
+    }
     if (current_ >= blocks_.size()) return;
     auto& net = dfs_.cluster_.network();
     // Drop transfers that are stalled on an unavailable target.
@@ -182,10 +241,22 @@ struct Dfs::ReadOp final : Dfs::Op {
   NodeId source_ = NodeId::invalid();
   std::vector<NodeId> tried_;
   EventId round_wait_ = EventId::invalid();
+  bool parked_ = false;  ///< waiting out a NameNode outage
 
   void begin() override { attempt(); }
 
   void attempt() {
+    if (!dfs_.namenode_.available()) {
+      // Replica lookup needs the master. Park — the crash wiped the location
+      // map, so a sweep now would just burn read rounds against an empty
+      // replica set. Recovery (or the stall probe) re-attempts.
+      if (!parked_) {
+        parked_ = true;
+        ++dfs_.namenode_.stats_mutable().ops_parked;
+      }
+      return;
+    }
+    parked_ = false;
     if (!dfs_.namenode_.block_exists(block_)) {
       // The file was deleted while we were reading (e.g. a map's output was
       // discarded because the map is being re-executed).
@@ -241,7 +312,8 @@ struct Dfs::ReadOp final : Dfs::Op {
         ++dfs_.namenode_.stats_mutable().corruptions_detected;
         dfs_.datanode(source_).drop_block(block_,
                                           dfs_.namenode_.block(block_).size);
-        if (!dfs_.namenode_.block_meets_factor(block_)) {
+        if (dfs_.namenode_.available() &&
+            !dfs_.namenode_.block_meets_factor(block_)) {
           dfs_.namenode_.enqueue_replication(block_);
         }
         tried_.push_back(source_);
@@ -253,10 +325,25 @@ struct Dfs::ReadOp final : Dfs::Op {
   }
 
   void probe() override {
+    if (parked_) {
+      // Parked during a master outage; re-attempt once it is back.
+      if (!dfs_.namenode_.available()) {
+        ++dfs_.namenode_.stats_mutable().master_retries;
+        return;
+      }
+      attempt();
+      return;
+    }
     if (!flow_.valid()) return;
     if (!dfs_.cluster_.node(reader_).available()) return;  // reader suspended
     auto& net = dfs_.cluster_.network();
     if (net.rate(flow_) > 0.0) return;
+    if (!dfs_.namenode_.available()) {
+      // Stalled while the master is down: keep waiting. Re-picking a source
+      // needs the (wiped) replica map; recovery restores it first.
+      ++dfs_.namenode_.stats_mutable().master_retries;
+      return;
+    }
     // Stalled: abandon this replica and try the next one.
     net.abort_flow(flow_);
     flow_ = FlowId::invalid();
@@ -314,6 +401,32 @@ void Dfs::start() {
   for (auto& dn : datanodes_) dn->start();
   probe_task_.start();
   replication_task_.start();
+}
+
+void Dfs::crash_namenode() { namenode_.crash(); }
+
+void Dfs::recover_namenode() {
+  if (namenode_.available()) return;
+  namenode_.begin_recovery();
+  // Re-registration storm: every available DataNode reports its physically
+  // stored blocks, in NodeId order (datanodes_ is indexed by node id).
+  for (auto& dn : datanodes_) {
+    if (dn->host().available()) dn->send_block_report();
+  }
+  // Drain deferred deletes and sweep every block for missing replicas.
+  namenode_.finish_recovery();
+  // Re-kick parked client ops in issue order; probe() doubles as the resume
+  // hook (parked writes allocate + re-pick, parked reads re-attempt).
+  std::vector<OpId> ids;
+  ids.reserve(ops_.size());
+  for (const auto& [id, op] : ops_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (OpId id : ids) {
+    auto it = ops_.find(id);
+    if (it != ops_.end()) it->second->probe();
+  }
+  // Refill the repair pipeline from the post-recovery sweep's queue.
+  start_repair_streams();
 }
 
 DataNode& Dfs::datanode(NodeId node) {
@@ -403,13 +516,18 @@ OpId Dfs::write_file(FileId file, NodeId writer, Bytes size, Done done) {
   const OpId id = next_op_++;
   auto op = std::make_unique<WriteOp>(*this, id, file, writer, std::move(done));
   // Allocate all blocks up-front so metadata (sizes) exists even while data
-  // is in flight.
-  Bytes remaining = std::max<Bytes>(size, 1);
-  const Bytes block_size = config().block_size;
-  while (remaining > 0) {
-    const Bytes this_block = std::min(remaining, block_size);
-    remaining -= this_block;
-    op->blocks_.push_back(namenode_.add_block(file, this_block));
+  // is in flight. With the NameNode down the allocation (a metadata op) is
+  // deferred: the op parks holding the byte count and allocates on recovery.
+  if (namenode_.available()) {
+    Bytes remaining = std::max<Bytes>(size, 1);
+    const Bytes block_size = config().block_size;
+    while (remaining > 0) {
+      const Bytes this_block = std::min(remaining, block_size);
+      remaining -= this_block;
+      op->blocks_.push_back(namenode_.add_block(file, this_block));
+    }
+  } else {
+    op->pending_alloc_ = std::max<Bytes>(size, 1);
   }
   if (auto* tracer = sim_.tracer()) {
     op->span_ = tracer->begin(obs::kDfsPid, obs::node_track(writer),
@@ -535,6 +653,9 @@ void Dfs::probe_ops() {
 void Dfs::replication_scan() {
   sim::Profiler::Scope profile(sim_.profiler(),
                                sim::Profiler::Key::kReplicationScan);
+  // The repair pipeline is master-driven: freeze it during an outage (live
+  // streams keep draining; the post-recovery sweep re-queues what they owe).
+  if (!namenode_.available()) return;
   auto& net = cluster_.network();
   // 1. Recycle stalled repair streams.
   std::vector<FlowId> stalled;
@@ -562,6 +683,7 @@ void Dfs::replication_scan() {
 }
 
 void Dfs::start_repair_streams() {
+  if (!namenode_.available()) return;
   auto& net = cluster_.network();
   std::vector<BlockId> deferred;
   while (repairs_.size() <
@@ -593,7 +715,7 @@ void Dfs::start_repair_streams() {
           if (namenode_.block_exists(block)) {
             land_replica(block, target, size);
             namenode_.stats_mutable().replication_bytes += size;
-            if (!namenode_.block_meets_factor(block)) {
+            if (namenode_.available() && !namenode_.block_meets_factor(block)) {
               namenode_.enqueue_replication(block);
             }
           }

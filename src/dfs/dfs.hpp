@@ -48,6 +48,19 @@ class Dfs {
   /// client stall probe.
   void start();
 
+  // ---- NameNode crash-recovery (DESIGN.md §14) ---------------------------
+
+  /// Crashes the NameNode (fault injector entry point). In-flight data
+  /// transfers keep streaming — the data plane is not the control plane —
+  /// but everything that needs master metadata parks until recovery.
+  void crash_namenode();
+
+  /// Full recovery sequence: journal replay + diff, re-registration storm
+  /// (available DataNodes send block reports in NodeId order), deferred
+  /// deletes + under-factor sweep, then parked client ops are re-kicked in
+  /// issue order and the repair pipeline refilled.
+  void recover_namenode();
+
   [[nodiscard]] NameNode& namenode() { return namenode_; }
   [[nodiscard]] const NameNode& namenode() const { return namenode_; }
   [[nodiscard]] DataNode& datanode(NodeId node);

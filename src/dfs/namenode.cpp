@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "recovery/master_journal.hpp"
 
 namespace moon::dfs {
 
@@ -25,6 +26,126 @@ void NameNode::start() {
   started_ = true;
   liveness_task_.start();
   estimate_task_.start();
+}
+
+// ---- crash-recovery (DESIGN.md §14) ----------------------------------------
+
+void NameNode::crash() {
+  if (!up_) return;
+  up_ = false;
+  // Replica locations are soft state: wipe them in BlockId order so the
+  // removal events the scheduler's locality indices hang off fire in a
+  // reproducible sequence.
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, meta] : blocks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (BlockId b : ids) {
+    auto& meta = blocks_.at(b);
+    for (NodeId n : meta.replicas) notify_replica(b, n, /*added=*/false);
+    meta.replicas.clear();
+  }
+  for (auto& [node, bucket] : node_blocks_) bucket.clear();
+  live_dedicated_.clear();
+  live_volatile_.clear();
+  // The liveness view is forgotten wholesale. No state listeners fire: the
+  // nodes did not change, the master's knowledge of them did.
+  for (auto& [node, info] : datanodes_) info.state = DataNodeState::kDead;
+  replication_queue_.clear();
+  while (!reliable_queue_.empty()) reliable_queue_.pop();
+  queued_.clear();
+  estimate_p_ = 0.0;
+  estimate_accum_ = 0.0;
+  estimate_samples_ = 0;
+  if (log::enabled(log::Level::kWarn)) {
+    log::warn("dfs", "namenode crashed", {{"epoch", std::to_string(epoch_)}});
+  }
+}
+
+void NameNode::begin_recovery() {
+  if (up_) return;
+  ++epoch_;
+  up_ = true;
+  if (journal_ != nullptr) journal_->add_divergences(diff_against_journal());
+  if (log::enabled(log::Level::kInfo)) {
+    log::info("dfs", "namenode recovering", {{"epoch", std::to_string(epoch_)}});
+  }
+}
+
+std::int64_t NameNode::diff_against_journal() {
+  // Replay the journal into an image and diff it against the live namespace
+  // (the clients' cached view). Any mismatch means a real restart-from-
+  // journal would have lost or invented durable state.
+  const recovery::NameNodeImage image = journal_->replay();
+  std::int64_t diverged = 0;
+  for (const auto& [id, fi] : image) {
+    auto it = files_.find(id);
+    if (it == files_.end()) {
+      ++diverged;
+      continue;
+    }
+    const FileMeta& live = it->second;
+    if (live.kind != fi.kind || live.complete != fi.complete ||
+        !(live.factor == fi.factor) ||
+        live.blocks.size() != fi.blocks.size()) {
+      ++diverged;
+      continue;
+    }
+    for (std::size_t i = 0; i < fi.blocks.size(); ++i) {
+      const auto& [bid, bytes] = fi.blocks[i];
+      auto bit = blocks_.find(bid);
+      if (live.blocks[i] != bid || bit == blocks_.end() ||
+          bit->second.size != bytes) {
+        ++diverged;
+        break;
+      }
+    }
+  }
+  for (const auto& [id, meta] : files_) {
+    if (!image.contains(id)) ++diverged;
+  }
+  return diverged;
+}
+
+void NameNode::handle_block_report(NodeId node,
+                                   const std::vector<BlockId>& report,
+                                   double reported_bandwidth) {
+  if (!up_) return;
+  auto it = datanodes_.find(node);
+  if (it == datanodes_.end()) {
+    register_datanode(node);
+    it = datanodes_.find(node);
+  }
+  it->second.last_heartbeat = sim_.now();
+  if (it->second.dedicated && config_.throttling_enabled) {
+    it->second.throttle.update(reported_bandwidth);
+  }
+  if (it->second.state != DataNodeState::kLive) {
+    set_state(node, DataNodeState::kLive);
+  }
+  for (BlockId b : report) {
+    // Stale blocks of meanwhile-deleted files are simply not re-admitted;
+    // the DataNode keeps the bytes (same contract as normal deletes).
+    if (blocks_.contains(b)) commit_replica(b, node);
+  }
+  ++stats_.block_reports;
+}
+
+void NameNode::finish_recovery() {
+  // Deferred deletes first, so their blocks are gone before the
+  // under-factor sweep and cannot be repaired back into existence.
+  std::vector<FileId> removals;
+  removals.swap(deferred_removals_);
+  for (FileId f : removals) remove_file(f);
+  // Every block still short of its factor after the re-registration storm
+  // re-enters the normal repair queue, in BlockId order.
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, meta] : blocks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (BlockId b : ids) {
+    if (!block_meets_factor(b)) enqueue_replication(b);
+  }
 }
 
 void NameNode::register_datanode(NodeId node) {
@@ -48,6 +169,7 @@ void NameNode::update_live_partition(NodeId node) {
 }
 
 void NameNode::heartbeat(NodeId node, double reported_bandwidth) {
+  if (!up_) return;  // lost on the wire; DataNodes gate on available() anyway
   auto it = datanodes_.find(node);
   if (it == datanodes_.end()) throw std::logic_error("NameNode: unregistered datanode");
   it->second.last_heartbeat = sim_.now();
@@ -83,6 +205,7 @@ bool NameNode::all_dedicated_saturated() const {
 }
 
 void NameNode::liveness_scan() {
+  if (!up_) return;  // a crashed master scans nothing
   const sim::Time now = sim_.now();
   // datanodes_ is NodeId-ordered: expiring nodes die in id order, so the
   // replication-queue enqueue sequence their deaths trigger is reproducible
@@ -100,6 +223,7 @@ void NameNode::liveness_scan() {
 }
 
 void NameNode::estimate_scan() {
+  if (!up_) return;
   const std::size_t volatile_total = volatile_registered_;
   const std::size_t volatile_down = volatile_total - live_volatile_.size();
   if (volatile_total == 0) return;
@@ -174,6 +298,9 @@ FileId NameNode::create_file(std::string name, FileKind kind,
   meta.name = std::move(name);
   meta.kind = kind;
   meta.factor = factor;
+  if (journal_ != nullptr) {
+    journal_->record_create_file(id, meta.name, kind, factor);
+  }
   files_.emplace(id, std::move(meta));
   return id;
 }
@@ -211,6 +338,7 @@ void NameNode::convert_to_reliable(FileId id) {
   if (config_.adaptive_replication && meta.factor.dedicated < 1) {
     meta.factor.dedicated = 1;
   }
+  if (journal_ != nullptr) journal_->record_convert_reliable(id, meta.factor);
   for (BlockId b : meta.blocks) {
     if (!block_meets_factor(b)) enqueue_replication(b);
   }
@@ -221,12 +349,21 @@ bool NameNode::try_complete_file(FileId id) {
   if (meta.complete) return true;
   if (!file_meets_factor(id)) return false;
   meta.complete = true;
+  if (journal_ != nullptr) journal_->record_complete_file(id);
   return true;
 }
 
 void NameNode::remove_file(FileId id) {
+  if (!up_) {
+    // Deletes against a crashed master park until recovery; the drain in
+    // finish_recovery() replays them in arrival order.
+    ++stats_.removals_deferred;
+    deferred_removals_.push_back(id);
+    return;
+  }
   auto it = files_.find(id);
   if (it == files_.end()) return;
+  if (journal_ != nullptr) journal_->record_remove_file(id);
   for (BlockId b : it->second.blocks) {
     auto bit = blocks_.find(b);
     if (bit != blocks_.end()) {
@@ -254,6 +391,7 @@ BlockId NameNode::add_block(FileId file_id, Bytes size) {
   blocks_.emplace(id, std::move(bm));
   meta.blocks.push_back(id);
   meta.size += size;
+  if (journal_ != nullptr) journal_->record_add_block(file_id, id, size);
   return id;
 }
 

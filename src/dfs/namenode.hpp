@@ -4,6 +4,7 @@
 // ops; the NameNode only decides.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -22,6 +23,10 @@
 #include "dfs/types.hpp"
 #include "simkit/periodic.hpp"
 #include "simkit/simulation.hpp"
+
+namespace moon::recovery {
+class NameNodeJournal;
+}
 
 namespace moon::dfs {
 
@@ -49,6 +54,47 @@ class NameNode {
 
   /// Starts periodic liveness scanning / estimation. Idempotent.
   void start();
+
+  // ---- crash-recovery (DESIGN.md §14) ---------------------------------
+
+  /// False while the master is down: mutating calls must not be made (the
+  /// Dfs parks client ops; DataNodes buffer their heartbeats). Metadata
+  /// *reads* stay legal — they model the client-side cached view.
+  [[nodiscard]] bool available() const { return up_; }
+
+  /// Registration epoch, bumped on every recovery. A DataNode whose
+  /// registered epoch is stale must re-register with a block report before
+  /// plain heartbeats are meaningful again.
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  /// Installs the recovery journal (null = journaling off, the
+  /// zero-perturbation default). Not owned.
+  void set_journal(recovery::NameNodeJournal* journal) { journal_ = journal; }
+  [[nodiscard]] recovery::NameNodeJournal* journal() { return journal_; }
+
+  /// Crashes the master. All soft state is lost: replica locations (wiped
+  /// in BlockId order, firing removal events so scheduler locality indices
+  /// stay consistent), the DataNode liveness view, the replication queue,
+  /// and the unavailability estimator. The journaled namespace
+  /// (files/blocks metadata) survives as the clients' cached view.
+  void crash();
+
+  /// Recovery phase 1: bump the registration epoch, replay the journal and
+  /// diff the image against the live namespace (mismatches are counted as
+  /// journal divergences — recovery would have lost state), come back up.
+  /// Block reports then rebuild replica locations.
+  void begin_recovery();
+
+  /// Re-registration: `node` reports every block it physically stores
+  /// (sorted). Restores its liveness and re-commits known replicas;
+  /// stale blocks of meanwhile-deleted files are ignored.
+  void handle_block_report(NodeId node, const std::vector<BlockId>& report,
+                           double reported_bandwidth);
+
+  /// Recovery phase 3 (after the re-registration storm): drain file
+  /// removals deferred during downtime, then re-queue every block still
+  /// short of its factor through the normal repair path.
+  void finish_recovery();
 
   // ---- namespace -----------------------------------------------------
 
@@ -182,6 +228,8 @@ class NameNode {
 
   void liveness_scan();
   void estimate_scan();
+  /// Journal-replay image vs live namespace mismatch count (recovery).
+  [[nodiscard]] std::int64_t diff_against_journal();
   void set_state(NodeId node, DataNodeState next);
   void on_node_dead(NodeId node);
   void on_node_hibernated(NodeId node);
@@ -241,6 +289,14 @@ class NameNode {
   sim::PeriodicTask liveness_task_;
   sim::PeriodicTask estimate_task_;
   bool started_ = false;
+
+  // Crash-recovery state (DESIGN.md §14).
+  bool up_ = true;
+  int epoch_ = 0;
+  recovery::NameNodeJournal* journal_ = nullptr;  ///< null when disabled
+  /// remove_file calls that arrived while down, drained at recovery in
+  /// arrival order.
+  std::vector<FileId> deferred_removals_;
 
   DfsStats stats_;
 };

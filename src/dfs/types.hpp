@@ -92,6 +92,14 @@ struct DfsStats {
   std::int64_t adaptive_v_raises = 0;       ///< times v' exceeded configured v
   std::int64_t writes_rejected = 0;         ///< fault-injected disk-full stores
   std::int64_t corruptions_detected = 0;    ///< checksum-on-read evictions
+
+  // Master crash-recovery (DESIGN.md §14). All stay 0 when master_crash is
+  // off — the goldens assert it.
+  std::int64_t block_reports = 0;        ///< re-registration reports processed
+  std::int64_t removals_deferred = 0;    ///< deletes parked during NN downtime
+  std::int64_t ops_parked = 0;           ///< client ops parked on a down master
+  std::int64_t master_retries = 0;       ///< parked-op probe retries while down
+  std::int64_t heartbeats_skipped = 0;   ///< DataNode beats skipped, NN down
 };
 
 }  // namespace moon::dfs

@@ -77,12 +77,35 @@ Environment::Environment(const ScenarioConfig& config)
         sim, cluster, config.faults, config.seed);
     injector->arm(volatile_ids);
   }
-  if (config.faults.enabled && config.faults.audit_interval > 0) {
+  if (config.faults.enabled && config.faults.master_crash.enabled) {
+    // Journals install before any workload is staged: the namespace and job
+    // tables are still empty, so replay-from-empty reconstructs everything.
+    moon::recovery::JournalConfig journal_cfg;
+    journal_cfg.snapshot_interval = config.faults.master_crash.snapshot_interval;
+    nn_journal =
+        std::make_unique<moon::recovery::NameNodeJournal>(sim, journal_cfg);
+    nn_journal->start();
+    dfs->namenode().set_journal(nn_journal.get());
+    jt_journal =
+        std::make_unique<moon::recovery::JobTrackerJournal>(sim, journal_cfg);
+    jt_journal->start();
+    jobtracker->set_journal(jt_journal.get());
+  }
+  if (config.faults.enabled && (config.faults.audit_interval > 0 ||
+                                config.faults.master_crash.enabled)) {
     auditor = std::make_unique<moon::audit::Auditor>(&cluster, dfs.get(),
                                                      jobtracker.get());
-    audit_task = std::make_unique<moon::sim::PeriodicTask>(
-        sim, config.faults.audit_interval, [this] { auditor->run(); });
-    audit_task->start();
+    if (config.faults.audit_interval > 0) {
+      audit_task = std::make_unique<moon::sim::PeriodicTask>(
+          sim, config.faults.audit_interval, [this] { auditor->run(); });
+      audit_task->start();
+    }
+  }
+  if (injector) {
+    // No-op unless master_crash is on; needs the auditor for the mandatory
+    // post-recovery sweep, hence scheduled after the block above.
+    injector->schedule_master_crashes(dfs.get(), jobtracker.get(),
+                                      auditor.get());
   }
 
   if (config.obs.any()) {
@@ -180,6 +203,25 @@ Environment::Environment(const ScenarioConfig& config)
         auto* au = auditor.get();
         metrics->add_gauge("audit_violations", [au] {
           return static_cast<double>(au->violations_total());
+        });
+      }
+      if (nn_journal) {
+        // Master-failover gauges: downtime exposure and parked-work backlog.
+        metrics->add_gauge("masters_down", [fs, jt] {
+          return (fs->namenode().available() ? 0.0 : 1.0) +
+                 (jt->available() ? 0.0 : 1.0);
+        });
+        metrics->add_gauge("dfs_ops_parked", [fs] {
+          return static_cast<double>(fs->stats().ops_parked);
+        });
+        metrics->add_gauge("master_retries", [fs] {
+          return static_cast<double>(fs->stats().master_retries);
+        });
+        auto* nj = nn_journal.get();
+        auto* tj = jt_journal.get();
+        metrics->add_gauge("journal_records", [nj, tj] {
+          return static_cast<double>(nj->stats().records_appended +
+                                     tj->stats().records_appended);
         });
       }
     }

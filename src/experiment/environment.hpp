@@ -15,6 +15,7 @@
 #include "faults/fault_injector.hpp"
 #include "mapred/jobtracker.hpp"
 #include "obs/observability.hpp"
+#include "recovery/master_journal.hpp"
 #include "simkit/periodic.hpp"
 #include "simkit/simulation.hpp"
 
@@ -44,8 +45,15 @@ class Environment {
   /// Fault injector (null when config.faults is off). Armed on the volatile
   /// fleet before the run starts; its destructor clears sim's pointer.
   std::unique_ptr<moon::faults::FaultInjector> injector;
-  /// Invariant auditor + its periodic sweep (null unless
-  /// config.faults.audit_interval > 0). Read-only — never perturbs the run.
+  /// Master journals (null unless faults.master_crash is on): installed on
+  /// the NameNode/JobTracker before any workload is staged, so recovery
+  /// replay covers the full namespace/job history (DESIGN.md §14).
+  std::unique_ptr<moon::recovery::NameNodeJournal> nn_journal;
+  std::unique_ptr<moon::recovery::JobTrackerJournal> jt_journal;
+  /// Invariant auditor + its periodic sweep. Built when
+  /// config.faults.audit_interval > 0 *or* master_crash is on (every master
+  /// recovery ends in a mandatory sweep); the periodic task only for the
+  /// former. Read-only — never perturbs the run.
   std::unique_ptr<moon::audit::Auditor> auditor;
   std::unique_ptr<moon::sim::PeriodicTask> audit_task;
   /// Observability bundle (null when config.obs is all-off). shared_ptr:

@@ -73,10 +73,14 @@ bool apply_fault_spec(const std::string& spec, faults::FaultConfig& config) {
                         has_value ? value : config.stragglers.fraction);
     } else if (name == "audit") {
       config.audit_interval = sim::seconds(has_value ? value : 60.0);
+    } else if (name == "master_crash") {
+      config.master_crash.enabled = true;
+      if (has_value) config.master_crash.mean_downtime = sim::seconds(value);
     } else {
       std::cerr << "--faults: unknown token '" << token
                 << "' (expected all | outages | heartbeats[:P] | storage[:P]"
-                   " | stragglers[:F] | audit[:SECONDS])\n";
+                   " | stragglers[:F] | audit[:SECONDS]"
+                   " | master_crash[:DOWNTIME_SECONDS])\n";
       return false;
     }
     config.enabled = true;

@@ -1,6 +1,7 @@
 #include "experiment/multi_job.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <iostream>
 #include <optional>
 
@@ -63,12 +64,19 @@ MultiJobResult run_multi_job_scenario(const MultiJobConfig& config) {
   int finished_jobs = 0;
   int expected_jobs = 0;
   jobtracker.on_job_finished([&](mapred::Job&) { ++finished_jobs; });
+  // Arrivals hitting a crashed JobTracker retry on a fixed 5 s ticket, same
+  // as the single-job harness (DESIGN.md §14).
+  std::function<void(std::size_t)> try_submit = [&](std::size_t i) {
+    if (!jobtracker.available()) {
+      sim.schedule_after(5 * sim::kSecond, [&, i] { try_submit(i); });
+      return;
+    }
+    submitted[i] = jobtracker.submit(specs[i]);
+  };
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     if (arrivals[i].submit_at >= base.max_sim_time) continue;
     ++expected_jobs;
-    sim.schedule_at(arrivals[i].submit_at, [&, i] {
-      submitted[i] = jobtracker.submit(specs[i]);
-    });
+    sim.schedule_at(arrivals[i].submit_at, [&, i] { try_submit(i); });
   }
 
   while (finished_jobs < expected_jobs && sim.now() < base.max_sim_time) {

@@ -34,10 +34,17 @@ RunResult run_scenario(const ScenarioConfig& config) {
   bool done = false;
   mapred::Job* the_job = nullptr;
   jobtracker.on_job_finished([&](mapred::Job&) { done = true; });
-  sim.schedule_at(config.submit_at, [&] {
+  // A client hitting a crashed JobTracker retries on a fixed 5 s ticket
+  // (DESIGN.md §14); with master_crash off the gate never fires.
+  std::function<void()> try_submit = [&] {
+    if (!jobtracker.available()) {
+      sim.schedule_after(5 * sim::kSecond, [&] { try_submit(); });
+      return;
+    }
     const JobId id = jobtracker.submit(spec);
     the_job = &jobtracker.job(id);
-  });
+  };
+  sim.schedule_at(config.submit_at, [&] { try_submit(); });
 
   while (!done && sim.now() < config.max_sim_time) {
     if (!sim.step()) break;
@@ -63,6 +70,19 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.dfs_stats = dfs.stats();
   if (env.injector) result.fault_stats = env.injector->stats();
   result.quarantines = jobtracker.quarantines_total();
+  if (env.nn_journal) {
+    result.journal_records = env.nn_journal->stats().records_appended +
+                             env.jt_journal->stats().records_appended;
+    result.journal_snapshots = env.nn_journal->stats().snapshots_taken +
+                               env.jt_journal->stats().snapshots_taken;
+    result.journal_divergences = env.nn_journal->stats().divergences +
+                                 env.jt_journal->stats().divergences;
+  }
+  result.heartbeats_missed = jobtracker.heartbeats_missed();
+  result.reports_parked = jobtracker.reports_parked();
+  result.reports_replayed = jobtracker.reports_replayed();
+  result.reregistrations = jobtracker.reregistrations();
+  result.orphans_killed = jobtracker.orphans_killed();
   if (env.auditor) {
     env.auditor->run();  // one final sweep at the end-of-run state
     result.audit_passes = env.auditor->passes();

@@ -117,6 +117,16 @@ struct RunResult {
   std::int64_t quarantines = 0;      ///< flaky-node quarantine entries
   std::int64_t audit_passes = 0;     ///< periodic invariant sweeps run
   std::int64_t audit_violations = 0; ///< total violations across sweeps
+  // Master crash-recovery accounting (DESIGN.md §14; all zero unless
+  // faults.master_crash is on — the goldens assert exactly that).
+  std::int64_t journal_records = 0;      ///< NN+JT journal records appended
+  std::int64_t journal_snapshots = 0;    ///< snapshot folds taken
+  std::int64_t journal_divergences = 0;  ///< replay-vs-live diffs (must be 0)
+  std::int64_t heartbeats_missed = 0;    ///< TT beats dropped while JT down
+  std::int64_t reports_parked = 0;       ///< outcomes parked on attempts
+  std::int64_t reports_replayed = 0;     ///< parked reports delivered post-recovery
+  std::int64_t reregistrations = 0;      ///< trackers re-registered at recovery
+  std::int64_t orphans_killed = 0;       ///< attempts reconciled away post-recovery
   [[nodiscard]] int duplicated_tasks() const {
     return metrics.duplicated_tasks(num_maps, num_reduces);
   }

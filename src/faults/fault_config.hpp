@@ -1,6 +1,6 @@
 // Fault-injection configuration (see DESIGN.md §13).
 //
-// Four independently-switchable fault classes sit behind one master
+// Five independently-switchable fault classes sit behind one master
 // `enabled` flag. Everything defaults off: a default-constructed FaultConfig
 // is the zero-perturbation configuration — no FaultInjector is constructed,
 // no RNG stream is forked, and runs are bit-identical to a build that never
@@ -61,6 +61,26 @@ struct FaultConfig {
     double capacity_factor = 0.25;   ///< degraded nodes' capacity multiplier
   } stragglers;
 
+  /// (e) Master crashes: the NameNode and/or JobTracker become first-class
+  /// failure domains (DESIGN.md §14). Each selected master gets a seeded
+  /// crash schedule (exponential inter-crash gaps and downtimes, drawn
+  /// upfront from the master RNG stream); while down, callers park behind
+  /// retry/backoff shims and heartbeats are dropped deterministically.
+  /// Recovery replays the `src/recovery/` journal, triggers a
+  /// re-registration storm, and runs a mandatory auditor sweep.
+  struct MasterCrash {
+    bool enabled = false;
+    bool namenode = true;     ///< crash the NameNode
+    bool jobtracker = true;   ///< crash the JobTracker
+    sim::Duration mean_interval = 30 * sim::kMinute;  ///< exp. gap to next crash
+    sim::Duration min_interval = 30 * sim::kSecond;
+    sim::Duration mean_downtime = 2 * sim::kMinute;   ///< exp. outage length
+    sim::Duration min_downtime = 15 * sim::kSecond;
+    int max_crashes = 4;      ///< per master, per run
+    /// Journal snapshot cadence while the subsystem is on.
+    sim::Duration snapshot_interval = 60 * sim::kSecond;
+  } master_crash;
+
   /// Invariant-auditor cadence (0 disables). The auditor is read-only and
   /// rides along with the fault config because chaos runs are where it earns
   /// its keep, but it can be constructed standalone in tests.
@@ -68,7 +88,8 @@ struct FaultConfig {
 
   [[nodiscard]] bool any() const {
     return enabled && (outages.enabled || heartbeats.enabled ||
-                       storage.enabled || stragglers.enabled);
+                       storage.enabled || stragglers.enabled ||
+                       master_crash.enabled);
   }
 };
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <string>
 
+#include "audit/auditor.hpp"
 #include "common/log.hpp"
+#include "dfs/dfs.hpp"
+#include "mapred/jobtracker.hpp"
 #include "obs/trace.hpp"
 
 namespace moon::faults {
@@ -29,7 +32,8 @@ FaultInjector::FaultInjector(sim::Simulation& sim, cluster::Cluster& cluster,
       outage_rng_(Rng{seed}.fork("faults.outage")),
       heartbeat_rng_(Rng{seed}.fork("faults.heartbeat")),
       storage_rng_(Rng{seed}.fork("faults.storage")),
-      straggler_rng_(Rng{seed}.fork("faults.straggler")) {}
+      straggler_rng_(Rng{seed}.fork("faults.straggler")),
+      master_rng_(Rng{seed}.fork("faults.master")) {}
 
 FaultInjector::~FaultInjector() {
   if (sim_.faults() == this) sim_.set_faults(nullptr);
@@ -78,6 +82,81 @@ void FaultInjector::arm(const std::vector<NodeId>& volatile_ids) {
                  {"factor", std::to_string(config_.stragglers.capacity_factor)}});
     }
   }
+}
+
+void FaultInjector::schedule_master_crashes(dfs::Dfs* dfs,
+                                            mapred::JobTracker* jobtracker,
+                                            audit::Auditor* auditor) {
+  if (!config_.enabled || !config_.master_crash.enabled) return;
+  const auto& mc = config_.master_crash;
+  // Draw both masters' full schedules up-front, NameNode stream first, so the
+  // two never interleave draws: toggling `jobtracker` cannot move a single
+  // NameNode crash instant, and vice versa only through its own flag.
+  struct Plan {
+    bool namenode;
+    sim::Time crash;
+    sim::Duration downtime;
+  };
+  std::vector<Plan> plans;
+  for (const bool is_nn : {true, false}) {
+    if (is_nn && (!mc.namenode || dfs == nullptr)) continue;
+    if (!is_nn && (!mc.jobtracker || jobtracker == nullptr)) continue;
+    sim::Time t = sim_.now();
+    for (int i = 0; i < mc.max_crashes; ++i) {
+      t += exp_duration(master_rng_, mc.mean_interval, mc.min_interval);
+      const sim::Duration down =
+          exp_duration(master_rng_, mc.mean_downtime, mc.min_downtime);
+      plans.push_back({is_nn, t, down});
+      t += down;
+    }
+  }
+  for (const Plan& p : plans) {
+    sim_.schedule_at(p.crash, [this, p, dfs, jobtracker] {
+      crash_master(p.namenode, dfs, jobtracker);
+    });
+    sim_.schedule_at(p.crash + p.downtime, [this, p, dfs, jobtracker, auditor] {
+      recover_master(p.namenode, dfs, jobtracker, auditor);
+    });
+  }
+}
+
+void FaultInjector::crash_master(bool namenode, dfs::Dfs* dfs,
+                                 mapred::JobTracker* jobtracker) {
+  const char* who = namenode ? "namenode" : "jobtracker";
+  master_crash_at_[namenode ? 0 : 1] = sim_.now();
+  if (namenode) {
+    ++stats_.namenode_crashes;
+    dfs->crash_namenode();
+  } else {
+    ++stats_.jobtracker_crashes;
+    jobtracker->crash();
+  }
+  if (auto* tracer = sim_.tracer()) {
+    master_span_[namenode ? 0 : 1] = tracer->begin(
+        namenode ? obs::kDfsPid : obs::kClusterPid, 0, obs::Cat::kFault,
+        std::string(who) + "_down", sim_.now());
+  }
+  log::warn("faults", "master crash", {{"master", who}});
+}
+
+void FaultInjector::recover_master(bool namenode, dfs::Dfs* dfs,
+                                   mapred::JobTracker* jobtracker,
+                                   audit::Auditor* auditor) {
+  if (namenode) {
+    dfs->recover_namenode();
+  } else {
+    jobtracker->recover();
+  }
+  ++stats_.master_recoveries;
+  stats_.master_downtime += sim_.now() - master_crash_at_[namenode ? 0 : 1];
+  if (auto* tracer = sim_.tracer()) {
+    tracer->end(master_span_[namenode ? 0 : 1], sim_.now());
+  }
+  log::info("faults", "master recovered",
+            {{"master", namenode ? "namenode" : "jobtracker"}});
+  // Mandatory post-recovery sweep: a rebuild that violates an invariant is a
+  // bug in the recovery path, not survivable background noise.
+  if (auditor != nullptr) auditor->run();
 }
 
 void FaultInjector::schedule_cycle(std::size_t group) {

@@ -22,7 +22,20 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_config.hpp"
+#include "obs/trace.hpp"
 #include "simkit/simulation.hpp"
+
+namespace moon::audit {
+class Auditor;
+}  // namespace moon::audit
+
+namespace moon::dfs {
+class Dfs;
+}  // namespace moon::dfs
+
+namespace moon::mapred {
+class JobTracker;
+}  // namespace moon::mapred
 
 namespace moon::faults {
 
@@ -35,10 +48,15 @@ struct FaultStats {
   std::int64_t writes_rejected = 0;
   std::int64_t corruptions_detected = 0;  ///< checksum-on-read hits
   std::int64_t stragglers_injected = 0;
+  std::int64_t namenode_crashes = 0;      ///< master_crash: NameNode downs
+  std::int64_t jobtracker_crashes = 0;    ///< master_crash: JobTracker downs
+  std::int64_t master_recoveries = 0;     ///< completed recovery sequences
+  sim::Duration master_downtime = 0;      ///< cumulative injected master outage
 
   [[nodiscard]] std::int64_t total_injected() const {
     return outages_injected + heartbeats_dropped + heartbeats_delayed +
-           replicas_corrupted + writes_rejected + stragglers_injected;
+           replicas_corrupted + writes_rejected + stragglers_injected +
+           namenode_crashes + jobtracker_crashes;
   }
 };
 
@@ -57,6 +75,15 @@ class FaultInjector {
   /// labs, schedules the first power cycles, and applies straggler
   /// degradation. Call once, before the run starts.
   void arm(const std::vector<NodeId>& volatile_ids);
+
+  /// Arms the master_crash fault class (DESIGN.md §14): draws the full
+  /// crash/recovery schedule for each enabled master up-front (NameNode
+  /// stream first, so the two masters' draws never interleave) and schedules
+  /// the crash → downtime → recover cycles. Every recovery ends with a
+  /// mandatory `auditor->run()` sweep when an auditor is supplied. Call after
+  /// arm(), once the masters exist; a disabled class schedules nothing.
+  void schedule_master_crashes(dfs::Dfs* dfs, mapred::JobTracker* jobtracker,
+                               audit::Auditor* auditor);
 
   // ---- synchronous consultation points ------------------------------------
 
@@ -96,6 +123,9 @@ class FaultInjector {
   void group_up(std::size_t group);
   void fault_instant(std::uint32_t pid, std::uint32_t track, const char* name,
                      NodeId node);
+  void crash_master(bool namenode, dfs::Dfs* dfs, mapred::JobTracker* jobtracker);
+  void recover_master(bool namenode, dfs::Dfs* dfs,
+                      mapred::JobTracker* jobtracker, audit::Auditor* auditor);
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -105,11 +135,15 @@ class FaultInjector {
   Rng heartbeat_rng_;
   Rng storage_rng_;
   Rng straggler_rng_;
+  Rng master_rng_;
 
   std::vector<std::vector<NodeId>> groups_;  ///< cycling groups only
   std::vector<NodeId> stragglers_;
   FaultStats stats_;
   bool armed_ = false;
+  /// Open downtime trace spans, one per master (index 0 = NameNode).
+  obs::Tracer::SpanId master_span_[2];
+  sim::Time master_crash_at_[2] = {0, 0};
 };
 
 }  // namespace moon::faults

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "mapred/jobtracker.hpp"
+#include "recovery/master_journal.hpp"
 
 namespace moon::mapred {
 
@@ -57,6 +58,13 @@ void Job::set_task_state(Task& t, TaskState next) {
   const TaskState prev = t.state;
   if (prev == next) return;
   bump_sched_epoch();
+  if (auto* journal = jobtracker_.journal()) {
+    if (next == TaskState::kCompleted) {
+      journal->record_task_completed(id_, t.id);
+    } else if (prev == TaskState::kCompleted) {
+      journal->record_task_reverted(id_, t.id);
+    }
+  }
   t.state = next;
   const int ti = type_index(t.type);
   switch (prev) {
@@ -749,6 +757,30 @@ void Job::handle_tracker_death(TaskTracker& tracker) {
   }
 }
 
+int Job::reconcile_after_recovery() {
+  // Orphaned attempts: the recovered state says their work is already done
+  // (the task completed via another copy, or the whole job finished). Normal
+  // operation kills these on the spot; a crash window can leave them
+  // running, so the post-recovery sweep catches up. AttemptId order (§2
+  // determinism contract).
+  int killed = 0;
+  std::vector<AttemptId> ids;
+  ids.reserve(attempts_.size());
+  for (const auto& [aid, a] : attempts_) {
+    if (!a->terminal()) ids.push_back(aid);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (AttemptId aid : ids) {
+    TaskAttempt* a = attempt(aid);
+    if (a == nullptr || a->terminal()) continue;
+    if (finished() || task(a->task()).state == TaskState::kCompleted) {
+      kill_attempt(*a);
+      ++killed;
+    }
+  }
+  return killed;
+}
+
 void Job::notify_reduces_of_map(TaskId map_task) {
   for (TaskId r : reduce_tasks_) {
     for (AttemptId a : tasks_.at(r).attempts) {
@@ -764,6 +796,9 @@ void Job::try_commit() {
   if (finished()) return;
   if (!all_maps_done() || !all_reduces_done()) return;
   auto& nn = jobtracker_.dfs().namenode();
+  // Committing converts and completes output files — metadata ops against
+  // the NameNode. The completion scan retries once it is back.
+  if (!nn.available()) return;
   if (!outputs_converted_) {
     // "Once all [Reduce tasks] are completed [output files] are then
     // converted to reliable files."
@@ -785,6 +820,9 @@ void Job::try_commit() {
   if (!all_complete) return;
   metrics_.completed = true;
   metrics_.finished_at = jobtracker_.simulation().now();
+  if (auto* journal = jobtracker_.journal()) {
+    journal->record_job_finished(id_, /*completed=*/true);
+  }
   if (auto* tracer = jobtracker_.simulation().tracer()) {
     tracer->end(span_, metrics_.finished_at, {{"outcome", "completed"}});
     span_ = {};
@@ -801,6 +839,9 @@ void Job::fail_job(JobFailureReason reason) {
   metrics_.failed = true;
   metrics_.failure_reason = reason;
   metrics_.finished_at = jobtracker_.simulation().now();
+  if (auto* journal = jobtracker_.journal()) {
+    journal->record_job_finished(id_, /*completed=*/false);
+  }
   if (auto* tracer = jobtracker_.simulation().tracer()) {
     tracer->end(span_, metrics_.finished_at,
                 {{"outcome", "failed"}, {"reason", to_string(reason)}});

@@ -148,6 +148,11 @@ class Job {
   /// maps that lived there (Hadoop rule; MOON consults the DFS first).
   void handle_tracker_death(TaskTracker& tracker);
 
+  /// Post-recovery orphan reconciliation (DESIGN.md §14): kills non-terminal
+  /// attempts whose task is already completed or whose job already finished.
+  /// Returns the number killed (0 outside crash-recovery runs).
+  int reconcile_after_recovery();
+
   // Called by TaskAttempt on self transitions.
   void attempt_succeeded(TaskAttempt& attempt);
   void attempt_failed(TaskAttempt& attempt);

@@ -1,10 +1,12 @@
 #include "mapred/jobtracker.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
+#include "recovery/master_journal.hpp"
 
 namespace moon::mapred {
 
@@ -92,6 +94,10 @@ void JobTracker::start() {
 JobId JobTracker::submit(JobSpec spec) {
   const JobId id = job_ids_.next();
   auto job = std::make_unique<Job>(*this, id, std::move(spec));
+  if (journal_ != nullptr) {
+    const JobSpec& s = job->spec();
+    journal_->record_submit(id, s.name, s.num_maps, s.num_reduces);
+  }
   job->submit();
   jobs_by_order_.push_back(job.get());
   jobs_.emplace(id, std::move(job));
@@ -121,6 +127,7 @@ void JobTracker::notify_job_finished(Job& job) {
 // ---- heartbeat handling ------------------------------------------------
 
 void JobTracker::heartbeat(TaskTracker& tracker) {
+  if (!up_) return;  // belt — TaskTracker::beat already checks available()
   auto it = tracker_info_.find(tracker.node_id());
   if (it == tracker_info_.end()) throw std::logic_error("JobTracker: unknown tracker");
   TrackerInfo& info = it->second;
@@ -255,7 +262,125 @@ void JobTracker::set_tracker_state(TrackerInfo& info, TrackerState next) {
   }
 }
 
+void JobTracker::crash() {
+  if (!up_) return;
+  up_ = false;
+  // The tracker table is soft state rebuilt from re-registration: the master
+  // forgets who is alive. The workers (and their running attempts) did not
+  // change — only the master's knowledge of them died — so the states are
+  // set directly, without the kDead transition's attempt-killing side
+  // effects. Quarantine backoffs are soft state too; lifetime counters stay.
+  for (auto& [node, info] : tracker_info_) {
+    info.state = TrackerState::kDead;
+    info.flaky_strikes = 0;
+    if (info.quarantined) {
+      info.quarantined = false;
+      --quarantined_count_;
+    }
+  }
+  live_map_slots_ = 0;
+  live_reduce_slots_ = 0;
+  log::warn("jobtracker", "master crashed",
+            {{"jobs", std::to_string(jobs_by_order_.size())}});
+}
+
+void JobTracker::recover() {
+  if (up_) return;
+  ++epoch_;
+  up_ = true;
+  // Journal replay + divergence audit: a correct journal reproduces the live
+  // job/task state exactly (the sim never lost the objects; real masters
+  // rebuild them from this replay, so the diff proves the journal could).
+  if (journal_ != nullptr) journal_->add_divergences(diff_against_journal());
+  // Re-registration storm: available trackers re-register with their
+  // running-attempt reports (the attempt objects are already on the tracker;
+  // re-registering restores the master's liveness view of them). NodeId
+  // order — tracker_info_ is an ordered map (§2 determinism contract).
+  for (auto& [node, info] : tracker_info_) {
+    if (!cluster_.node(node).available()) continue;
+    info.last_heartbeat = sim_.now();
+    set_tracker_state(info, TrackerState::kLive);
+    ++reregistrations_;
+  }
+  // Trackers that could not re-register are lost to the recovered master —
+  // it has no record of them, so unlike plain suspension (where the old
+  // master remembers and waits), their attempts go through the normal
+  // tracker-death path now (Hadoop JobTracker-restart semantics). The state
+  // is already kDead from crash(), so the death handling runs directly.
+  for (auto& [node, info] : tracker_info_) {
+    if (cluster_.node(node).available()) continue;
+    for (Job* job : jobs_by_order_) {
+      if (!job->finished()) job->handle_tracker_death(*info.tracker);
+    }
+  }
+  // Orphan reconciliation: kill attempts whose task (or whole job) the
+  // recovered state says is already done.
+  for (Job* job : jobs_by_order_) {
+    orphans_killed_ += job->reconcile_after_recovery();
+  }
+  // Deliver outcome reports that parked while the master was down. Each
+  // delivery can kill redundant attempts (mutating the per-tracker attempt
+  // lists), so the sweep restarts from the top after every delivery — the
+  // scan order is deterministic, and n is small.
+  for (;;) {
+    TaskAttempt* next = nullptr;
+    for (auto& [node, info] : tracker_info_) {
+      for (TaskAttempt* attempt : info.tracker->all_attempts()) {
+        if (attempt->has_parked_report()) {
+          next = attempt;
+          break;
+        }
+      }
+      if (next != nullptr) break;
+    }
+    if (next == nullptr) break;
+    next->deliver_parked_report();
+    ++reports_replayed_;
+  }
+  log::info("jobtracker", "master recovered",
+            {{"epoch", std::to_string(epoch_)},
+             {"reregistered", std::to_string(reregistrations_)}});
+}
+
+std::int64_t JobTracker::diff_against_journal() const {
+  const recovery::JobTrackerImage image = journal_->replay();
+  std::int64_t diverged = 0;
+  for (const Job* job : jobs_by_order_) {
+    auto it = image.find(job->id());
+    if (it == image.end()) {
+      ++diverged;  // submitted job missing from the journal
+      continue;
+    }
+    const recovery::JobImage& ji = it->second;
+    if (ji.finished != job->finished() ||
+        (ji.finished && ji.completed != job->metrics().completed)) {
+      ++diverged;
+    }
+    // Completed-task sets must match exactly: a live completed task missing
+    // from the journal is a lost completion; the reverse is a phantom.
+    std::set<TaskId> live;
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      for (TaskId t : job->tasks_of(type)) {
+        if (job->task(t).state == TaskState::kCompleted) live.insert(t);
+      }
+    }
+    for (TaskId t : live) {
+      if (!ji.completed_tasks.contains(t)) ++diverged;
+    }
+    for (TaskId t : ji.completed_tasks) {
+      if (!live.contains(t)) ++diverged;
+    }
+  }
+  diverged +=
+      static_cast<std::int64_t>(image.size()) -
+      static_cast<std::int64_t>(
+          std::count_if(jobs_by_order_.begin(), jobs_by_order_.end(),
+                        [&](const Job* j) { return image.contains(j->id()); }));
+  return diverged;
+}
+
 void JobTracker::liveness_scan() {
+  if (!up_) return;  // a crashed master scans nothing
   const sim::Time now = sim_.now();
   // tracker_info_ is NodeId-ordered: expiring trackers die in id order, so
   // the resulting re-pend/kill sequence is reproducible regardless of how
@@ -274,6 +399,7 @@ void JobTracker::liveness_scan() {
 }
 
 void JobTracker::completion_scan() {
+  if (!up_) return;
   for (Job* job : jobs_by_order_) {
     if (!job->finished()) job->try_commit();
   }

@@ -26,6 +26,10 @@
 #include "mapred/types.hpp"
 #include "simkit/periodic.hpp"
 
+namespace moon::recovery {
+class JobTrackerJournal;
+}  // namespace moon::recovery
+
 namespace moon::mapred {
 
 enum class TrackerState { kLive, kSuspended, kDead };
@@ -48,6 +52,36 @@ class JobTracker {
   JobId submit(JobSpec spec);
   [[nodiscard]] Job& job(JobId id);
   [[nodiscard]] const Job& job(JobId id) const;
+
+  // ---- crash-recovery (DESIGN.md §14) -------------------------------------
+  /// False while the master is crashed: heartbeats are dropped, scans are
+  /// frozen and attempt outcome reports park on their attempts.
+  [[nodiscard]] bool available() const { return up_; }
+  /// Bumped on every recovery; trackers re-register when it moves.
+  [[nodiscard]] int epoch() const { return epoch_; }
+  /// Installs the op journal (null = crash-recovery off, zero perturbation).
+  void set_journal(recovery::JobTrackerJournal* journal) { journal_ = journal; }
+  [[nodiscard]] recovery::JobTrackerJournal* journal() { return journal_; }
+  /// Fault-injector entry points: crash loses all soft state (tracker
+  /// liveness, quarantine backoffs); recover() replays the journal, diffs it
+  /// against live job state, re-registers available trackers, reconciles
+  /// orphaned attempts and delivers parked outcome reports.
+  void crash();
+  void recover();
+  /// Counters for obs/benches; all stay 0 when master_crash is off.
+  [[nodiscard]] std::int64_t heartbeats_missed() const {
+    return heartbeats_missed_;
+  }
+  [[nodiscard]] std::int64_t reports_parked() const { return reports_parked_; }
+  [[nodiscard]] std::int64_t reports_replayed() const {
+    return reports_replayed_;
+  }
+  [[nodiscard]] std::int64_t reregistrations() const { return reregistrations_; }
+  [[nodiscard]] std::int64_t orphans_killed() const { return orphans_killed_; }
+  /// TaskTracker-side bookkeeping hooks (master down).
+  void note_heartbeat_missed() { ++heartbeats_missed_; }
+  void note_report_parked() { ++reports_parked_; }
+  void note_report_replayed() { ++reports_replayed_; }
 
   /// Fires when a job completes or fails.
   void on_job_finished(std::function<void(Job&)> callback);
@@ -129,6 +163,9 @@ class JobTracker {
   void completion_scan();
   void assign_work(TaskTracker& tracker);
   void set_tracker_state(TrackerInfo& info, TrackerState next);
+  /// Journal-vs-live divergence count after replay (lost completed tasks,
+  /// lost jobs, phantom completions). 0 on every correct recovery.
+  [[nodiscard]] std::int64_t diff_against_journal() const;
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -163,6 +200,15 @@ class JobTracker {
   int quarantined_count_ = 0;
   std::int64_t quarantines_total_ = 0;
   std::uint64_t heartbeats_ = 0;
+  // Crash-recovery state (inert — and all zero — while master_crash is off).
+  bool up_ = true;
+  int epoch_ = 0;
+  recovery::JobTrackerJournal* journal_ = nullptr;
+  std::int64_t heartbeats_missed_ = 0;
+  std::int64_t reports_parked_ = 0;
+  std::int64_t reports_replayed_ = 0;
+  std::int64_t reregistrations_ = 0;
+  std::int64_t orphans_killed_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
   std::unique_ptr<JobSchedulingPolicy> job_policy_;
   checkpoint::CheckpointPolicy checkpoint_policy_;

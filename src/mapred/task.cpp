@@ -22,7 +22,12 @@ sim::Duration jittered(sim::Duration mean, double jitter, Rng& rng) {
 
 TaskAttempt::TaskAttempt(Job& job, AttemptId id, TaskId task, TaskTracker& tracker,
                          bool speculative)
-    : job_(job), id_(id), task_(task), tracker_(tracker), speculative_(speculative) {}
+    : job_(job),
+      id_(id),
+      task_(task),
+      tracker_(tracker),
+      speculative_(speculative),
+      master_retry_(job.jobtracker().simulation()) {}
 
 TaskAttempt::~TaskAttempt() { cleanup_io(); }
 
@@ -87,9 +92,7 @@ void TaskAttempt::map_compute_done() {
   job_.bump_sched_epoch();  // discrete progress step (0.95 plateau)
   phase_ = Phase::kWrite;
   note_phase("write");
-  my_output_ = job_.create_intermediate_file(task_, id_);
-  write_output(job_.spec().intermediate_per_map, job_.spec().intermediate_kind,
-               job_.spec().intermediate_factor, "intermediate");
+  start_output_write();
 }
 
 // ---- reduce pipeline -------------------------------------------------------
@@ -167,7 +170,14 @@ void TaskAttempt::fetch_done(TaskId map_task, bool ok) {
   if (ok) {
     fetched_.insert(map_task);
   } else {
-    job_.report_fetch_failure(map_task, *this);
+    if (job_.jobtracker().available()) {
+      job_.report_fetch_failure(map_task, *this);
+    } else {
+      // Master down: the report parks here (the worker-side retry machinery
+      // below runs regardless) and replays at recovery.
+      parked_fetch_failures_.push_back(map_task);
+      job_.jobtracker().note_report_parked();
+    }
     retry_wait_.insert(map_task);
     auto& sim = job_.jobtracker().simulation();
     retry_events_.push_back(sim.schedule_after(
@@ -263,6 +273,9 @@ void TaskAttempt::prime_resume(checkpoint::ReduceCheckpoint ckpt) {
 
 void TaskAttempt::maybe_checkpoint(bool forced) {
   if (terminal()) return;
+  // Checkpoint emits are DFS writes; with the NameNode down they are simply
+  // skipped (the next scan tick retries — no state to park).
+  if (!job_.jobtracker().dfs().namenode().available()) return;
   const Task& t = job_.task(task_);
   if (t.type != TaskType::kReduce) return;
   // Only phases with salvageable state; a writing attempt is nearly done.
@@ -323,11 +336,7 @@ void TaskAttempt::reduce_compute_done() {
   job_.bump_sched_epoch();  // discrete progress step (write plateau)
   phase_ = Phase::kWrite;
   note_phase("write");
-  my_output_ = job_.create_output_file(task_, id_);
-  // "Output data will first be stored as opportunistic files while the
-  // Reduce tasks are completing" (§IV-A).
-  write_output(job_.spec().output_per_reduce, dfs::FileKind::kOpportunistic,
-               job_.spec().output_factor, "output");
+  start_output_write();
 }
 
 // ---- shared ---------------------------------------------------------------
@@ -357,6 +366,31 @@ void TaskAttempt::begin_compute(sim::Duration duration) {
   compute_->start();
   if (credit > 0) compute_->credit(credit);
   if (!tracker_.host_available()) compute_->pause();
+}
+
+void TaskAttempt::start_output_write() {
+  if (terminal()) return;
+  auto& nn = job_.jobtracker().dfs().namenode();
+  if (!nn.available()) {
+    // Creating the output file is a metadata op against a dead master: park
+    // behind the backoff timer. The computed output waits on the worker.
+    ++nn.stats_mutable().master_retries;
+    master_retry_.retry([this] { start_output_write(); });
+    return;
+  }
+  master_retry_.reset();
+  const Task& t = job_.task(task_);
+  if (t.type == TaskType::kMap) {
+    my_output_ = job_.create_intermediate_file(task_, id_);
+    write_output(job_.spec().intermediate_per_map, job_.spec().intermediate_kind,
+                 job_.spec().intermediate_factor, "intermediate");
+  } else {
+    my_output_ = job_.create_output_file(task_, id_);
+    // "Output data will first be stored as opportunistic files while the
+    // Reduce tasks are completing" (§IV-A).
+    write_output(job_.spec().output_per_reduce, dfs::FileKind::kOpportunistic,
+                 job_.spec().output_factor, "output");
+  }
 }
 
 void TaskAttempt::write_output(Bytes size, dfs::FileKind /*kind*/,
@@ -467,6 +501,14 @@ void TaskAttempt::on_node_availability(bool up) {
 void TaskAttempt::succeed() {
   assert(!terminal());
   phase_ = Phase::kDone;
+  if (!job_.jobtracker().available()) {
+    // Master down: the attempt is locally done but cannot report. It stays
+    // kRunning (slot held, like a real tracker's) until recovery replays
+    // the parked outcome through the normal attempt_succeeded path.
+    parked_outcome_ = ParkedOutcome::kSucceeded;
+    job_.jobtracker().note_report_parked();
+    return;
+  }
   transition(AttemptState::kSucceeded);
   cleanup_io();
   job_.attempt_succeeded(*this);
@@ -474,13 +516,45 @@ void TaskAttempt::succeed() {
 
 void TaskAttempt::fail() {
   assert(!terminal());
+  if (!job_.jobtracker().available()) {
+    parked_outcome_ = ParkedOutcome::kFailed;
+    job_.jobtracker().note_report_parked();
+    return;
+  }
   transition(AttemptState::kFailed);
   cleanup_io();
   job_.attempt_failed(*this);
 }
 
+void TaskAttempt::deliver_parked_report() {
+  // Fetch failures first — they may revert maps, which the outcome's
+  // bookkeeping must observe — then the terminal outcome.
+  std::vector<TaskId> fetch_failures;
+  fetch_failures.swap(parked_fetch_failures_);
+  const ParkedOutcome outcome = parked_outcome_;
+  parked_outcome_ = ParkedOutcome::kNone;
+  for (TaskId m : fetch_failures) {
+    if (terminal()) return;
+    job_.report_fetch_failure(m, *this);
+  }
+  if (terminal() || outcome == ParkedOutcome::kNone) return;
+  if (outcome == ParkedOutcome::kSucceeded) {
+    transition(AttemptState::kSucceeded);
+    cleanup_io();
+    job_.attempt_succeeded(*this);
+  } else {
+    transition(AttemptState::kFailed);
+    cleanup_io();
+    job_.attempt_failed(*this);
+  }
+}
+
 void TaskAttempt::kill() {
   if (terminal()) return;
+  // A killed attempt owes nobody a report (orphan reconciliation relies on
+  // this: killing an orphan drops its parked outcome too).
+  parked_outcome_ = ParkedOutcome::kNone;
+  parked_fetch_failures_.clear();
   transition(AttemptState::kKilled);
   cleanup_io();
 }
@@ -496,6 +570,7 @@ void TaskAttempt::cleanup_io() {
   fetching_.clear();
   for (EventId e : retry_events_) sim.cancel(e);
   retry_events_.clear();
+  master_retry_.cancel();
   if (compute_) compute_->cancel();
 }
 

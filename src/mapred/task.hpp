@@ -20,6 +20,7 @@
 
 #include "checkpoint/types.hpp"
 #include "common/ids.hpp"
+#include "common/retry.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/types.hpp"
 #include "obs/trace.hpp"
@@ -120,6 +121,17 @@ class TaskAttempt {
   /// Progress score the restored checkpoint carried (0 if none).
   [[nodiscard]] double salvaged_progress() const { return salvaged_progress_; }
 
+  // ---- master crash-recovery (DESIGN.md §14) ------------------------------
+  /// True when an outcome (success/failure) or fetch-failure report is
+  /// waiting for the JobTracker to come back.
+  [[nodiscard]] bool has_parked_report() const {
+    return parked_outcome_ != ParkedOutcome::kNone ||
+           !parked_fetch_failures_.empty();
+  }
+  /// Delivers the parked reports through the normal Job paths (recovery
+  /// sweep). Fetch failures first, then the terminal outcome.
+  void deliver_parked_report();
+
   /// Maps whose partitions this (reduce) attempt has not yet fetched.
   [[nodiscard]] std::vector<TaskId> unfetched_maps() const;
   [[nodiscard]] std::size_t fetched_count() const { return fetched_.size(); }
@@ -147,6 +159,10 @@ class TaskAttempt {
   void apply_restored_checkpoint();
 
   void begin_compute(sim::Duration duration);
+  /// Creates this attempt's output file and starts the write. When the
+  /// NameNode is down the step parks behind the exponential-backoff retrier
+  /// (the computed output waits, spilled locally, like a real task's would).
+  void start_output_write();
   void write_output(Bytes size, dfs::FileKind kind, dfs::ReplicationFactor factor,
                     const char* label);
   void write_done(bool ok);
@@ -199,6 +215,12 @@ class TaskAttempt {
   std::vector<EventId> retry_events_;
   sim::Time shuffle_done_at_ = 0;
   obs::Tracer::SpanId span_;  ///< start→terminal span on the job's node track
+
+  // Master crash-recovery state (inert while master_crash is off).
+  enum class ParkedOutcome { kNone, kSucceeded, kFailed };
+  ParkedOutcome parked_outcome_ = ParkedOutcome::kNone;
+  std::vector<TaskId> parked_fetch_failures_;  ///< arrival order
+  common::Retrier master_retry_;  ///< NameNode-down output-write backoff
 };
 
 }  // namespace moon::mapred

@@ -78,6 +78,12 @@ void TaskTracker::beat() {
   // A suspended host is silent; the JobTracker infers suspension/death from
   // the heartbeat gap.
   if (!host_.available()) return;
+  // A crashed JobTracker drops the beat on the floor, deterministically; the
+  // re-registration storm (or the first beat after recovery) catches up.
+  if (!jobtracker_.available()) {
+    jobtracker_.note_heartbeat_missed();
+    return;
+  }
   if (auto* faults = sim_.faults()) {
     const auto fate = faults->heartbeat_fate(host_.id());
     if (fate.drop) return;  // lost on the wire; the gap detector takes over

@@ -1,0 +1,176 @@
+// Journaled master images for control-plane crash-recovery (DESIGN.md §14).
+//
+// Each master keeps a write-ahead record of its durable decisions — the
+// NameNode's file/block namespace mutations, the JobTracker's job/task
+// lifecycle transitions — in an in-memory journal modeled on the PR-1
+// checkpoint store: a periodic snapshot folds the op log into a base image
+// and truncates it, so replay cost is bounded by churn since the last
+// snapshot, not by run length. The journal is modeled as local-disk edit
+// traffic (byte-accounted, not driven through the DFS flow network: a real
+// master journals to its own disk, and charging it to the data plane would
+// perturb every transfer).
+//
+// On recovery the journal is replayed into an image and diffed against the
+// master's live durable state. The diff must be empty: a non-zero
+// `JournalStats::divergences` means recovery would have lost or invented
+// state — the failover bench and smoke gate on it.
+//
+// Journals are installed only when `faults.master_crash` is enabled; a null
+// journal pointer on the master is the zero-perturbation off switch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "dfs/types.hpp"
+#include "simkit/periodic.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::recovery {
+
+struct JournalConfig {
+  /// Fold the op log into the snapshot image this often.
+  sim::Duration snapshot_interval = 60 * sim::kSecond;
+};
+
+struct JournalStats {
+  std::int64_t records_appended = 0;
+  std::int64_t bytes_journaled = 0;  ///< modeled local edit-log bytes
+  std::int64_t snapshots_taken = 0;
+  std::int64_t replays = 0;
+  std::int64_t divergences = 0;  ///< replay-vs-live mismatches (must stay 0)
+};
+
+// ---- NameNode image --------------------------------------------------------
+
+struct FileImage {
+  std::string name;
+  dfs::FileKind kind = dfs::FileKind::kOpportunistic;
+  dfs::ReplicationFactor factor;
+  bool complete = false;
+  /// (block, size) in allocation order.
+  std::vector<std::pair<BlockId, Bytes>> blocks;
+};
+
+/// Durable namespace state only: block *locations* are soft state, rebuilt
+/// from DataNode block reports, never journaled (HDFS semantics).
+using NameNodeImage = std::map<FileId, FileImage>;
+
+class NameNodeJournal {
+ public:
+  explicit NameNodeJournal(sim::Simulation& sim, JournalConfig config = {});
+
+  /// Starts the periodic snapshot task.
+  void start();
+
+  void record_create_file(FileId file, const std::string& name,
+                          dfs::FileKind kind, dfs::ReplicationFactor factor);
+  void record_add_block(FileId file, BlockId block, Bytes size);
+  void record_convert_reliable(FileId file, dfs::ReplicationFactor factor);
+  void record_complete_file(FileId file);
+  void record_remove_file(FileId file);
+
+  /// Snapshot + op log folded into one image (the recovered namespace).
+  [[nodiscard]] NameNodeImage replay();
+
+  [[nodiscard]] const JournalStats& stats() const { return stats_; }
+  void add_divergences(std::int64_t n) { stats_.divergences += n; }
+  [[nodiscard]] std::size_t oplog_length() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    enum class Kind {
+      kCreateFile,
+      kAddBlock,
+      kConvertReliable,
+      kCompleteFile,
+      kRemoveFile,
+    };
+    Kind kind;
+    FileId file;
+    BlockId block;
+    Bytes size = 0;
+    std::string name;
+    dfs::FileKind file_kind = dfs::FileKind::kOpportunistic;
+    dfs::ReplicationFactor factor;
+  };
+
+  void append(Op op, std::int64_t bytes);
+  void take_snapshot();
+  static void apply(NameNodeImage& image, const Op& op);
+
+  sim::Simulation& sim_;
+  JournalConfig config_;
+  NameNodeImage snapshot_;
+  std::vector<Op> ops_;
+  JournalStats stats_;
+  sim::PeriodicTask snapshot_task_;
+};
+
+// ---- JobTracker image ------------------------------------------------------
+
+struct JobImage {
+  std::string name;
+  int num_maps = 0;
+  int num_reduces = 0;
+  bool finished = false;
+  bool completed = false;  ///< meaningful only when finished
+  std::set<TaskId> completed_tasks;
+};
+
+using JobTrackerImage = std::map<JobId, JobImage>;
+
+class JobTrackerJournal {
+ public:
+  explicit JobTrackerJournal(sim::Simulation& sim, JournalConfig config = {});
+
+  void start();
+
+  void record_submit(JobId job, const std::string& name, int num_maps,
+                     int num_reduces);
+  void record_task_completed(JobId job, TaskId task);
+  void record_task_reverted(JobId job, TaskId task);
+  void record_job_finished(JobId job, bool completed);
+
+  [[nodiscard]] JobTrackerImage replay();
+
+  [[nodiscard]] const JournalStats& stats() const { return stats_; }
+  void add_divergences(std::int64_t n) { stats_.divergences += n; }
+  [[nodiscard]] std::size_t oplog_length() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    enum class Kind {
+      kSubmit,
+      kTaskCompleted,
+      kTaskReverted,
+      kJobFinished,
+    };
+    Kind kind;
+    JobId job;
+    TaskId task;
+    std::string name;
+    int num_maps = 0;
+    int num_reduces = 0;
+    bool completed = false;
+  };
+
+  void append(Op op, std::int64_t bytes);
+  void take_snapshot();
+  static void apply(JobTrackerImage& image, const Op& op);
+
+  sim::Simulation& sim_;
+  JournalConfig config_;
+  JobTrackerImage snapshot_;
+  std::vector<Op> ops_;
+  JournalStats stats_;
+  sim::PeriodicTask snapshot_task_;
+};
+
+}  // namespace moon::recovery

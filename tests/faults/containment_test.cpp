@@ -98,6 +98,52 @@ TEST(Quarantine, StrikesQuarantineAndBackoffReadmits) {
   EXPECT_FALSE(jt.quarantined(node));
 }
 
+// A tracker that strikes out again immediately after readmission is not a
+// fresh offender: each quarantine entry doubles the backoff (up to the cap)
+// instead of restarting from the base — readmission wipes the *strikes*, not
+// the entry count the backoff derives from.
+TEST(Quarantine, ImmediateRestrikeAfterReadmissionDoublesBackoff) {
+  FixtureOptions opts;
+  opts.volatile_nodes = 3;
+  opts.sched = testing::moon_sched();
+  opts.sched.quarantine_threshold = 2;
+  opts.sched.quarantine_backoff = 120 * sim::kSecond;
+  opts.sched.quarantine_backoff_max = 480 * sim::kSecond;
+  MapRedHarness h(opts);
+  JobTracker& jt = h.jobtracker();
+
+  TaskTracker* flaky = jt.trackers()[0];
+  const NodeId node = flaky->node_id();
+  h.advance(10 * sim::kSecond);
+
+  // Round 1: 120 s backoff.
+  jt.note_attempt_failure(*flaky);
+  jt.note_attempt_failure(*flaky);
+  ASSERT_TRUE(jt.quarantined(node));
+  h.advance(130 * sim::kSecond);
+  ASSERT_FALSE(jt.quarantined(node));
+
+  // Round 2, immediately on readmission: 240 s, not a reset to 120 s.
+  jt.note_attempt_failure(*flaky);
+  jt.note_attempt_failure(*flaky);
+  ASSERT_TRUE(jt.quarantined(node));
+  h.advance(130 * sim::kSecond);
+  EXPECT_TRUE(jt.quarantined(node));  // a reset-to-120s would have readmitted
+  h.advance(120 * sim::kSecond);
+  ASSERT_FALSE(jt.quarantined(node));
+
+  // Round 3, again immediately: doubles once more to the 480 s cap.
+  jt.note_attempt_failure(*flaky);
+  jt.note_attempt_failure(*flaky);
+  ASSERT_TRUE(jt.quarantined(node));
+  EXPECT_EQ(jt.quarantines_total(), 3);
+  h.advance(250 * sim::kSecond);
+  EXPECT_TRUE(jt.quarantined(node));  // 240 s would have readmitted already
+  h.advance(240 * sim::kSecond);
+  EXPECT_FALSE(jt.quarantined(node));
+  EXPECT_EQ(jt.quarantined_count(), 0);
+}
+
 TEST(Quarantine, ThresholdZeroIsOff) {
   FixtureOptions opts;
   opts.sched = testing::moon_sched();  // quarantine_threshold defaults to 0

@@ -1,0 +1,106 @@
+// Master journals: replay must reconstruct exactly the durable state the
+// records describe, and snapshot folding must not change what replay sees —
+// only bound its cost.
+#include <gtest/gtest.h>
+
+#include "recovery/master_journal.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::recovery {
+namespace {
+
+TEST(NameNodeJournal, ReplayReconstructsTheNamespace) {
+  sim::Simulation sim(1);
+  NameNodeJournal journal(sim);
+
+  journal.record_create_file(FileId{1}, "job.input", dfs::FileKind::kReliable,
+                             {1, 3});
+  journal.record_add_block(FileId{1}, BlockId{10}, 64 * kKiB);
+  journal.record_add_block(FileId{1}, BlockId{11}, 32 * kKiB);
+  journal.record_complete_file(FileId{1});
+  journal.record_create_file(FileId{2}, "scratch",
+                             dfs::FileKind::kOpportunistic, {0, 1});
+  journal.record_remove_file(FileId{2});
+  journal.record_create_file(FileId{3}, "out", dfs::FileKind::kOpportunistic,
+                             {0, 1});
+  journal.record_convert_reliable(FileId{3}, {1, 3});
+
+  const NameNodeImage image = journal.replay();
+  ASSERT_EQ(image.size(), 2u);  // removed file stays removed
+
+  const FileImage& input = image.at(FileId{1});
+  EXPECT_EQ(input.name, "job.input");
+  EXPECT_EQ(input.kind, dfs::FileKind::kReliable);
+  EXPECT_TRUE(input.complete);
+  ASSERT_EQ(input.blocks.size(), 2u);
+  EXPECT_EQ(input.blocks[0].first, BlockId{10});
+  EXPECT_EQ(input.blocks[0].second, 64 * kKiB);
+  EXPECT_EQ(input.blocks[1].first, BlockId{11});
+
+  const FileImage& out = image.at(FileId{3});
+  EXPECT_EQ(out.kind, dfs::FileKind::kReliable);  // conversion applied
+  EXPECT_EQ(out.factor, (dfs::ReplicationFactor{1, 3}));
+  EXPECT_FALSE(out.complete);
+
+  EXPECT_EQ(journal.stats().records_appended, 8);
+  EXPECT_GT(journal.stats().bytes_journaled, 0);
+  EXPECT_EQ(journal.stats().replays, 1);
+  EXPECT_EQ(journal.stats().divergences, 0);
+}
+
+TEST(NameNodeJournal, SnapshotFoldingPreservesReplay) {
+  sim::Simulation sim(1);
+  JournalConfig config;
+  config.snapshot_interval = 10 * sim::kSecond;
+  NameNodeJournal journal(sim, config);
+  journal.start();
+
+  journal.record_create_file(FileId{1}, "a", dfs::FileKind::kReliable, {1, 2});
+  journal.record_add_block(FileId{1}, BlockId{7}, kKiB);
+  // Run past several snapshot ticks; the op log folds into the base image.
+  while (sim.now() < 35 * sim::kSecond && sim.step()) {
+  }
+  EXPECT_GE(journal.stats().snapshots_taken, 3);
+  EXPECT_EQ(journal.oplog_length(), 0u);
+
+  journal.record_complete_file(FileId{1});  // post-snapshot tail
+  const NameNodeImage image = journal.replay();
+  ASSERT_EQ(image.size(), 1u);
+  EXPECT_TRUE(image.at(FileId{1}).complete);
+  ASSERT_EQ(image.at(FileId{1}).blocks.size(), 1u);
+  EXPECT_EQ(image.at(FileId{1}).blocks[0].first, BlockId{7});
+}
+
+TEST(JobTrackerJournal, ReplayReconstructsJobState) {
+  sim::Simulation sim(1);
+  JobTrackerJournal journal(sim);
+
+  journal.record_submit(JobId{1}, "sort", 4, 2);
+  journal.record_task_completed(JobId{1}, TaskId{0});
+  journal.record_task_completed(JobId{1}, TaskId{1});
+  journal.record_task_reverted(JobId{1}, TaskId{1});  // map output lost
+  journal.record_submit(JobId{2}, "grep", 2, 1);
+  journal.record_task_completed(JobId{2}, TaskId{0});
+  journal.record_job_finished(JobId{2}, true);
+
+  const JobTrackerImage image = journal.replay();
+  ASSERT_EQ(image.size(), 2u);
+
+  const JobImage& sort = image.at(JobId{1});
+  EXPECT_EQ(sort.name, "sort");
+  EXPECT_EQ(sort.num_maps, 4);
+  EXPECT_EQ(sort.num_reduces, 2);
+  EXPECT_FALSE(sort.finished);
+  EXPECT_EQ(sort.completed_tasks, (std::set<TaskId>{TaskId{0}}));
+
+  const JobImage& grep = image.at(JobId{2});
+  EXPECT_TRUE(grep.finished);
+  EXPECT_TRUE(grep.completed);
+  EXPECT_EQ(grep.completed_tasks.size(), 1u);
+
+  EXPECT_EQ(journal.stats().records_appended, 7);
+  EXPECT_EQ(journal.stats().divergences, 0);
+}
+
+}  // namespace
+}  // namespace moon::recovery

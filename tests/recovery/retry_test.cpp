@@ -1,0 +1,91 @@
+// Retrier: deterministic exponential backoff for calls against a crashed
+// master. No RNG — the retry instants are a pure function of the policy —
+// and at most one timer is ever outstanding.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/retry.hpp"
+#include "simkit/simulation.hpp"
+
+namespace moon::common {
+namespace {
+
+TEST(Retrier, BacksOffExponentiallyToTheCap) {
+  sim::Simulation sim(1);
+  Retrier retrier(sim);  // 1s initial, x2, 60s cap
+  std::vector<sim::Time> fired;
+  std::function<void()> fn = [&] {
+    fired.push_back(sim.now());
+    retrier.retry(fn);
+  };
+  ASSERT_TRUE(retrier.retry(fn));
+  while (fired.size() < 9 && sim.step()) {
+  }
+  const sim::Duration expected[] = {1, 2, 4, 8, 16, 32, 60, 60, 60};
+  ASSERT_EQ(fired.size(), 9u);
+  sim::Time at = 0;
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    at += expected[i] * sim::kSecond;
+    EXPECT_EQ(fired[i], at) << "retry " << i;
+  }
+}
+
+TEST(Retrier, SecondRetryWhilePendingIsANoOp) {
+  sim::Simulation sim(1);
+  Retrier retrier(sim);
+  int calls = 0;
+  EXPECT_TRUE(retrier.retry([&] { ++calls; }));
+  EXPECT_FALSE(retrier.retry([&] { ++calls; }));  // earlier schedule wins
+  EXPECT_TRUE(retrier.pending());
+  while (sim.step()) {
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(retrier.pending());
+}
+
+TEST(Retrier, ResetRestoresInitialDelayAndCancelsPending) {
+  sim::Simulation sim(1);
+  Retrier retrier(sim);
+  int calls = 0;
+  retrier.retry([&] { ++calls; });
+  while (sim.step()) {
+  }
+  retrier.retry([&] { ++calls; });  // second round: 2s delay, still pending
+  EXPECT_EQ(retrier.current_delay(), 4 * sim::kSecond);
+  retrier.reset();
+  EXPECT_FALSE(retrier.pending());
+  EXPECT_EQ(retrier.current_delay(), 1 * sim::kSecond);
+  EXPECT_EQ(retrier.attempts(), 0);
+  while (sim.step()) {
+  }
+  EXPECT_EQ(calls, 1);  // the cancelled timer never fired
+}
+
+TEST(Retrier, MaxAttemptsExhausts) {
+  sim::Simulation sim(1);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  Retrier retrier(sim, policy);
+  int calls = 0;
+  std::function<void()> fn = [&] {
+    ++calls;
+    retrier.retry(fn);
+  };
+  EXPECT_TRUE(retrier.retry(fn));
+  while (sim.step()) {
+  }
+  EXPECT_EQ(calls, 2);
+  EXPECT_FALSE(retrier.retry(fn));  // budget spent, nothing scheduled
+}
+
+TEST(Retrier, UnusedRetrierSchedulesNothing) {
+  sim::Simulation sim(1);
+  Retrier retrier(sim);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace moon::common
