@@ -39,8 +39,15 @@ std::vector<Violation> Auditor::run() {
 void Auditor::check_dfs(std::vector<Violation>& out) {
   auto& nn = dfs_->namenode();
   // Forward: every NameNode replica entry is mirrored in the reverse index
-  // and physically present on the DataNode.
-  for (const auto& [id, meta] : nn.all_blocks()) {
+  // and physically present on the DataNode. Walk blocks in BlockId order so
+  // the violation report sequence never follows the map's hash order
+  // (§2 determinism contract; detlint cannot see this cross-file getter).
+  std::vector<BlockId> block_ids;
+  block_ids.reserve(nn.all_blocks().size());
+  for (const auto& [id, meta] : nn.all_blocks()) block_ids.push_back(id);
+  std::sort(block_ids.begin(), block_ids.end());
+  for (BlockId id : block_ids) {
+    const auto& meta = nn.all_blocks().at(id);
     std::unordered_set<NodeId> seen;
     for (NodeId n : meta.replicas) {
       if (!seen.insert(n).second) {

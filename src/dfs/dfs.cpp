@@ -6,7 +6,7 @@
 #include <ostream>
 
 #include "common/log.hpp"
-#include "faults/fault_injector.hpp"
+#include "simkit/fault_hooks.hpp"
 #include "obs/trace.hpp"
 
 namespace moon::dfs {
@@ -391,6 +391,7 @@ Dfs::Dfs(sim::Simulation& sim, cluster::Cluster& cluster, DfsConfig config,
 }
 
 Dfs::~Dfs() {
+  // detlint: allow(unordered-iter) -- destructor teardown after the run has ended; abort order cannot reach any simulated outcome
   for (auto& [id, op] : ops_) op->abort();
 }
 
@@ -419,7 +420,7 @@ void Dfs::recover_namenode() {
   // hook (parked writes allocate + re-pick, parked reads re-attempt).
   std::vector<OpId> ids;
   ids.reserve(ops_.size());
-  for (const auto& [id, op] : ops_) ids.push_back(id);
+  for (const auto& [id, op] : ops_) ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before any op is probed
   std::sort(ids.begin(), ids.end());
   for (OpId id : ids) {
     auto it = ops_.find(id);
@@ -610,7 +611,13 @@ void Dfs::debug_dump(std::ostream& os) const {
   auto& net = cluster_.network();
   os << "dfs: " << ops_.size() << " ops, " << repairs_.size() << " repairs, "
      << namenode_.replication_queue_depth() << " queued\n";
-  for (const auto& [id, op] : ops_) {
+  // Dump in OpId order so two same-seed runs print byte-identical dumps.
+  std::vector<OpId> dump_ids;
+  dump_ids.reserve(ops_.size());
+  for (const auto& [id, op] : ops_) dump_ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before printing
+  std::sort(dump_ids.begin(), dump_ids.end());
+  for (OpId id : dump_ids) {
+    const auto& op = ops_.at(id);
     if (const auto* r = dynamic_cast<const ReadOp*>(op.get())) {
       os << "  read op" << id << " block=" << r->block_ << " reader=" << r->reader_
          << (cluster_.node(r->reader_).available() ? "(up)" : "(down)")
@@ -642,7 +649,7 @@ void Dfs::probe_ops() {
   // walk must not follow the map's hash order (§2 determinism contract).
   std::vector<OpId> ids;
   ids.reserve(ops_.size());
-  for (const auto& [id, op] : ops_) ids.push_back(id);
+  for (const auto& [id, op] : ops_) ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before any op is probed
   std::sort(ids.begin(), ids.end());
   for (OpId id : ids) {
     auto it = ops_.find(id);
@@ -659,6 +666,7 @@ void Dfs::replication_scan() {
   auto& net = cluster_.network();
   // 1. Recycle stalled repair streams.
   std::vector<FlowId> stalled;
+  // detlint: allow(unordered-iter) -- read-only stall scan into a snapshot that is sorted below before any abort
   for (const auto& [flow, repair] : repairs_) {
     if (net.rate(flow) == 0.0) stalled.push_back(flow);
   }

@@ -38,13 +38,14 @@ void NameNode::crash() {
   // reproducible sequence.
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
-  for (const auto& [id, meta] : blocks_) ids.push_back(id);
+  for (const auto& [id, meta] : blocks_) ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before replica notifications fire
   std::sort(ids.begin(), ids.end());
   for (BlockId b : ids) {
     auto& meta = blocks_.at(b);
     for (NodeId n : meta.replicas) notify_replica(b, n, /*added=*/false);
     meta.replicas.clear();
   }
+  // detlint: allow(unordered-iter) -- clears every bucket unconditionally; no per-element effect escapes the loop
   for (auto& [node, bucket] : node_blocks_) bucket.clear();
   live_dedicated_.clear();
   live_volatile_.clear();
@@ -101,6 +102,7 @@ std::int64_t NameNode::diff_against_journal() {
       }
     }
   }
+  // detlint: allow(unordered-iter) -- pure integer accumulation; the count is order-independent
   for (const auto& [id, meta] : files_) {
     if (!image.contains(id)) ++diverged;
   }
@@ -141,7 +143,7 @@ void NameNode::finish_recovery() {
   // re-enters the normal repair queue, in BlockId order.
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
-  for (const auto& [id, meta] : blocks_) ids.push_back(id);
+  for (const auto& [id, meta] : blocks_) ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before the repair queue is refilled
   std::sort(ids.begin(), ids.end());
   for (BlockId b : ids) {
     if (!block_meets_factor(b)) enqueue_replication(b);
@@ -725,7 +727,7 @@ void NameNode::refresh_adaptive_requirements() {
   // (currently impossible) case of a callback mutating files_ mid-scan.
   std::vector<FileId> ids;
   ids.reserve(files_.size());
-  for (const auto& [id, meta] : files_) ids.push_back(id);
+  for (const auto& [id, meta] : files_) ids.push_back(id);  // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line before adaptive requirements change
   std::sort(ids.begin(), ids.end());
   for (FileId id : ids) {
     auto fit = files_.find(id);

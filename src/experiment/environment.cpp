@@ -102,10 +102,16 @@ Environment::Environment(const ScenarioConfig& config)
     }
   }
   if (injector) {
-    // No-op unless master_crash is on; needs the auditor for the mandatory
-    // post-recovery sweep, hence scheduled after the block above.
-    injector->schedule_master_crashes(dfs.get(), jobtracker.get(),
-                                      auditor.get());
+    // No-op unless master_crash is on; hands the injector the auditor's
+    // sweep as a callback (the faults layer sits below audit/ in the
+    // architecture DAG), hence scheduled after the block above. The Auditor
+    // outlives the injector on this Environment, so the captured pointer
+    // stays valid for every recovery event.
+    auto* audit_ptr = auditor.get();
+    injector->schedule_master_crashes(
+        dfs.get(), jobtracker.get(),
+        audit_ptr == nullptr ? std::function<void()>()
+                             : [audit_ptr] { audit_ptr->run(); });
   }
 
   if (config.obs.any()) {

@@ -1,9 +1,9 @@
 #include "faults/fault_injector.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <string>
 
-#include "audit/auditor.hpp"
 #include "common/log.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/jobtracker.hpp"
@@ -84,10 +84,11 @@ void FaultInjector::arm(const std::vector<NodeId>& volatile_ids) {
   }
 }
 
-void FaultInjector::schedule_master_crashes(dfs::Dfs* dfs,
-                                            mapred::JobTracker* jobtracker,
-                                            audit::Auditor* auditor) {
+void FaultInjector::schedule_master_crashes(
+    dfs::Dfs* dfs, mapred::JobTracker* jobtracker,
+    std::function<void()> post_recovery_audit) {
   if (!config_.enabled || !config_.master_crash.enabled) return;
+  post_recovery_audit_ = std::move(post_recovery_audit);
   const auto& mc = config_.master_crash;
   // Draw both masters' full schedules up-front, NameNode stream first, so the
   // two never interleave draws: toggling `jobtracker` cannot move a single
@@ -114,8 +115,8 @@ void FaultInjector::schedule_master_crashes(dfs::Dfs* dfs,
     sim_.schedule_at(p.crash, [this, p, dfs, jobtracker] {
       crash_master(p.namenode, dfs, jobtracker);
     });
-    sim_.schedule_at(p.crash + p.downtime, [this, p, dfs, jobtracker, auditor] {
-      recover_master(p.namenode, dfs, jobtracker, auditor);
+    sim_.schedule_at(p.crash + p.downtime, [this, p, dfs, jobtracker] {
+      recover_master(p.namenode, dfs, jobtracker);
     });
   }
 }
@@ -140,8 +141,7 @@ void FaultInjector::crash_master(bool namenode, dfs::Dfs* dfs,
 }
 
 void FaultInjector::recover_master(bool namenode, dfs::Dfs* dfs,
-                                   mapred::JobTracker* jobtracker,
-                                   audit::Auditor* auditor) {
+                                   mapred::JobTracker* jobtracker) {
   if (namenode) {
     dfs->recover_namenode();
   } else {
@@ -155,8 +155,9 @@ void FaultInjector::recover_master(bool namenode, dfs::Dfs* dfs,
   log::info("faults", "master recovered",
             {{"master", namenode ? "namenode" : "jobtracker"}});
   // Mandatory post-recovery sweep: a rebuild that violates an invariant is a
-  // bug in the recovery path, not survivable background noise.
-  if (auditor != nullptr) auditor->run();
+  // bug in the recovery path, not survivable background noise. The sweep is
+  // a callback so this layer never includes audit/ (detlint layering rule).
+  if (post_recovery_audit_) post_recovery_audit_();
 }
 
 void FaultInjector::schedule_cycle(std::size_t group) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -23,11 +24,8 @@
 #include "common/rng.hpp"
 #include "faults/fault_config.hpp"
 #include "obs/trace.hpp"
+#include "simkit/fault_hooks.hpp"
 #include "simkit/simulation.hpp"
-
-namespace moon::audit {
-class Auditor;
-}  // namespace moon::audit
 
 namespace moon::dfs {
 class Dfs;
@@ -60,7 +58,7 @@ struct FaultStats {
   }
 };
 
-class FaultInjector {
+class FaultInjector : public sim::FaultHooks {
  public:
   FaultInjector(sim::Simulation& sim, cluster::Cluster& cluster,
                 FaultConfig config, std::uint64_t seed);
@@ -80,30 +78,30 @@ class FaultInjector {
   /// crash/recovery schedule for each enabled master up-front (NameNode
   /// stream first, so the two masters' draws never interleave) and schedules
   /// the crash → downtime → recover cycles. Every recovery ends with a
-  /// mandatory `auditor->run()` sweep when an auditor is supplied. Call after
-  /// arm(), once the masters exist; a disabled class schedules nothing.
+  /// mandatory `post_recovery_audit()` sweep when a callback is supplied
+  /// (the experiment layer passes the audit::Auditor's run() — the injector
+  /// itself stays below the audit layer). Call after arm(), once the masters
+  /// exist; a disabled class schedules nothing.
   void schedule_master_crashes(dfs::Dfs* dfs, mapred::JobTracker* jobtracker,
-                               audit::Auditor* auditor);
+                               std::function<void()> post_recovery_audit);
 
-  // ---- synchronous consultation points ------------------------------------
+  // ---- synchronous consultation points (sim::FaultHooks) ------------------
+
+  using HeartbeatFate = sim::HeartbeatFate;
 
   /// Fate of one TaskTracker->JobTracker heartbeat.
-  struct HeartbeatFate {
-    bool drop = false;
-    sim::Duration delay = 0;  ///< 0 = deliver now
-  };
-  HeartbeatFate heartbeat_fate(NodeId node);
+  HeartbeatFate heartbeat_fate(NodeId node) override;
 
   /// True when a replica of `block` landing on `node` should be silently
   /// corrupted (the DataNode keeps the bytes; checksum-on-read will catch it).
-  bool corrupt_replica(BlockId block, NodeId node);
+  bool corrupt_replica(BlockId block, NodeId node) override;
 
   /// True when the store of `block` on `node` should be rejected outright
   /// (disk-full: the replica never lands).
-  bool reject_write(BlockId block, NodeId node);
+  bool reject_write(BlockId block, NodeId node) override;
 
   /// DFS reports a checksum-on-read detection (counter + trace/log only).
-  void note_corruption_detected(BlockId block, NodeId node);
+  void note_corruption_detected(BlockId block, NodeId node) override;
 
   // ---- introspection ------------------------------------------------------
 
@@ -125,7 +123,7 @@ class FaultInjector {
                      NodeId node);
   void crash_master(bool namenode, dfs::Dfs* dfs, mapred::JobTracker* jobtracker);
   void recover_master(bool namenode, dfs::Dfs* dfs,
-                      mapred::JobTracker* jobtracker, audit::Auditor* auditor);
+                      mapred::JobTracker* jobtracker);
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -139,6 +137,7 @@ class FaultInjector {
 
   std::vector<std::vector<NodeId>> groups_;  ///< cycling groups only
   std::vector<NodeId> stragglers_;
+  std::function<void()> post_recovery_audit_;  ///< mandatory post-recovery sweep
   FaultStats stats_;
   bool armed_ = false;
   /// Open downtime trace spans, one per master (index 0 = NameNode).

@@ -49,6 +49,7 @@ void Job::build_tasks() {
     reduce_tasks_.push_back(id);
     order_to_task_.push_back(id);
   }
+  // detlint: allow(unordered-iter) -- pending_insert lands each task in ordered (class, schedule-order) buckets; insertion order into an ordered set is immaterial
   for (auto& [tid, t] : tasks_) pending_insert(t);
 }
 
@@ -219,6 +220,7 @@ int Job::remaining_tasks() const {
            completed_count_[1];
   }
   int remaining = 0;
+  // detlint: allow(unordered-iter) -- pure integer accumulation; the count is order-independent
   for (const auto& [id, t] : tasks_) {
     if (t.state != TaskState::kCompleted) ++remaining;
   }
@@ -399,6 +401,7 @@ int Job::running_speculative() const {
   // is needed.
   if (use_index_) return running_speculative_count_;
   int n = 0;
+  // detlint: allow(unordered-iter) -- pure integer accumulation; the count is order-independent
   for (const auto& [id, attempt] : attempts_) {
     if (attempt->state() == AttemptState::kRunning && attempt->speculative()) ++n;
   }
@@ -766,6 +769,7 @@ int Job::reconcile_after_recovery() {
   int killed = 0;
   std::vector<AttemptId> ids;
   ids.reserve(attempts_.size());
+  // detlint: allow(unordered-iter) -- read-only filter into a snapshot that is sorted below before any kill
   for (const auto& [aid, a] : attempts_) {
     if (!a->terminal()) ids.push_back(aid);
   }
@@ -852,8 +856,18 @@ void Job::fail_job(JobFailureReason reason) {
               {{"job", std::to_string(id_.value())},
                {"reason", to_string(reason)}});
   }
-  // Tear down all live attempts.
-  for (auto& [id, attempt] : attempts_) {
+  // Tear down all live attempts in AttemptId order: finalize_attempt releases
+  // tracker slots and bumps scheduling counters, so the kill sequence must
+  // not follow the map's hash order (§2 determinism contract).
+  std::vector<AttemptId> live;
+  live.reserve(attempts_.size());
+  // detlint: allow(unordered-iter) -- read-only filter into a snapshot that is sorted below before any kill
+  for (const auto& [id, attempt] : attempts_) {
+    if (!attempt->terminal()) live.push_back(id);
+  }
+  std::sort(live.begin(), live.end());
+  for (AttemptId id : live) {
+    auto& attempt = attempts_.at(id);
     if (!attempt->terminal()) {
       attempt->kill();
       finalize_attempt(*attempt);
@@ -867,7 +881,10 @@ void Job::debug_dump(std::ostream& os) const {
   os << "job " << id_ << " '" << spec_.name << "' maps "
      << completed_tasks(TaskType::kMap) << '/' << spec_.num_maps << " reduces "
      << completed_tasks(TaskType::kReduce) << '/' << spec_.num_reduces << '\n';
-  for (const auto& [tid, t] : tasks_) {
+  // Dump in task-creation order so two same-seed runs print byte-identical
+  // dumps (tasks_ is hash-ordered).
+  for (TaskId tid : order_to_task_) {
+    const Task& t = tasks_.at(tid);
     if (t.state == TaskState::kCompleted) continue;
     os << "  " << to_string(t.type) << '[' << t.index << "] "
        << to_string(t.state) << " failures=" << t.failures << '\n';

@@ -302,6 +302,7 @@ void TaskAttempt::maybe_checkpoint(bool forced) {
   // Incremental payload: newly fetched partitions + compute state delta.
   const Bytes partition = job_.shuffle_partition_bytes();
   Bytes delta = policy.config().state_overhead;
+  // detlint: allow(unordered-iter) -- pure byte-count accumulation; the sum is order-independent
   for (TaskId m : fetched_) {
     if (last == nullptr ||
         std::find(last->fetched.begin(), last->fetched.end(), m) ==
@@ -566,7 +567,14 @@ void TaskAttempt::cleanup_io() {
     dfs.cancel_op(*io_op_);
     io_op_.reset();
   }
-  for (auto& [task, op] : fetching_) dfs.cancel_op(op);
+  // Cancel in OpId (issue) order: each cancel tears down a flow, and under eager
+  // settles the recompute sequence is order-observable (§2 determinism
+  // contract), so the map's hash order must not decide it.
+  std::vector<dfs::OpId> fetch_ops;
+  fetch_ops.reserve(fetching_.size());
+  for (auto& [task, op] : fetching_) fetch_ops.push_back(op);  // detlint: allow(unordered-iter) -- value snapshot, sorted on the next line before any cancel
+  std::sort(fetch_ops.begin(), fetch_ops.end());
+  for (dfs::OpId op : fetch_ops) dfs.cancel_op(op);
   fetching_.clear();
   for (EventId e : retry_events_) sim.cancel(e);
   retry_events_.clear();

@@ -20,7 +20,7 @@
 
 #include "checkpoint/types.hpp"
 #include "common/ids.hpp"
-#include "common/retry.hpp"
+#include "simkit/retry.hpp"
 #include "dfs/dfs.hpp"
 #include "mapred/types.hpp"
 #include "obs/trace.hpp"
@@ -220,7 +220,7 @@ class TaskAttempt {
   enum class ParkedOutcome { kNone, kSucceeded, kFailed };
   ParkedOutcome parked_outcome_ = ParkedOutcome::kNone;
   std::vector<TaskId> parked_fetch_failures_;  ///< arrival order
-  common::Retrier master_retry_;  ///< NameNode-down output-write backoff
+  sim::Retrier master_retry_;  ///< NameNode-down output-write backoff
 };
 
 }  // namespace moon::mapred

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "faults/fault_injector.hpp"
+#include "simkit/fault_hooks.hpp"
 #include "mapred/jobtracker.hpp"
 #include "mapred/task.hpp"
 

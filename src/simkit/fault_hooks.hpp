@@ -1,0 +1,42 @@
+// Fault-injection consultation interface (DESIGN.md §13/§15).
+//
+// Instrumented call sites below the faults layer (DFS replica stores/reads,
+// TaskTracker heartbeats) consult the injector through this abstract
+// interface via `sim.faults()`, the same way they reach the tracer: one
+// pointer load and a branch when faults are off. The concrete implementation
+// (faults::FaultInjector) lives four layers up; keeping only this interface
+// in simkit lets dfs/ and mapred/ stay free of upward includes, which the
+// detlint layering rule enforces.
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace moon::sim {
+
+/// Fate of one TaskTracker->JobTracker heartbeat.
+struct HeartbeatFate {
+  bool drop = false;
+  Duration delay = 0;  ///< 0 = deliver now
+};
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Fate of one TaskTracker->JobTracker heartbeat.
+  virtual HeartbeatFate heartbeat_fate(NodeId node) = 0;
+
+  /// True when a replica of `block` landing on `node` should be silently
+  /// corrupted (the DataNode keeps the bytes; checksum-on-read catches it).
+  virtual bool corrupt_replica(BlockId block, NodeId node) = 0;
+
+  /// True when the store of `block` on `node` should be rejected outright
+  /// (disk-full: the replica never lands).
+  virtual bool reject_write(BlockId block, NodeId node) = 0;
+
+  /// DFS reports a checksum-on-read detection (counter + trace/log only).
+  virtual void note_corruption_detected(BlockId block, NodeId node) = 0;
+};
+
+}  // namespace moon::sim

@@ -51,10 +51,12 @@ class Profiler {
     Scope(Profiler& profiler, Key key)
         : profiler_(profiler),
           key_(key),
+          // detlint: allow(wall-clock) -- the profiler meters real elapsed wall time by design; its counters feed RunResult diagnostics only and never a simulated outcome
           start_(std::chrono::steady_clock::now()) {}
     ~Scope() {
       profiler_.add(key_, static_cast<std::uint64_t>(
                               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  // detlint: allow(wall-clock) -- profiler wall metering; diagnostics only, never a simulated outcome
                                   std::chrono::steady_clock::now() - start_)
                                   .count()));
     }
@@ -64,7 +66,7 @@ class Profiler {
    private:
     Profiler& profiler_;
     Key key_;
-    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point start_;  // detlint: allow(wall-clock) -- profiler wall metering; diagnostics only, never a simulated outcome
   };
 
   void add(Key key, std::uint64_t ns) {

@@ -11,7 +11,7 @@
 
 #include "simkit/simulation.hpp"
 
-namespace moon::common {
+namespace moon::sim {
 
 struct RetryPolicy {
   sim::Duration initial = 1 * sim::kSecond;  ///< first retry delay
@@ -79,4 +79,4 @@ class Retrier {
   EventId event_{};
 };
 
-}  // namespace moon::common
+}  // namespace moon::sim

@@ -36,11 +36,9 @@ class Tracer;
 class MetricsRegistry;
 }  // namespace moon::obs
 
-namespace moon::faults {
-class FaultInjector;
-}  // namespace moon::faults
-
 namespace moon::sim {
+
+class FaultHooks;
 
 class Simulation {
  public:
@@ -116,12 +114,13 @@ class Simulation {
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Fault-injection hook, same ownership contract as the tracer: the
-  /// faults::FaultInjector installs/clears itself here, instrumented call
-  /// sites (heartbeats, DFS stores/reads) consult it through the Simulation
-  /// they already hold, and nullptr (the default) means faults are off at
-  /// the cost of one pointer load and branch.
-  [[nodiscard]] faults::FaultInjector* faults() const { return faults_; }
-  void set_faults(faults::FaultInjector* faults) { faults_ = faults; }
+  /// concrete injector (faults::FaultInjector, four layers up) installs and
+  /// clears itself here, instrumented call sites (heartbeats, DFS
+  /// stores/reads) consult it through the sim::FaultHooks interface on the
+  /// Simulation they already hold, and nullptr (the default) means faults
+  /// are off at the cost of one pointer load and branch.
+  [[nodiscard]] FaultHooks* faults() const { return faults_; }
+  void set_faults(FaultHooks* faults) { faults_ = faults; }
 
  private:
   struct Entry {
@@ -192,7 +191,7 @@ class Simulation {
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
-  faults::FaultInjector* faults_ = nullptr;
+  FaultHooks* faults_ = nullptr;
 };
 
 }  // namespace moon::sim

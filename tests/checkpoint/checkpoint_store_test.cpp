@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "checkpoint/checkpoint_policy.hpp"
@@ -39,7 +40,7 @@ class CheckpointStoreTest : public ::testing::Test {
     snap.job = JobId{1};
     snap.task = TaskId{7};
     snap.label = "t.r0";
-    for (int i = 0; i < fetched; ++i) snap.fetched.push_back(TaskId{10 + i});
+    for (int i = 0; i < fetched; ++i) snap.fetched.push_back(TaskId{static_cast<std::uint64_t>(10 + i)});
     snap.compute_total = 100 * sim::kSecond;
     snap.compute_done =
         static_cast<sim::Duration>(progress * 100.0) * sim::kSecond;

@@ -43,8 +43,8 @@ TEST(Cluster, UnknownNodeThrows) {
   sim::Simulation sim;
   Cluster cluster(sim);
   cluster.add_node(volatile_cfg());
-  EXPECT_THROW(cluster.node(NodeId{1}), std::out_of_range);
-  EXPECT_THROW(cluster.node(NodeId::invalid()), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(cluster.node(NodeId{1})), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(cluster.node(NodeId::invalid())), std::out_of_range);
 }
 
 TEST(Node, StartsAvailable) {

@@ -1,0 +1,32 @@
+// detlint fixture: a fully clean file — zero findings expected.
+//
+// Demonstrates the sanctioned forms: ordered containers for iterated state,
+// unordered containers for pure membership probes, simulated time, and no
+// ambient randomness.
+// detlint: fixture-layer(mapred)
+#include "common/ids.hpp"      // fine: rank 0 from rank 4
+#include "dfs/namenode.hpp"    // fine: rank 3 from rank 4
+#include "simkit/simulation.hpp"  // fine: rank 1 from rank 4
+
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+struct Scheduler {
+  std::map<int, int> tasks_by_id_;       // ordered: iteration is stable
+  std::unordered_set<int> running_;      // membership probes only
+
+  int sum_ordered() const {
+    int n = 0;
+    for (const auto& [id, t] : tasks_by_id_) n += t;  // fine: std::map
+    return n;
+  }
+
+  bool is_running(int id) const { return running_.count(id) != 0; }
+};
+
+int pick_lowest(const std::set<int>& ready) {
+  for (int id : ready) return id;  // fine: std::set iterates in key order
+  return -1;
+}

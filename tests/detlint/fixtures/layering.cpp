@@ -1,0 +1,14 @@
+// detlint fixture: rule `layering` (architecture-DAG include check).
+// detlint: fixture-layer(simkit)
+//
+// This file pretends to live in src/simkit/ (rank 1). Includes from common
+// (rank 0) and simkit itself are fine; anything from a higher layer is a
+// violation.
+#include "common/ids.hpp"        // fine: rank 0 from rank 1
+#include "simkit/simulation.hpp" // fine: same layer
+#include "dfs/namenode.hpp"      // finding: rank 3 from rank 1
+#include "mapred/job.hpp"        // finding: rank 4 from rank 1
+#include "experiment/scenario.hpp"  // finding: rank 6 from rank 1
+#include <vector>                // fine: system header
+
+int fixture_layering_placeholder() { return 0; }

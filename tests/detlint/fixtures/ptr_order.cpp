@@ -1,0 +1,37 @@
+// detlint fixture: rule `ptr-order` (pointer-keyed ordered containers).
+//
+// Address order varies run to run (ASLR, allocator history), so nothing
+// that orders by a raw pointer key may exist in the tree.
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+struct Task {
+  int id = 0;
+};
+
+std::map<Task*, int> bad_ptr_keyed_map;             // finding
+std::set<const Task*> bad_ptr_keyed_set;            // finding
+std::multimap<Task*, std::string> bad_ptr_multimap; // finding
+
+int bad_priority_queue() {
+  std::priority_queue<Task*> q;  // finding
+  return static_cast<int>(q.size());
+}
+
+void bad_explicit_less(std::vector<Task*>& v) {
+  std::sort(v.begin(), v.end(), std::less<Task*>());  // finding
+}
+
+std::map<int, Task*> good_ptr_valued_map;  // fine: pointers as values
+std::set<int> good_int_set;                // fine
+
+struct ById {
+  bool operator()(const Task* a, const Task* b) const { return a->id < b->id; }
+};
+// The rule is lexical: it cannot see that ById orders by a stable id, so even
+// a deterministic custom comparator over pointers needs an annotation.
+// detlint: allow(ptr-order) -- ById compares task ids, not addresses
+std::set<const Task*, ById> annotated_custom_comparator;

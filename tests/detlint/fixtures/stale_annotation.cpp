@@ -1,0 +1,26 @@
+// detlint fixture: annotation hygiene.
+//
+// An allow() that suppresses nothing is itself a finding (stale-annotation),
+// and an allow() without a justification is malformed (bad-annotation) —
+// suppressions cannot rot or go unexplained.
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<int, int> table;
+
+// detlint: allow(unordered-iter) -- stale: the loop below walks a vector, not the map
+int stale_allow(const std::vector<int>& v) {
+  int n = 0;
+  for (int x : v) n += x;
+  return n;
+}
+
+int missing_justification() {
+  int n = 0;
+  // detlint: allow(unordered-iter)
+  for (const auto& [k, x] : table) n += x;
+  return n;
+}
+
+// detlint: allow(made-up-rule) -- no such rule id exists
+int unknown_rule() { return 0; }

@@ -1,0 +1,63 @@
+// detlint fixture: rule `unordered-iter`.
+//
+// Every loop below that walks an unordered container must be reported; the
+// sorted-snapshot and annotated forms must not.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using TaskMap = std::unordered_map<std::uint64_t, std::string>;
+
+struct Job {
+  std::unordered_map<std::uint64_t, int> tasks_;
+  std::unordered_set<std::uint64_t> fetched_;
+  TaskMap by_alias_;
+
+  int bad_range_for_member() {
+    int n = 0;
+    for (const auto& [id, t] : tasks_) n += t;  // finding: member map
+    return n;
+  }
+
+  void bad_range_for_set(std::vector<std::uint64_t>& out) {
+    for (std::uint64_t id : fetched_) out.push_back(id);  // finding: member set
+  }
+
+  void bad_alias_typed_member(std::vector<std::string>& out) {
+    for (const auto& [id, name] : by_alias_) out.push_back(name);  // finding
+  }
+
+  int bad_iterator_loop() {
+    int n = 0;
+    for (auto it = tasks_.begin(); it != tasks_.end(); ++it) n += it->second;
+    return n;
+  }
+
+  std::vector<std::uint64_t> good_sorted_snapshot() {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(tasks_.size());
+    // detlint: allow(unordered-iter) -- key snapshot, sorted on the next line
+    for (const auto& [id, t] : tasks_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+};
+
+int bad_local_set() {
+  std::unordered_set<int> seen = {3, 1, 2};
+  int sum = 0;
+  for (int v : seen) sum += v;  // finding: local set
+  return sum;
+}
+
+int good_membership_only(const std::unordered_set<int>& index,
+                         const std::vector<int>& ordered) {
+  int hits = 0;
+  for (int v : ordered) {  // fine: iterates the vector, only probes the set
+    if (index.count(v) != 0) ++hits;
+  }
+  return hits;
+}

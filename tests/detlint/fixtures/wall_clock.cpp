@@ -1,0 +1,53 @@
+// detlint fixture: rule `wall-clock` (ambient nondeterminism sources).
+//
+// Wall clocks and unseeded randomness are banned everywhere outside
+// sim::Rng internals and explicitly annotated metering sites.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <vector>
+
+long bad_steady_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // finding
+  return t0.time_since_epoch().count();
+}
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now()  // finding
+      .time_since_epoch()
+      .count();
+}
+
+long bad_libc_time() {
+  return time(nullptr);  // finding
+}
+
+int bad_rand() {
+  return rand();  // finding
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // finding
+  return rd();
+}
+
+void bad_engine_and_shuffle(std::vector<int>& v) {
+  std::mt19937 gen(42);  // finding: fixed seed is still an unmanaged stream
+  std::shuffle(v.begin(), v.end(), gen);  // finding
+}
+
+long good_annotated_metering() {
+  // detlint: allow(wall-clock) -- bench wall metering; never feeds a simulated outcome
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+struct Sim {
+  long now_us = 0;
+  long time() const { return now_us; }  // fine: member named `time`
+};
+
+long good_sim_time(const Sim& sim) {
+  return sim.time();  // fine: simulated clock, not libc time()
+}

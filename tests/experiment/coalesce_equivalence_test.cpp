@@ -99,8 +99,8 @@ TEST_P(CoalesceEquivalenceTest, CubeMatchesEagerDenseOracle) {
 INSTANTIATE_TEST_SUITE_P(Fairness, CoalesceEquivalenceTest,
                          ::testing::Values(sim::FairnessModel::kMaxMin,
                                            sim::FairnessModel::kBottleneckShare),
-                         [](const auto& info) {
-                           return info.param == sim::FairnessModel::kMaxMin
+                         [](const auto& suite_info) {
+                           return suite_info.param == sim::FairnessModel::kMaxMin
                                       ? "MaxMin"
                                       : "BottleneckShare";
                          });

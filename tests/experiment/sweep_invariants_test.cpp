@@ -91,9 +91,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          PolicyKind::kLate, PolicyKind::kMoon,
                                          PolicyKind::kMoonHybrid),
                        ::testing::Values(0.0, 0.2, 0.4)),
-    [](const auto& info) {
-      return std::string(name_of(std::get<0>(info.param))) + "_rate" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    [](const auto& suite_info) {
+      return std::string(name_of(std::get<0>(suite_info.param))) + "_rate" +
+             std::to_string(static_cast<int>(std::get<1>(suite_info.param) * 10));
     });
 
 }  // namespace

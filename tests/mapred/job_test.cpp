@@ -30,7 +30,7 @@ TEST(Job, BuildsTasksFromSpec) {
 TEST(Job, UnknownTaskThrows) {
   MapRedHarness h;
   h.submit();
-  EXPECT_THROW(h.job().task(TaskId{999}), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(h.job().task(TaskId{999})), std::out_of_range);
 }
 
 TEST(Job, SchedulingLaunchesAttemptsOnHeartbeat) {

@@ -6,10 +6,10 @@
 #include <functional>
 #include <vector>
 
-#include "common/retry.hpp"
+#include "simkit/retry.hpp"
 #include "simkit/simulation.hpp"
 
-namespace moon::common {
+namespace moon::sim {
 namespace {
 
 TEST(Retrier, BacksOffExponentiallyToTheCap) {
@@ -88,4 +88,4 @@ TEST(Retrier, UnusedRetrierSchedulesNothing) {
 }
 
 }  // namespace
-}  // namespace moon::common
+}  // namespace moon::sim

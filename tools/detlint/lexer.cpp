@@ -1,0 +1,177 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace detlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Longest-match punctuators the rule matchers care about. Everything else
+/// is emitted one character at a time.
+constexpr std::string_view kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool line_has_code = false;  // any non-ws, non-comment byte so far this line
+
+  auto bump_lines = [&](std::string_view chunk) {
+    for (char c : chunk) {
+      if (c == '\n') line = line + 1;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      out.comments.push_back(
+          {std::string(src.substr(i + 2, end - i - 2)), line, !line_has_code});
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? n : end + 2;
+      std::size_t body_end = end == std::string_view::npos ? n : end;
+      out.comments.push_back(
+          {std::string(src.substr(i + 2, body_end - i - 2)), line,
+           !line_has_code});
+      bump_lines(src.substr(i, stop - i));
+      i = stop;
+      continue;
+    }
+    line_has_code = true;
+    // Preprocessor directive: record #include targets, otherwise skip to EOL
+    // (respecting line continuations).
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t word_end = j;
+      while (word_end < n && ident_char(src[word_end])) ++word_end;
+      const std::string_view word = src.substr(j, word_end - j);
+      if (word == "include") {
+        std::size_t k = word_end;
+        while (k < n && (src[k] == ' ' || src[k] == '\t')) ++k;
+        if (k < n && (src[k] == '"' || src[k] == '<')) {
+          const char close = src[k] == '"' ? '"' : '>';
+          std::size_t e = src.find(close, k + 1);
+          if (e != std::string_view::npos) {
+            out.includes.push_back({std::string(src.substr(k + 1, e - k - 1)),
+                                    close == '>', line});
+          }
+        }
+      }
+      // Skip the rest of the directive, honoring backslash continuations.
+      while (i < n) {
+        std::size_t eol = src.find('\n', i);
+        if (eol == std::string_view::npos) {
+          i = n;
+          break;
+        }
+        std::size_t back = eol;
+        while (back > i && (src[back - 1] == ' ' || src[back - 1] == '\t')) {
+          --back;
+        }
+        const bool continued = back > i && src[back - 1] == '\\';
+        i = eol + 1;
+        ++line;
+        line_has_code = false;
+        if (!continued) break;
+      }
+      continue;
+    }
+    // String / char literal (contents discarded). Raw strings handled too.
+    if (c == '"' || c == '\'' ||
+        (c == 'R' && i + 1 < n && src[i + 1] == '"')) {
+      const int start_line = line;
+      if (c == 'R') {
+        // R"delim( ... )delim"
+        std::size_t open = src.find('(', i + 2);
+        if (open == std::string_view::npos) {
+          ++i;
+          continue;
+        }
+        const std::string delim(src.substr(i + 2, open - i - 2));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, open + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + closer.size();
+        bump_lines(src.substr(i, stop - i));
+        i = stop;
+      } else {
+        const char quote = c;
+        std::size_t j = i + 1;
+        while (j < n && src[j] != quote) {
+          if (src[j] == '\\' && j + 1 < n) ++j;
+          if (src[j] == '\n') ++line;
+          ++j;
+        }
+        i = j < n ? j + 1 : n;
+      }
+      out.tokens.push_back({TokKind::kString, "\"\"", start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, std::string(src.substr(i, j - i)),
+                            line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)),
+                            line});
+      i = j;
+      continue;
+    }
+    // Punctuator: longest match from the table, else a single char.
+    std::string_view rest = src.substr(i);
+    std::string_view matched;
+    for (std::string_view p : kPuncts) {
+      if (rest.substr(0, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    if (matched.empty()) matched = rest.substr(0, 1);
+    out.tokens.push_back({TokKind::kPunct, std::string(matched), line});
+    i += matched.size();
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,59 @@
+// detlint lexer: a minimal C++ tokenizer for determinism-contract linting.
+//
+// detlint deliberately avoids libclang: the rules it enforces (DESIGN.md §15)
+// are lexical properties — container spellings, forbidden identifiers,
+// include directives — so a comment/string-stripping tokenizer is enough and
+// keeps the tool a dependency-free part of the root build. The lexer
+// produces three streams from one pass:
+//   * tokens     — identifiers / punctuators / literals with line numbers
+//                  (comments and the *contents* of string literals removed,
+//                  so "rand()" in a log message never trips a rule);
+//   * comments   — raw comment text with line numbers, scanned by the
+//                  annotation engine for `detlint:` directives;
+//   * includes   — `#include "..."` / `#include <...>` directives for the
+//                  layering rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class TokKind {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal
+  kString,   ///< string or char literal (text is a placeholder, not contents)
+  kPunct,    ///< operator / punctuator; multi-char ones ("::", "->") intact
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+struct Comment {
+  std::string text;  ///< comment body without the // or /* */ markers
+  int line = 0;      ///< line the comment starts on
+  bool standalone = false;  ///< nothing but whitespace precedes it on its line
+};
+
+struct Include {
+  std::string path;   ///< include target as written
+  bool angled = false;  ///< <...> rather than "..."
+  int line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuators, so the rule matchers can stay simple.
+LexResult lex(std::string_view source);
+
+}  // namespace detlint

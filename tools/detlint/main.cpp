@@ -1,0 +1,225 @@
+// detlint — determinism-contract static analyzer (DESIGN.md §15).
+//
+//   detlint --root <repo>         lint src/ bench/ tests/ examples/
+//   detlint --fixtures <dir>      self-test against the golden fixture corpus
+//   detlint <file>...             lint specific files (layer inferred from
+//                                 any src/<layer>/ path component)
+//
+// Exit codes: 0 clean / fixtures all pass, 1 findings or fixture mismatch,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Derives ScanOptions from a path: files under src/ get every rule and
+/// their layer from the directory name; everything else gets the
+/// tree-independent rules only. src/common/rng.* is the sanctioned RNG
+/// implementation and is exempt from the wall-clock rule by definition.
+detlint::ScanOptions options_for(const fs::path& rel) {
+  detlint::ScanOptions opts;
+  opts.file_class = detlint::FileClass::kOther;
+  auto it = rel.begin();
+  if (it != rel.end() && *it == "src") {
+    opts.file_class = detlint::FileClass::kSrc;
+    if (++it != rel.end() && std::next(it) != rel.end()) {
+      opts.layer = it->string();
+    }
+    const std::string stem = rel.filename().string();
+    opts.rng_internals =
+        opts.layer == "common" && (stem == "rng.hpp" || stem == "rng.cpp");
+  }
+  return opts;
+}
+
+/// For foo.cpp, loads sibling foo.hpp so header-declared members are tracked.
+std::string companion_text(const fs::path& file) {
+  if (file.extension() != ".cpp" && file.extension() != ".cc") return {};
+  for (const char* ext : {".hpp", ".h"}) {
+    fs::path hdr = file;
+    hdr.replace_extension(ext);
+    std::string text;
+    if (fs::exists(hdr) && read_file(hdr, text)) return text;
+  }
+  return {};
+}
+
+int lint_files(const std::vector<std::pair<fs::path, fs::path>>& files) {
+  // files: (absolute path, repo-relative path for layer/report purposes)
+  std::size_t findings = 0;
+  for (const auto& [abs, rel] : files) {
+    std::string text;
+    if (!read_file(abs, text)) {
+      std::cerr << "detlint: cannot read " << abs << "\n";
+      return 2;
+    }
+    const auto res = detlint::scan_source(rel.generic_string(), text,
+                                          companion_text(abs),
+                                          options_for(rel));
+    for (const auto& f : res) std::cout << detlint::format_finding(f) << "\n";
+    findings += res.size();
+  }
+  if (findings != 0) {
+    std::cout << "detlint: " << findings << " finding(s) in " << files.size()
+              << " file(s). Fix them, or annotate a justified exception "
+                 "with `// detlint: allow(<rule>) -- <why>`.\n";
+    return 1;
+  }
+  std::cout << "detlint: " << files.size() << " file(s) clean\n";
+  return 0;
+}
+
+int lint_tree(const fs::path& root) {
+  std::vector<std::pair<fs::path, fs::path>> files;
+  const fs::path fixtures = root / "tests" / "detlint" / "fixtures";
+  for (const char* top : {"src", "bench", "tests", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file() || !lintable(e.path())) continue;
+      // The fixture corpus intentionally violates every rule.
+      if (e.path().lexically_relative(fixtures).native()[0] != '.') continue;
+      files.emplace_back(e.path(), e.path().lexically_relative(root));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return lint_files(files);
+}
+
+/// Golden self-test: every fixture <name>.{cpp,hpp} must produce exactly the
+/// findings listed in <name>.expected ("<line> <rule>" per line; empty file
+/// = must be clean).
+int self_test(const fs::path& dir) {
+  if (!fs::exists(dir)) {
+    std::cerr << "detlint: no fixture directory " << dir << "\n";
+    return 2;
+  }
+  std::vector<fs::path> fixtures;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && lintable(e.path())) {
+      fixtures.push_back(e.path());
+    }
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  if (fixtures.empty()) {
+    std::cerr << "detlint: fixture directory " << dir << " is empty\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const fs::path& fixture : fixtures) {
+    fs::path expected_path = fixture;
+    expected_path.replace_extension(".expected");
+    std::string text, expected_text;
+    if (!read_file(fixture, text) || !read_file(expected_path, expected_text)) {
+      std::cerr << "detlint: fixture " << fixture.filename()
+                << " is missing its .expected file\n";
+      ++failures;
+      continue;
+    }
+    // Fixtures are linted as src files; a fixture-layer(...) directive inside
+    // the file opts into the layering rule.
+    detlint::ScanOptions opts;
+    opts.file_class = detlint::FileClass::kSrc;
+    const auto res = detlint::scan_source(fixture.filename().string(), text,
+                                          /*companion=*/"", opts);
+    std::vector<std::string> got;
+    got.reserve(res.size());
+    for (const auto& f : res) {
+      got.push_back(std::to_string(f.line) + " " + f.rule);
+    }
+    std::vector<std::string> want;
+    std::istringstream lines(expected_text);
+    for (std::string line; std::getline(lines, line);) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (!line.empty() && line[0] != '#') want.push_back(line);
+    }
+    if (got == want) {
+      std::cout << "PASS " << fixture.filename().string() << " (" << got.size()
+                << " finding(s))\n";
+      continue;
+    }
+    ++failures;
+    std::cout << "FAIL " << fixture.filename().string() << "\n";
+    std::cout << "  expected:\n";
+    for (const auto& w : want) std::cout << "    " << w << "\n";
+    std::cout << "  got:\n";
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      std::cout << "    " << got[i] << "  // "
+                << detlint::format_finding(res[i]) << "\n";
+    }
+  }
+  if (failures != 0) {
+    std::cout << "detlint self-test: " << failures << "/" << fixtures.size()
+              << " fixture(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "detlint self-test: " << fixtures.size()
+            << " fixture(s) passed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: detlint --root <repo> | --fixtures <dir> | "
+                 "<file>...\n";
+    return 2;
+  }
+  if (args[0] == "--root" || args[0] == "--fixtures") {
+    if (args.size() != 2) {
+      std::cerr << "detlint: " << args[0] << " takes exactly one path\n";
+      return 2;
+    }
+    const fs::path p = args[1];
+    return args[0] == "--root" ? lint_tree(p) : self_test(p);
+  }
+  std::vector<std::pair<fs::path, fs::path>> files;
+  for (const auto& a : args) {
+    fs::path p = a;
+    if (!fs::exists(p)) {
+      std::cerr << "detlint: no such file " << p << "\n";
+      return 2;
+    }
+    // Use the path as given for layer inference; absolute paths still work
+    // if they contain a src/<layer>/ component.
+    fs::path rel = p;
+    for (auto it = p.begin(); it != p.end(); ++it) {
+      if (*it == "src" || *it == "bench" || *it == "tests" ||
+          *it == "examples") {
+        rel = fs::path();
+        for (auto jt = it; jt != p.end(); ++jt) rel /= *jt;
+        break;
+      }
+    }
+    files.emplace_back(p, rel);
+  }
+  return lint_files(files);
+}
