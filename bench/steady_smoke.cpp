@@ -1,0 +1,162 @@
+// CI steady-state smoke (DESIGN.md §16): a short *open-ended* job stream
+// through admission control with retired-job GC on, 2 scenarios x 2 seeds,
+// each run TWICE. The two runs must produce bit-identical fingerprints —
+// including the admission controller's decision-sequence hash — the stream
+// must be non-vacuous (at least one reject or shed per scenario), the
+// invariant auditor must stay clean, and the retained job state must stay
+// under a hard ceiling (the O(1)-memory-per-retired-job contract). Any
+// failure is a non-zero exit, which fails the CI Release leg.
+//
+//   ./bench_steady_smoke          2 scenarios x 2 seeds x 2 runs (~seconds)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiment/multi_job.hpp"
+
+using namespace moon;
+
+namespace {
+
+workload::WorkloadModel smoke_job(const std::string& name, int priority) {
+  workload::WorkloadModel m;
+  m.name = name;
+  m.kind = workload::AppKind::kSort;
+  m.num_maps = 10;
+  m.fixed_reduces = 2;
+  m.reduce_slot_fraction = 0.0;
+  m.map_compute = sim::seconds(25);
+  m.reduce_compute = sim::seconds(30);
+  m.intermediate_per_map = mib(1.0);
+  m.input_size = static_cast<Bytes>(m.num_maps) * mib(2.0);
+  m.total_output = mib(4.0);
+  m.input_block_bytes = mib(2.0);
+  m.priority = priority;
+  m.deadline = 20 * sim::kMinute;
+  return m;
+}
+
+/// Overloaded open stream on a small churning cluster: arrivals every 20 s
+/// against a 3-live-job cap, heartbeat faults on, auditor sweeping.
+experiment::MultiJobConfig smoke_config(mapred::AdmissionConfig::Policy policy,
+                                        std::uint64_t seed) {
+  experiment::MultiJobConfig cfg;
+  cfg.base.volatile_nodes = 8;
+  cfg.base.dedicated_nodes = 2;
+  cfg.base.dedicated_known = true;
+  cfg.base.sched = experiment::moon_scheduler(true);
+  cfg.base.dfs = experiment::moon_dfs_config();
+  cfg.base.intermediate_kind = dfs::FileKind::kOpportunistic;
+  cfg.base.intermediate_factor = {1, 1};
+  cfg.base.input_factor = {1, 2};
+  cfg.base.output_factor = {1, 2};
+  cfg.base.unavailability_rate = 0.3;
+  cfg.base.seed = seed;
+  cfg.base.max_sim_time = sim::kHour;
+  cfg.base.sched.admission.enabled = true;
+  cfg.base.sched.admission.policy = policy;
+  cfg.base.sched.admission.max_queued_jobs = 3;
+  cfg.base.faults.enabled = true;
+  cfg.base.faults.heartbeats.enabled = true;
+  cfg.base.faults.heartbeats.drop_probability = 0.05;
+  cfg.base.faults.audit_interval = sim::kMinute;
+
+  cfg.arrivals.process = workload::ArrivalConfig::Process::kPoisson;
+  cfg.arrivals.num_jobs = 0;  // open-ended to the horizon
+  cfg.arrivals.first_arrival = 30 * sim::kSecond;
+  cfg.arrivals.mean_interarrival = 20 * sim::kSecond;
+  cfg.arrivals.round_robin_mix = true;
+  cfg.arrivals.mix = {{smoke_job("steady-lo", 0), 1.0},
+                      {smoke_job("steady-hi", 2), 1.0}};
+  cfg.retain_job_results = false;  // GC mode — the contract under test
+  return cfg;
+}
+
+/// Everything the stream decided, flattened; the admission sequence hash
+/// certifies the decision order, the rest the aggregate outcomes.
+std::string fingerprint(const experiment::MultiJobResult& r) {
+  std::ostringstream os;
+  os << r.submitted_jobs << '|' << r.completed_jobs << '|' << r.aborted_jobs
+     << '|' << r.shed_jobs << '|' << r.dnf_jobs << '|' << r.rejected_jobs
+     << '|' << r.sla_eligible_jobs << '|' << r.sla_missed_jobs << '|'
+     << r.admission.offered << '|' << r.admission.admitted << '|'
+     << r.admission.rejected << '|' << r.admission.deferred << '|'
+     << r.admission.defer_rounds << '|' << r.admission.shed << '|'
+     << r.admission_sequence_hash << '|' << r.jobs_retired << '|'
+     << r.peak_live_jobs << '|' << r.fault_stats.total_injected() << '|'
+     << r.quarantines << '|' << r.dfs_stats.bytes_read << '|'
+     << r.dfs_stats.bytes_written;
+  os << '|' << std::hexfloat << r.makespan_s << '|' << r.mean_latency_s << '|'
+     << r.p99_latency_s << '|' << r.jain_fairness;
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  // Retained state may hold the live-job window (cap 3) plus any DNF jobs
+  // pinned at the horizon — far under 1 MiB for these 10-task jobs. An
+  // unbounded-retention regression (GC not firing) blows through this
+  // immediately: the ~180 arrivals would retain tens of MiB.
+  constexpr std::size_t kRetainedCeiling = 1 << 20;
+
+  const std::vector<std::pair<std::string, mapred::AdmissionConfig::Policy>>
+      scenarios{
+          {"reject", mapred::AdmissionConfig::Policy::kRejectNewest},
+          {"shed", mapred::AdmissionConfig::Policy::kShedLowestPriority},
+      };
+  const std::vector<std::uint64_t> seeds{20100621u, 7u};
+
+  std::cout << "=== Steady-state smoke: open stream, admission + GC, "
+               "auditor on ===\n";
+  int failures = 0;
+  for (const auto& [name, policy] : scenarios) {
+    for (std::uint64_t seed : seeds) {
+      const auto cfg = smoke_config(policy, seed);
+      const auto first = experiment::run_multi_job_scenario(cfg);
+      const auto second = experiment::run_multi_job_scenario(cfg);
+      const std::string fp1 = fingerprint(first);
+      const std::string fp2 = fingerprint(second);
+
+      std::string verdict = "ok";
+      if (fp1 != fp2) {
+        verdict = "NONDETERMINISTIC";
+        ++failures;
+        std::cerr << "  run1: " << fp1 << "\n  run2: " << fp2 << "\n";
+      }
+      if (first.audit_violations != 0 || second.audit_violations != 0) {
+        verdict += " AUDIT-VIOLATIONS";
+        ++failures;
+      }
+      if (first.rejected_jobs + first.shed_jobs == 0) {
+        verdict += " VACUOUS";  // admission scenario that never pushed back
+        ++failures;
+      }
+      if (first.peak_retained_bytes > kRetainedCeiling) {
+        verdict += " RETAINED-OVER-CEILING";  // GC failed to bound memory
+        ++failures;
+      }
+      if (first.jobs_retired == 0) {
+        verdict += " NO-GC";  // nothing retired: GC mode not exercised
+        ++failures;
+      }
+      std::cout << "  " << name << " seed=" << seed << ": " << verdict
+                << " (offered=" << first.admission.offered
+                << ", completed=" << first.completed_jobs
+                << ", rejected=" << first.rejected_jobs
+                << ", shed=" << first.shed_jobs
+                << ", retired=" << first.jobs_retired
+                << ", peak_retained=" << first.peak_retained_bytes / 1024
+                << " KiB, audits=" << first.audit_passes << ")\n";
+    }
+  }
+  if (failures != 0) {
+    std::cerr << "FAIL: " << failures << " steady smoke failures\n";
+    return 1;
+  }
+  std::cout << "steady smoke: all scenarios deterministic, non-vacuous, "
+               "0 violations, retained memory bounded\n";
+  return 0;
+}

@@ -10,9 +10,14 @@
 // Observability: `--trace=FILE` / `--metrics=FILE` / `--events=FILE` export
 // the FIFO stream's trace (one Perfetto process per job), gauge CSV, and
 // structured event log.
+// Steady-state serving (DESIGN.md §16): `--admission=POLICY[:MAX_QUEUED]`
+// gates arrivals through the AdmissionController, and `--deadline=SECONDS`
+// attaches an SLA deadline to every job (adding a deadline-EDF policy pass).
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
+#include "experiment/admission_cli.hpp"
 #include "experiment/multi_job.hpp"
 #include "experiment/obs_cli.hpp"
 #include "mapred/job_policy.hpp"
@@ -75,9 +80,16 @@ experiment::MultiJobConfig config(mapred::SchedulerConfig::JobPolicy policy) {
 int main(int argc, char** argv) {
   using JobPolicy = mapred::SchedulerConfig::JobPolicy;
   const experiment::ObsCli obs_cli = experiment::parse_obs_cli(argc, argv);
-  for (JobPolicy policy :
-       {JobPolicy::kFifo, JobPolicy::kFairShare, JobPolicy::kShortestRemaining}) {
+  const experiment::AdmissionCli adm_cli =
+      experiment::parse_admission_cli(argc, argv);
+  std::vector<JobPolicy> policies = {JobPolicy::kFifo, JobPolicy::kFairShare,
+                                     JobPolicy::kShortestRemaining};
+  // A deadline mix makes the EDF policy meaningful; add its pass.
+  if (adm_cli.deadline_s > 0.0) policies.push_back(JobPolicy::kDeadlineEdf);
+  for (JobPolicy policy : policies) {
     auto cfg = config(policy);
+    if (!adm_cli.apply(cfg.base.sched.admission)) return 1;
+    adm_cli.apply_deadline(cfg.arrivals);
     if (policy == JobPolicy::kFifo) obs_cli.apply(cfg.base.obs);
     const auto result = experiment::run_multi_job_scenario(cfg);
     if (policy == JobPolicy::kFifo) obs_cli.export_run(result.obs.get());
@@ -97,7 +109,20 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "  makespan " << result.makespan_s << " s, mean latency "
               << result.mean_latency_s << " s, p95 " << result.p95_latency_s
-              << " s, Jain fairness " << result.jain_fairness << "\n\n";
+              << " s, Jain fairness " << result.jain_fairness << "\n";
+    if (cfg.base.sched.admission.enabled) {
+      std::cout << "  admission (" << mapred::to_string(cfg.base.sched.admission.policy)
+                << "): admitted " << result.admission.admitted << ", rejected "
+                << result.admission.rejected << ", shed "
+                << result.admission.shed << ", deferred "
+                << result.admission.deferred << "\n";
+    }
+    if (adm_cli.deadline_s > 0.0) {
+      std::cout << "  SLA: " << result.sla_missed_jobs << "/"
+                << result.sla_eligible_jobs << " missed (deadline "
+                << adm_cli.deadline_s << " s)\n";
+    }
+    std::cout << "\n";
   }
   std::cout << "FIFO lets the early sort monopolise the slots; fair-share\n"
                "interleaves by deficit; SRTF lets the smallest job finish\n"

@@ -1,0 +1,92 @@
+#include "experiment/admission_cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace moon::experiment {
+namespace {
+
+bool parse_int(const std::string& text, int& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0) return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+bool apply_admission_spec(const std::string& spec,
+                          mapred::AdmissionConfig& config) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    parts.push_back(spec.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos));
+    pos = colon == std::string::npos ? spec.size() + 1 : colon + 1;
+  }
+  if (parts.empty() || parts.size() > 3) {
+    std::cerr << "--admission: expected POLICY[:MAX_QUEUED[:MAX_LIVE_ATTEMPTS]]"
+                 ", got '" << spec << "'\n";
+    return false;
+  }
+  if (parts[0] == "reject") {
+    config.policy = mapred::AdmissionConfig::Policy::kRejectNewest;
+  } else if (parts[0] == "defer") {
+    config.policy = mapred::AdmissionConfig::Policy::kDeferWithBackoff;
+  } else if (parts[0] == "shed") {
+    config.policy = mapred::AdmissionConfig::Policy::kShedLowestPriority;
+  } else {
+    std::cerr << "--admission: unknown policy '" << parts[0]
+              << "' (expected reject | defer | shed)\n";
+    return false;
+  }
+  if (parts.size() >= 2 && !parse_int(parts[1], config.max_queued_jobs)) {
+    std::cerr << "--admission: bad MAX_QUEUED '" << parts[1] << "'\n";
+    return false;
+  }
+  if (parts.size() >= 3 && !parse_int(parts[2], config.max_live_attempts)) {
+    std::cerr << "--admission: bad MAX_LIVE_ATTEMPTS '" << parts[2] << "'\n";
+    return false;
+  }
+  config.enabled = true;
+  return true;
+}
+
+void AdmissionCli::apply_deadline(workload::ArrivalConfig& arrivals) const {
+  if (deadline_s <= 0.0) return;
+  for (workload::JobMix& entry : arrivals.mix) {
+    entry.model.deadline = sim::seconds(deadline_s);
+  }
+}
+
+AdmissionCli parse_admission_cli(int& argc, char** argv) {
+  AdmissionCli cli;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--admission=", 12) == 0) {
+      cli.spec = arg + 12;
+    } else if (std::strncmp(arg, "--deadline=", 11) == 0) {
+      char* end = nullptr;
+      cli.deadline_s = std::strtod(arg + 11, &end);
+      if (end == nullptr || *end != '\0' || cli.deadline_s <= 0.0) {
+        std::cerr << "--deadline: expected positive seconds, got '" << arg + 11
+                  << "'\n";
+        cli.deadline_s = 0.0;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return cli;
+}
+
+}  // namespace moon::experiment

@@ -1,0 +1,53 @@
+// Shared `--admission=SPEC` / `--deadline=SECONDS` command-line handling for
+// examples and benches (DESIGN.md §16).
+//
+// parse_admission_cli() strips both flags out of argv (same convention as
+// fault_cli/obs_cli: positional-argument parsing stays untouched).
+//
+//   --admission=POLICY[:MAX_QUEUED[:MAX_LIVE_ATTEMPTS]]
+//       POLICY is reject | defer | shed. MAX_QUEUED caps unfinished
+//       admitted jobs (default 8, 0 = unlimited); MAX_LIVE_ATTEMPTS caps
+//       in-flight attempts (default 0 = unlimited).
+//   --deadline=SECONDS
+//       Attaches a relative SLA deadline to every model in the workload
+//       mix (SECONDS > 0), for kDeadlineEdf runs and SLA-miss accounting.
+//
+// e.g. `multi_job --admission=shed:6` or
+//      `multi_job --admission=defer:4:40 --deadline=1800`.
+#pragma once
+
+#include <string>
+
+#include "mapred/types.hpp"
+#include "workload/arrival.hpp"
+
+namespace moon::experiment {
+
+/// Parses one POLICY[:MAX_QUEUED[:MAX_LIVE_ATTEMPTS]] spec into `config`
+/// (sets enabled = true). Returns false and reports to stderr on a
+/// malformed spec; `config` may be partially updated in that case.
+bool apply_admission_spec(const std::string& spec,
+                          mapred::AdmissionConfig& config);
+
+struct AdmissionCli {
+  std::string spec;        ///< raw --admission= value; empty when absent
+  double deadline_s = 0.0; ///< --deadline= value; 0 when absent
+
+  [[nodiscard]] bool any() const { return !spec.empty() || deadline_s > 0.0; }
+
+  /// Applies the captured admission spec; no-op when the flag was absent.
+  /// Returns false on a malformed spec (already reported to stderr).
+  bool apply(mapred::AdmissionConfig& config) const {
+    return spec.empty() || apply_admission_spec(spec, config);
+  }
+
+  /// Stamps the captured --deadline onto every model of `arrivals.mix`
+  /// (no-op when the flag was absent).
+  void apply_deadline(workload::ArrivalConfig& arrivals) const;
+};
+
+/// Extracts `--admission=SPEC` and `--deadline=SECONDS` from argv,
+/// compacting the remaining arguments in place and updating argc.
+AdmissionCli parse_admission_cli(int& argc, char** argv);
+
+}  // namespace moon::experiment

@@ -196,6 +196,29 @@ Environment::Environment(const ScenarioConfig& config)
       metrics->add_gauge("replication_bytes", [fs] {
         return static_cast<double>(fs->stats().replication_bytes);
       });
+      if (auto* adm = jt->admission()) {
+        // Steady-state serving gauges (DESIGN.md §16): load relative to the
+        // admission caps, the defer backlog, and the retained-state
+        // footprint GC keeps bounded. Registered only when admission is on,
+        // so existing gauge CSVs are byte-stable.
+        metrics->add_gauge("admission_backpressure",
+                           [adm] { return adm->backpressure(); });
+        metrics->add_gauge("admission_deferred", [adm] {
+          return static_cast<double>(adm->deferred_depth());
+        });
+        metrics->add_gauge("admission_rejected", [adm] {
+          return static_cast<double>(adm->stats().rejected);
+        });
+        metrics->add_gauge("admission_shed", [adm] {
+          return static_cast<double>(adm->stats().shed);
+        });
+        metrics->add_gauge("live_jobs", [jt] {
+          return static_cast<double>(jt->live_jobs());
+        });
+        metrics->add_gauge("retained_job_bytes", [jt] {
+          return static_cast<double>(jt->retained_state_bytes());
+        });
+      }
       if (injector) {
         auto* fi = injector.get();
         metrics->add_gauge("faults_injected", [fi] {

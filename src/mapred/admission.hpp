@@ -1,0 +1,109 @@
+// Admission control in front of JobTracker::submit (DESIGN.md §16).
+//
+// An open-ended job stream can outrun the cluster: arrivals pile up as
+// unfinished jobs, every heartbeat walks a longer job list, and the run
+// wedges instead of degrading. The AdmissionController bounds that by
+// gating every arrival against configurable caps (unfinished-job count,
+// live-attempt count) and resolving overload with one of three policies:
+// reject the newest arrival, defer it behind a deterministic
+// exponential-backoff timer (sim::Retrier), or shed the lowest-priority
+// running job to make room.
+//
+// Determinism: decisions are pure functions of (caps, live state, arrival
+// order) — no RNG — and every decision folds into a running FNV-1a hash of
+// (decision, sim time) pairs, so two same-seed runs can assert bit-identical
+// admit/reject/defer/shed sequences by comparing one integer. A controller
+// is only constructed when AdmissionConfig::enabled; callers submitting
+// directly to the JobTracker are untouched (zero perturbation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "mapred/types.hpp"
+#include "simkit/retry.hpp"
+
+namespace moon::mapred {
+
+class JobTracker;
+
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmitted,  ///< submitted to the JobTracker (outcome.job is valid)
+    kRejected,  ///< refused — immediately, or after exhausting its defers
+    kShed,      ///< a *running* job was evicted (reported via JobFailureReason)
+  };
+
+  /// Final verdict for one offered arrival. `defers` counts the drain
+  /// rounds the arrival waited through before the verdict; `shed_job` is
+  /// the evicted victim when admission required one (invalid otherwise).
+  struct Outcome {
+    Decision decision = Decision::kAdmitted;
+    JobId job;       ///< admitted JobId (invalid on rejection)
+    JobId shed_job;  ///< victim evicted to admit this arrival (if any)
+    int defers = 0;
+  };
+
+  struct Stats {
+    std::int64_t offered = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t deferred = 0;       ///< arrivals parked at least once
+    std::int64_t defer_rounds = 0;   ///< total drain waits across arrivals
+    std::int64_t shed = 0;           ///< running jobs evicted
+  };
+
+  AdmissionController(JobTracker& jobtracker, AdmissionConfig config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Offers one arrival. `on_final` fires exactly once with the verdict —
+  /// synchronously for admit/reject/shed, later (from the backoff timer)
+  /// for deferred arrivals. Callers must not offer while the JobTracker is
+  /// crashed (park on their own retry ticket first, like direct submitters).
+  void offer(JobSpec spec, std::function<void(const Outcome&)> on_final);
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Arrivals currently parked in the defer queue.
+  [[nodiscard]] std::size_t deferred_depth() const { return deferred_.size(); }
+  /// Load relative to the tightest configured cap, >= 1.0 when saturated:
+  /// max of unfinished-jobs/max_queued_jobs and live-attempts/
+  /// max_live_attempts (unlimited caps contribute 0). The obs gauge.
+  [[nodiscard]] double backpressure() const;
+  /// FNV-1a over every (decision, time) pair so far — the bit-identical
+  /// admit/reject/shed sequence, compressed to one comparable integer.
+  [[nodiscard]] std::uint64_t sequence_hash() const { return sequence_hash_; }
+
+ private:
+  struct Parked {
+    JobSpec spec;
+    std::function<void(const Outcome&)> on_final;
+    int defers = 0;
+  };
+
+  [[nodiscard]] bool overloaded() const;
+  /// Admits `spec` (recording + submitting); never checks caps.
+  void admit(JobSpec spec, const std::function<void(const Outcome&)>& on_final,
+             int defers, JobId shed_job);
+  void finish_reject(const Parked& parked);
+  /// Backoff-timer body: admit from the front while capacity lasts, age the
+  /// rest, reject the over-aged, re-arm if anyone is still waiting.
+  void drain_deferred();
+  void arm_timer();
+  /// Folds one event tag + the current sim time into the sequence hash
+  /// (tags cover admit/reject/shed *and* defer events).
+  void record(std::uint8_t tag);
+
+  JobTracker& jobtracker_;
+  AdmissionConfig config_;
+  Stats stats_;
+  std::deque<Parked> deferred_;
+  sim::Retrier retrier_;
+  std::uint64_t sequence_hash_ = 14695981039346656037ULL;  ///< FNV-1a basis
+};
+
+}  // namespace moon::mapred

@@ -438,6 +438,9 @@ bool Job::checkpoint_shielded(TaskId id) const {
 void Job::submit() {
   auto& sim = jobtracker_.simulation();
   metrics_.submitted_at = sim.now();
+  if (spec_.deadline > 0) {
+    metrics_.deadline_at = sim.now() + spec_.deadline;
+  }
   if (auto* tracer = sim.tracer()) {
     const std::uint32_t pid = obs::job_pid(id_);
     tracer->name_process(pid, "job" + std::to_string(id_.value()) + " " +
@@ -877,6 +880,16 @@ void Job::fail_job(JobFailureReason reason) {
   jobtracker_.notify_job_finished(*this);
 }
 
+std::size_t Job::approx_retained_bytes() const {
+  // Per-task/per-attempt constants approximate the hash-node + index-entry
+  // overhead around the structs themselves; a reduce attempt additionally
+  // tracks its fetch sets, folded into the flat per-attempt constant.
+  return sizeof(Job) + spec_.name.size() +
+         tasks_.size() * (sizeof(Task) + 96) +
+         attempts_.size() * (sizeof(TaskAttempt) + 128) +
+         order_to_task_.size() * sizeof(TaskId);
+}
+
 void Job::debug_dump(std::ostream& os) const {
   os << "job " << id_ << " '" << spec_.name << "' maps "
      << completed_tasks(TaskType::kMap) << '/' << spec_.num_maps << " reduces "
@@ -956,6 +969,16 @@ const char* to_string(JobFailureReason reason) {
     case JobFailureReason::kNone: return "none";
     case JobFailureReason::kTaskFailures: return "task_failures";
     case JobFailureReason::kTooManyAttempts: return "too_many_attempts";
+    case JobFailureReason::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionConfig::Policy policy) {
+  switch (policy) {
+    case AdmissionConfig::Policy::kRejectNewest: return "reject-newest";
+    case AdmissionConfig::Policy::kDeferWithBackoff: return "defer-backoff";
+    case AdmissionConfig::Policy::kShedLowestPriority: return "shed-lowest";
   }
   return "?";
 }

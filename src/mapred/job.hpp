@@ -113,6 +113,12 @@ class Job {
   /// True when this job runs the kIndexed hot path (latched at submit).
   [[nodiscard]] bool indexed() const { return use_index_; }
 
+  /// Order-of-magnitude estimate of this Job's heap footprint (task table,
+  /// attempt objects, scheduling indices) — the quantity retired-job GC
+  /// bounds. O(1): computed from container sizes, never walked. Constants
+  /// are deliberately coarse; the contract is proportionality, not bytes.
+  [[nodiscard]] std::size_t approx_retained_bytes() const;
+
   /// Monotonic stamp of the job's discrete scheduling state: task/attempt
   /// transitions, launches, shuffle-fetch completions, phase changes,
   /// checkpoint restores. Within one (sim time, epoch) pair every

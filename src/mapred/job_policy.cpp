@@ -57,6 +57,28 @@ class ShortestRemainingPolicy final : public JobSchedulingPolicy {
   }
 };
 
+/// Earliest deadline first: jobs carrying a deadline sort by absolute
+/// deadline (metrics().deadline_at), ahead of deadline-free jobs which keep
+/// submission order among themselves; drained jobs (no remaining work) sort
+/// last like every other policy. No preemption — a deadline job only wins
+/// *free* slots.
+class DeadlineEdfPolicy final : public JobSchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "deadline-edf"; }
+  void order(std::vector<Job*>& jobs) const override {
+    std::stable_sort(jobs.begin(), jobs.end(), [](Job* a, Job* b) {
+      const bool da = a->remaining_tasks() == 0;
+      const bool db = b->remaining_tasks() == 0;
+      if (da != db) return !da;  // drained jobs last
+      const sim::Time ea = a->metrics().deadline_at;
+      const sim::Time eb = b->metrics().deadline_at;
+      if ((ea > 0) != (eb > 0)) return ea > 0;  // deadline jobs first
+      if (ea > 0) return ea < eb;               // earliest deadline wins
+      return false;  // both deadline-free: keep submission order
+    });
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<JobSchedulingPolicy> JobSchedulingPolicy::make(
@@ -68,6 +90,8 @@ std::unique_ptr<JobSchedulingPolicy> JobSchedulingPolicy::make(
       return std::make_unique<FairSharePolicy>();
     case SchedulerConfig::JobPolicy::kShortestRemaining:
       return std::make_unique<ShortestRemainingPolicy>();
+    case SchedulerConfig::JobPolicy::kDeadlineEdf:
+      return std::make_unique<DeadlineEdfPolicy>();
   }
   return std::make_unique<FifoPolicy>();
 }
@@ -78,6 +102,7 @@ const char* to_string(SchedulerConfig::JobPolicy policy) {
     case SchedulerConfig::JobPolicy::kFairShare: return "fair-share";
     case SchedulerConfig::JobPolicy::kShortestRemaining:
       return "shortest-remaining";
+    case SchedulerConfig::JobPolicy::kDeadlineEdf: return "deadline-edf";
   }
   return "?";
 }

@@ -34,6 +34,9 @@ JobTracker::JobTracker(sim::Simulation& sim, cluster::Cluster& cluster,
     speculator_ = std::make_unique<HadoopSpeculator>(*this);
   }
   job_policy_ = JobSchedulingPolicy::make(config_.job_policy);
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(*this, config_.admission);
+  }
   // Replica add/remove feeds each live job's pending-map locality buckets.
   // The NameNode has no unsubscribe, so the listener guards against this
   // JobTracker being gone while the DFS lives on.
@@ -101,7 +104,34 @@ JobId JobTracker::submit(JobSpec spec) {
   job->submit();
   jobs_by_order_.push_back(job.get());
   jobs_.emplace(id, std::move(job));
+  ++live_jobs_;
   return id;
+}
+
+int JobTracker::live_attempts_total() const {
+  int total = 0;
+  for (const Job* job : jobs_by_order_) {
+    if (!job->finished()) total += job->live_attempts();
+  }
+  return total;
+}
+
+std::size_t JobTracker::retained_state_bytes() const {
+  std::size_t bytes = 0;
+  for (const Job* job : jobs_by_order_) bytes += job->approx_retained_bytes();
+  return bytes;
+}
+
+void JobTracker::retire_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobTracker: unknown job");
+  if (!it->second->finished()) {
+    throw std::logic_error("JobTracker: retiring unfinished job");
+  }
+  if (journal_ != nullptr) journal_->record_job_retired(id);
+  std::erase(jobs_by_order_, it->second.get());
+  jobs_.erase(it);
+  ++jobs_retired_;
 }
 
 Job& JobTracker::job(JobId id) {
@@ -121,6 +151,7 @@ void JobTracker::on_job_finished(std::function<void(Job&)> callback) {
 }
 
 void JobTracker::notify_job_finished(Job& job) {
+  --live_jobs_;
   for (const auto& cb : finished_callbacks_) cb(job);
 }
 

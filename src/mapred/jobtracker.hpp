@@ -19,6 +19,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "dfs/dfs.hpp"
+#include "mapred/admission.hpp"
 #include "mapred/job.hpp"
 #include "mapred/job_policy.hpp"
 #include "mapred/speculation.hpp"
@@ -52,6 +53,34 @@ class JobTracker {
   JobId submit(JobSpec spec);
   [[nodiscard]] Job& job(JobId id);
   [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] bool has_job(JobId id) const { return jobs_.contains(id); }
+
+  // ---- steady-state serving (DESIGN.md §16) -------------------------------
+  /// Admission gate; null unless config().admission.enabled. Callers that
+  /// want overload protection route arrivals through admission()->offer()
+  /// instead of submit(); direct submit() is never gated.
+  [[nodiscard]] AdmissionController* admission() { return admission_.get(); }
+
+  /// Unfinished jobs currently in the table (the control-plane queue depth
+  /// admission caps). O(1): counted at submit/finish.
+  [[nodiscard]] int live_jobs() const { return live_jobs_; }
+  /// Non-terminal attempts across all unfinished jobs (in-flight data-plane
+  /// work). O(live jobs): sums each job's O(1) counter.
+  [[nodiscard]] int live_attempts_total() const;
+  /// Approximate heap footprint of every job still in the table — the
+  /// quantity retired-job GC keeps O(live jobs) on open-ended streams.
+  [[nodiscard]] std::size_t retained_state_bytes() const;
+
+  /// Erases a *finished* job from the live table (throws otherwise). After
+  /// a job finishes, no sim event references it (attempt cleanup cancels
+  /// them; trackers drop their pointers at finalize), every periodic scan
+  /// and gauge skips finished jobs, and the journal records the retirement
+  /// so recovery is not diffed against it — so destroying it here only
+  /// frees memory. Callers must not retire from inside an on_job_finished
+  /// callback (the Job is still on the stack there); the multi-job harness
+  /// drains retirements between sim steps.
+  void retire_job(JobId id);
+  [[nodiscard]] std::int64_t jobs_retired() const { return jobs_retired_; }
 
   // ---- crash-recovery (DESIGN.md §14) -------------------------------------
   /// False while the master is crashed: heartbeats are dropped, scans are
@@ -197,6 +226,8 @@ class JobTracker {
   /// transition (kIndexed reads these; kScan recounts).
   int live_map_slots_ = 0;
   int live_reduce_slots_ = 0;
+  int live_jobs_ = 0;  ///< unfinished jobs in the table (admission queue depth)
+  std::int64_t jobs_retired_ = 0;
   int quarantined_count_ = 0;
   std::int64_t quarantines_total_ = 0;
   std::uint64_t heartbeats_ = 0;
@@ -211,6 +242,10 @@ class JobTracker {
   std::int64_t orphans_killed_ = 0;
   std::unique_ptr<SpeculationPolicy> speculator_;
   std::unique_ptr<JobSchedulingPolicy> job_policy_;
+  /// Null unless config_.admission.enabled (zero perturbation). Declared
+  /// after jobs_: its destructor cancels the defer timer, whose parked
+  /// specs reference nothing, but the controller reads job state.
+  std::unique_ptr<AdmissionController> admission_;
   checkpoint::CheckpointPolicy checkpoint_policy_;
   // Declared after jobs_: the store's destructor cancels in-flight DFS ops
   // whose callbacks touch jobs, so it must go first.

@@ -57,7 +57,52 @@ struct JobSpec {
   /// Output files are written opportunistic with this factor, then converted
   /// to reliable at job commit (§IV-A).
   dfs::ReplicationFactor output_factor{1, 3};
+
+  /// Relative completion deadline (SLA): the job should finish within this
+  /// much simulated time of its arrival. 0 = no deadline. Drives the
+  /// kDeadlineEdf job policy and the stream-level SLA-miss accounting;
+  /// nothing enforces it — a late job completes normally and is *counted*
+  /// as an SLA miss.
+  sim::Duration deadline = 0;
+
+  /// Admission priority (higher = more important). kShedLowestPriority
+  /// evicts the lowest-priority live job to admit a higher-priority
+  /// arrival; equal-priority arrivals never displace running work.
+  int priority = 0;
 };
+
+/// Overload-protection policy in front of JobTracker::submit (DESIGN.md
+/// §16). Disabled by default: with `enabled == false` no controller is
+/// constructed and submission behaves exactly as before (zero perturbation).
+struct AdmissionConfig {
+  bool enabled = false;
+
+  /// What to do with an arrival that would exceed a cap.
+  /// kRejectNewest: refuse the arrival outright.
+  /// kDeferWithBackoff: park it in a FIFO defer queue re-driven on a
+  ///   deterministic exponential-backoff timer (sim::Retrier); after
+  ///   max_defers unsuccessful drains the arrival is rejected.
+  /// kShedLowestPriority: evict the lowest-priority unfinished job
+  ///   (ties: newest first) iff it has strictly lower priority than the
+  ///   arrival; otherwise the arrival itself is rejected.
+  enum class Policy { kRejectNewest, kDeferWithBackoff, kShedLowestPriority };
+  Policy policy = Policy::kRejectNewest;
+
+  /// Cap on unfinished admitted jobs (the control plane's queue depth).
+  /// 0 = unlimited.
+  int max_queued_jobs = 8;
+  /// Cap on live (non-terminal) attempts across all unfinished jobs —
+  /// bounds in-flight data-plane work rather than job count. 0 = unlimited.
+  int max_live_attempts = 0;
+  /// kDeferWithBackoff: drains attempted per parked arrival before it is
+  /// rejected. Must be >= 1 so every deferred arrival resolves.
+  int max_defers = 8;
+  /// kDeferWithBackoff: backoff schedule for the drain timer.
+  sim::Duration defer_initial = 15 * sim::kSecond;
+  sim::Duration defer_max = 240 * sim::kSecond;
+};
+
+const char* to_string(AdmissionConfig::Policy policy);
 
 /// Scheduler/framework tunables. The experiment harness derives the paper's
 /// policy variants (Hadoop{1,5,10}Min, MOON, MOON-Hybrid) from these.
@@ -116,8 +161,14 @@ struct SchedulerConfig {
   /// its remaining work (deficit-based, submission order breaking ties);
   /// kShortestRemaining prefers the job with the least remaining work (SRTF).
   /// Within a job, map-before-reduce priority is preserved by every policy.
-  enum class JobPolicy { kFifo, kFairShare, kShortestRemaining };
+  /// kDeadlineEdf ranks deadline-carrying jobs by absolute deadline
+  /// (earliest first, ties by submission order) ahead of deadline-free jobs.
+  enum class JobPolicy { kFifo, kFairShare, kShortestRemaining, kDeadlineEdf };
   JobPolicy job_policy = JobPolicy::kFifo;
+
+  /// Overload protection in front of submit (DESIGN.md §16); inert unless
+  /// admission.enabled.
+  AdmissionConfig admission;
 
   // --- LATE parameters (used when speculator == kLate) ---
   /// SpeculativeCap: concurrent backups <= this fraction of total slots.
@@ -175,6 +226,7 @@ enum class JobFailureReason {
   kNone,
   kTaskFailures,     ///< a task exceeded max_task_failures (footnote 1)
   kTooManyAttempts,  ///< a task exceeded max_attempt_failures (containment)
+  kShed,             ///< evicted by AdmissionController (kShedLowestPriority)
 };
 
 const char* to_string(JobFailureReason reason);
@@ -186,6 +238,10 @@ struct JobMetrics {
   JobFailureReason failure_reason = JobFailureReason::kNone;
   sim::Time submitted_at = 0;
   sim::Time finished_at = 0;
+  /// Absolute SLA deadline (spec.deadline anchored at arrival); 0 = none.
+  /// Set by Job::submit; the multi-job harness re-anchors it to the original
+  /// arrival time when admission deferred the submission.
+  sim::Time deadline_at = 0;
   /// When the job's first attempt launched; negative until then. The gap to
   /// submitted_at is the queue wait a multi-job policy imposed on the job.
   sim::Time first_launch_at = -1;
@@ -223,6 +279,12 @@ struct JobMetrics {
   [[nodiscard]] double queue_wait_s() const {
     return first_launch_at < 0 ? 0.0
                                : sim::to_seconds(first_launch_at - submitted_at);
+  }
+  [[nodiscard]] bool has_deadline() const { return deadline_at > 0; }
+  /// SLA verdict for a *finished* deadline job: failed jobs (aborted or
+  /// shed) always miss; completed jobs miss when they finished late.
+  [[nodiscard]] bool sla_missed() const {
+    return has_deadline() && (failed || finished_at > deadline_at);
   }
   /// Paper Fig. 5: attempts beyond one per task (speculatives + re-runs).
   [[nodiscard]] int duplicated_tasks(int num_maps, int num_reduces) const {

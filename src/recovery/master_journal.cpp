@@ -171,6 +171,13 @@ void JobTrackerJournal::record_job_finished(JobId job, bool completed) {
   append(std::move(op), 9);
 }
 
+void JobTrackerJournal::record_job_retired(JobId job) {
+  Op op;
+  op.kind = Op::Kind::kJobRetired;
+  op.job = job;
+  append(std::move(op), 8);
+}
+
 void JobTrackerJournal::apply(JobTrackerImage& image, const Op& op) {
   switch (op.kind) {
     case Op::Kind::kSubmit: {
@@ -197,6 +204,10 @@ void JobTrackerJournal::apply(JobTrackerImage& image, const Op& op) {
         it->second.finished = true;
         it->second.completed = op.completed;
       }
+      break;
+    }
+    case Op::Kind::kJobRetired: {
+      image.erase(op.job);
       break;
     }
   }

@@ -137,6 +137,11 @@ class JobTrackerJournal {
   void record_task_completed(JobId job, TaskId task);
   void record_task_reverted(JobId job, TaskId task);
   void record_job_finished(JobId job, bool completed);
+  /// Finished job garbage-collected from the live table (DESIGN.md §16):
+  /// replay erases it from the image, so a recovered master is not diffed
+  /// against jobs the live state deliberately dropped — and the journal
+  /// image stays O(live jobs) over open-ended streams.
+  void record_job_retired(JobId job);
 
   [[nodiscard]] JobTrackerImage replay();
 
@@ -151,6 +156,7 @@ class JobTrackerJournal {
       kTaskCompleted,
       kTaskReverted,
       kJobFinished,
+      kJobRetired,
     };
     Kind kind;
     JobId job;

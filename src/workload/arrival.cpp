@@ -20,6 +20,24 @@ JobArrivalStream::JobArrivalStream(ArrivalConfig config, std::uint64_t seed)
   if (!config_.round_robin_mix && total <= 0.0) {
     throw std::invalid_argument("JobArrivalStream: no positive mix weight");
   }
+  if (config_.num_jobs < 0) {
+    throw std::invalid_argument("JobArrivalStream: negative num_jobs");
+  }
+  if (config_.num_jobs == 0) {
+    // Open-ended mode: the generate loop must terminate, so the horizon has
+    // to be finite and every gap strictly positive in expectation.
+    if (config_.horizon <= 0) {
+      throw std::invalid_argument(
+          "JobArrivalStream: open-ended stream (num_jobs == 0) needs a "
+          "positive horizon");
+    }
+    if (config_.process == ArrivalConfig::Process::kPoisson &&
+        config_.mean_interarrival <= 0) {
+      throw std::invalid_argument(
+          "JobArrivalStream: open-ended Poisson stream needs a positive "
+          "mean_interarrival");
+    }
+  }
 }
 
 std::vector<JobArrival> JobArrivalStream::generate() const {
@@ -51,24 +69,33 @@ std::vector<JobArrival> JobArrivalStream::generate() const {
     return *last_positive;
   };
 
-  std::vector<JobArrival> out;
-  out.reserve(static_cast<std::size_t>(std::max(0, config_.num_jobs)));
-  sim::Time t = config_.first_arrival;
-  for (int i = 0; i < config_.num_jobs; ++i) {
-    if (i > 0) {
-      if (config_.process == ArrivalConfig::Process::kPoisson) {
-        const double gap_s =
-            gap_rng.exponential(sim::to_seconds(config_.mean_interarrival));
-        t += std::max<sim::Duration>(sim::kMicrosecond, sim::seconds(gap_s));
-      } else {
-        t += std::max<sim::Duration>(sim::kMicrosecond, config_.fixed_offset);
-      }
+  const auto next_gap = [&]() -> sim::Duration {
+    if (config_.process == ArrivalConfig::Process::kPoisson) {
+      const double gap_s =
+          gap_rng.exponential(sim::to_seconds(config_.mean_interarrival));
+      return std::max<sim::Duration>(sim::kMicrosecond, sim::seconds(gap_s));
     }
+    return std::max<sim::Duration>(sim::kMicrosecond, config_.fixed_offset);
+  };
+
+  // Closed mode draws exactly num_jobs - 1 gaps (none after the last
+  // arrival), preserving the historical draw sequence; open-ended mode
+  // (num_jobs == 0) keeps generating until the next arrival would land at
+  // or past the horizon.
+  const bool open_ended = config_.num_jobs == 0;
+  std::vector<JobArrival> out;
+  if (!open_ended) out.reserve(static_cast<std::size_t>(config_.num_jobs));
+  sim::Time t = config_.first_arrival;
+  int i = 0;
+  while (open_ended ? t < config_.horizon : i < config_.num_jobs) {
     JobArrival arrival;
     arrival.index = i;
     arrival.submit_at = t;
     arrival.model = pick_model(i);
     out.push_back(std::move(arrival));
+    ++i;
+    if (!open_ended && i >= config_.num_jobs) break;
+    t += next_gap();
   }
   return out;
 }

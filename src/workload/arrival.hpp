@@ -29,7 +29,14 @@ struct ArrivalConfig {
   enum class Process { kPoisson, kFixedOffset };
   Process process = Process::kPoisson;
 
+  /// Arrivals to generate. 0 is the open-ended sentinel: generate until
+  /// `horizon` instead of a fixed count (steady-state serving streams).
+  /// Negative counts are rejected.
   int num_jobs = 4;
+  /// Open-ended mode only (num_jobs == 0): arrivals strictly before this
+  /// sim time are generated. Must be > 0 in that mode; typically set to the
+  /// scenario's max_sim_time.
+  sim::Time horizon = 0;
   sim::Duration first_arrival = 60 * sim::kSecond;
   sim::Duration mean_interarrival = 120 * sim::kSecond;  ///< kPoisson
   sim::Duration fixed_offset = 120 * sim::kSecond;       ///< kFixedOffset

@@ -94,6 +94,8 @@ mapred::JobSpec make_job_spec(const WorkloadModel& model, FileId input_file,
   spec.intermediate_kind = intermediate_kind;
   spec.intermediate_factor = intermediate_factor;
   spec.output_factor = output_factor;
+  spec.deadline = model.deadline;
+  spec.priority = model.priority;
   return spec;
 }
 

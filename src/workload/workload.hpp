@@ -46,6 +46,12 @@ struct WorkloadModel {
   /// Block layout of the staged input (sleep uses tiny per-map blocks).
   Bytes input_block_bytes = mib(64.0);
 
+  /// Relative SLA deadline carried into JobSpec::deadline (0 = none); the
+  /// multi-job harness anchors it at the job's *arrival* time.
+  sim::Duration deadline = 0;
+  /// Admission priority carried into JobSpec::priority (higher = keep).
+  int priority = 0;
+
   [[nodiscard]] int reduces_for(int total_reduce_slots) const;
   [[nodiscard]] Bytes output_per_reduce(int num_reduces) const;
 };

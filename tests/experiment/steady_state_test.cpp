@@ -1,0 +1,156 @@
+// Steady-state serving (DESIGN.md §16): retired-job GC equivalence —
+// stream aggregates are bit-identical between retain_job_results modes
+// while retained memory shrinks — plus open-ended arrival streams through
+// the harness and deadline/SLA accounting.
+#include <gtest/gtest.h>
+
+#include "experiment/multi_job.hpp"
+
+namespace moon::experiment {
+namespace {
+
+workload::WorkloadModel quick_job(const std::string& name, int priority) {
+  auto m = workload::sleep_of(workload::sort_workload());
+  m.name = name;
+  m.num_maps = 8;
+  m.reduce_slot_fraction = 0.0;
+  m.fixed_reduces = 2;
+  m.map_compute = 20 * sim::kSecond;
+  m.reduce_compute = 30 * sim::kSecond;
+  m.input_size = 8 * kKiB;
+  m.priority = priority;
+  return m;
+}
+
+/// An overloaded stream: 8 arrivals at 30 s offsets against a 2-job cap on
+/// a small churning cluster, with heartbeat faults so the fault counters
+/// the equivalence check compares are non-zero.
+MultiJobConfig steady_config(mapred::AdmissionConfig::Policy policy,
+                             std::uint64_t seed) {
+  MultiJobConfig cfg;
+  cfg.base.volatile_nodes = 6;
+  cfg.base.dedicated_nodes = 2;
+  cfg.base.sched = moon_scheduler(true);
+  cfg.base.dfs = moon_dfs_config();
+  cfg.base.intermediate_kind = dfs::FileKind::kReliable;
+  cfg.base.intermediate_factor = {1, 1};
+  cfg.base.unavailability_rate = 0.3;
+  cfg.base.seed = seed;
+  cfg.base.max_sim_time = 4 * sim::kHour;
+  cfg.base.sched.admission.enabled = true;
+  cfg.base.sched.admission.policy = policy;
+  cfg.base.sched.admission.max_queued_jobs = 2;
+  cfg.base.faults.enabled = true;
+  cfg.base.faults.heartbeats.enabled = true;
+  cfg.base.faults.heartbeats.drop_probability = 0.05;
+
+  cfg.arrivals.process = workload::ArrivalConfig::Process::kFixedOffset;
+  cfg.arrivals.num_jobs = 8;
+  cfg.arrivals.first_arrival = sim::kMinute;
+  cfg.arrivals.fixed_offset = 30 * sim::kSecond;
+  cfg.arrivals.round_robin_mix = true;
+  // Alternating priorities so kShedLowestPriority actually sheds.
+  cfg.arrivals.mix = {{quick_job("lo", 0), 1.0}, {quick_job("hi", 2), 1.0}};
+  return cfg;
+}
+
+TEST(SteadyState, GcKeepsStreamAggregatesBitIdentical) {
+  for (auto policy : {mapred::AdmissionConfig::Policy::kRejectNewest,
+                      mapred::AdmissionConfig::Policy::kShedLowestPriority}) {
+    for (std::uint64_t seed : {17ULL, 23ULL}) {
+      MultiJobConfig retain_cfg = steady_config(policy, seed);
+      retain_cfg.retain_job_results = true;
+      MultiJobConfig gc_cfg = steady_config(policy, seed);
+      gc_cfg.retain_job_results = false;
+
+      const MultiJobResult kept = run_multi_job_scenario(retain_cfg);
+      const MultiJobResult gc = run_multi_job_scenario(gc_cfg);
+      SCOPED_TRACE(std::string("policy=") + mapred::to_string(policy) +
+                   " seed=" + std::to_string(seed));
+
+      // Every stream-level aggregate must match bit for bit: both modes
+      // fold at the same events in the same order; GC only destroys the
+      // per-job snapshots afterwards.
+      EXPECT_EQ(gc.submitted_jobs, kept.submitted_jobs);
+      EXPECT_EQ(gc.completed_jobs, kept.completed_jobs);
+      EXPECT_EQ(gc.aborted_jobs, kept.aborted_jobs);
+      EXPECT_EQ(gc.shed_jobs, kept.shed_jobs);
+      EXPECT_EQ(gc.dnf_jobs, kept.dnf_jobs);
+      EXPECT_EQ(gc.rejected_jobs, kept.rejected_jobs);
+      EXPECT_EQ(gc.sla_eligible_jobs, kept.sla_eligible_jobs);
+      EXPECT_EQ(gc.sla_missed_jobs, kept.sla_missed_jobs);
+      EXPECT_EQ(gc.makespan_s, kept.makespan_s);
+      EXPECT_EQ(gc.mean_latency_s, kept.mean_latency_s);
+      EXPECT_EQ(gc.p95_latency_s, kept.p95_latency_s);
+      EXPECT_EQ(gc.p99_latency_s, kept.p99_latency_s);
+      EXPECT_EQ(gc.jain_fairness, kept.jain_fairness);
+      EXPECT_EQ(gc.admission.offered, kept.admission.offered);
+      EXPECT_EQ(gc.admission.admitted, kept.admission.admitted);
+      EXPECT_EQ(gc.admission.rejected, kept.admission.rejected);
+      EXPECT_EQ(gc.admission.shed, kept.admission.shed);
+      EXPECT_EQ(gc.admission_sequence_hash, kept.admission_sequence_hash);
+      EXPECT_EQ(gc.fault_stats.total_injected(),
+                kept.fault_stats.total_injected());
+      EXPECT_EQ(gc.quarantines, kept.quarantines);
+      EXPECT_EQ(gc.dfs_stats.bytes_written, kept.dfs_stats.bytes_written);
+
+      // Decision streams non-trivial: the cap bit under every (policy, seed).
+      EXPECT_GT(gc.rejected_jobs + gc.shed_jobs, 0);
+
+      // And GC earned its keep: jobs were destroyed, the per-job snapshot
+      // list is gone, and the final footprint shrank.
+      EXPECT_GT(gc.jobs_retired, 0);
+      EXPECT_EQ(kept.jobs_retired, 0);
+      EXPECT_TRUE(gc.jobs.empty());
+      EXPECT_FALSE(kept.jobs.empty());
+      EXPECT_LE(gc.peak_retained_bytes, kept.peak_retained_bytes);
+      EXPECT_LT(gc.final_retained_bytes, kept.final_retained_bytes);
+    }
+  }
+}
+
+TEST(SteadyState, OpenEndedStreamRunsThroughTheHarness) {
+  MultiJobConfig cfg =
+      steady_config(mapred::AdmissionConfig::Policy::kRejectNewest, 29);
+  cfg.retain_job_results = false;
+  cfg.arrivals.num_jobs = 0;  // open-ended: horizon defaults to max_sim_time
+  cfg.base.max_sim_time = 2 * sim::kHour;
+
+  const MultiJobResult result = run_multi_job_scenario(cfg);
+  // 30 s offsets over ~2 h fire ~240 arrivals; the cap keeps live jobs
+  // bounded while rejections absorb the overload.
+  EXPECT_GT(result.submitted_jobs + result.rejected_jobs, 100);
+  EXPECT_GT(result.rejected_jobs, 0);
+  EXPECT_LE(result.peak_live_jobs, cfg.base.sched.admission.max_queued_jobs);
+  EXPECT_GT(result.jobs_retired, 0);
+  // Retained memory stays O(live-jobs), not O(arrivals): with at most 2
+  // live small jobs the footprint never approaches even one megabyte.
+  EXPECT_LT(result.peak_retained_bytes, std::size_t{1} << 20);
+}
+
+TEST(SteadyState, DeadlinesDriveSlaAccounting) {
+  // Generous deadlines: every arrival is SLA-eligible, nothing admitted
+  // should miss, and every *rejected* deadline job is a certain miss.
+  MultiJobConfig cfg =
+      steady_config(mapred::AdmissionConfig::Policy::kRejectNewest, 31);
+  cfg.base.faults.enabled = false;
+  for (auto& entry : cfg.arrivals.mix) {
+    entry.model.deadline = 3 * sim::kHour;
+  }
+  const MultiJobResult generous = run_multi_job_scenario(cfg);
+  EXPECT_EQ(generous.sla_eligible_jobs,
+            generous.submitted_jobs + generous.rejected_jobs);
+  EXPECT_EQ(generous.sla_missed_jobs, generous.rejected_jobs + generous.dnf_jobs +
+                                          generous.aborted_jobs);
+
+  // Impossible deadlines: every eligible job misses.
+  for (auto& entry : cfg.arrivals.mix) {
+    entry.model.deadline = sim::kSecond;
+  }
+  const MultiJobResult tight = run_multi_job_scenario(cfg);
+  EXPECT_EQ(tight.sla_missed_jobs, tight.sla_eligible_jobs);
+  EXPECT_GT(tight.sla_missed_jobs, 0);
+}
+
+}  // namespace
+}  // namespace moon::experiment

@@ -98,5 +98,76 @@ TEST(JobArrivalStream, RejectsDegenerateMixes) {
   EXPECT_THROW(JobArrivalStream(weightless, 1), std::invalid_argument);
 }
 
+TEST(JobArrivalStream, OpenEndedGeneratesUntilHorizon) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kFixedOffset;
+  cfg.num_jobs = 0;  // open-ended sentinel
+  cfg.fixed_offset = 90 * sim::kSecond;
+  cfg.horizon = 10 * sim::kMinute;
+  const auto stream = JobArrivalStream(cfg, 7).generate();
+  // 60 s, 150 s, ... < 600 s -> exactly 6 arrivals; none at/past horizon.
+  ASSERT_EQ(stream.size(), 6u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].index, static_cast<int>(i));
+    EXPECT_LT(stream[i].submit_at, cfg.horizon);
+  }
+  EXPECT_EQ(stream.back().submit_at, 60 * sim::kSecond + 5 * cfg.fixed_offset);
+}
+
+TEST(JobArrivalStream, OpenEndedPoissonIsDeterministicPerSeed) {
+  ArrivalConfig cfg = base_config();
+  cfg.process = ArrivalConfig::Process::kPoisson;
+  cfg.num_jobs = 0;
+  cfg.mean_interarrival = 2 * sim::kMinute;
+  cfg.horizon = sim::kHour;
+  const auto a = JobArrivalStream(cfg, 42).generate();
+  const auto b = JobArrivalStream(cfg, 42).generate();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_at, b[i].submit_at);
+    EXPECT_EQ(a[i].model.name, b[i].model.name);
+  }
+}
+
+TEST(JobArrivalStream, ClosedModeDrawSequenceUnchangedByOpenEndedSupport) {
+  // The open-ended rewrite must not perturb historical closed-mode streams:
+  // a closed stream is the prefix of the open-ended stream over the same
+  // seed/process (same gap and mix draws, in the same order).
+  ArrivalConfig closed = base_config();
+  closed.process = ArrivalConfig::Process::kPoisson;
+  closed.num_jobs = 8;
+  closed.mean_interarrival = 2 * sim::kMinute;
+  const auto closed_stream = JobArrivalStream(closed, 11).generate();
+  ASSERT_EQ(closed_stream.size(), 8u);
+
+  ArrivalConfig open = closed;
+  open.num_jobs = 0;
+  open.horizon = closed_stream.back().submit_at + 1;
+  const auto open_stream = JobArrivalStream(open, 11).generate();
+  ASSERT_GE(open_stream.size(), closed_stream.size());
+  for (std::size_t i = 0; i < closed_stream.size(); ++i) {
+    EXPECT_EQ(open_stream[i].submit_at, closed_stream[i].submit_at);
+    EXPECT_EQ(open_stream[i].model.name, closed_stream[i].model.name);
+  }
+}
+
+TEST(JobArrivalStream, RejectsInvalidOpenEndedConfigs) {
+  ArrivalConfig negative = base_config();
+  negative.num_jobs = -1;
+  EXPECT_THROW(JobArrivalStream(negative, 1), std::invalid_argument);
+
+  ArrivalConfig no_horizon = base_config();
+  no_horizon.num_jobs = 0;  // open-ended but horizon left at 0
+  EXPECT_THROW(JobArrivalStream(no_horizon, 1), std::invalid_argument);
+
+  ArrivalConfig bad_poisson = base_config();
+  bad_poisson.num_jobs = 0;
+  bad_poisson.horizon = sim::kHour;
+  bad_poisson.process = ArrivalConfig::Process::kPoisson;
+  bad_poisson.mean_interarrival = 0;
+  EXPECT_THROW(JobArrivalStream(bad_poisson, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace moon::workload
